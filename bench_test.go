@@ -1,0 +1,137 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per figure
+// (Figs 3, 7, 10a, 10b, 11, 12, 13, 14) plus the ablations, with the
+// headline numbers reported as custom metrics, and engine microbenchmarks.
+//
+//	go test -bench=Fig11 -benchmem .
+package skv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"skv/internal/bench"
+	"skv/internal/dict"
+	"skv/internal/rdb"
+	"skv/internal/resp"
+	"skv/internal/skiplist"
+	"skv/internal/store"
+)
+
+// runExperiment executes one figure reproduction per iteration and reports
+// its headline metrics.
+func runExperiment(b *testing.B, fn func() *bench.Experiment) {
+	b.Helper()
+	var e *bench.Experiment
+	for i := 0; i < b.N; i++ {
+		e = fn()
+	}
+	if e != nil {
+		for k, v := range e.Metrics {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig3RDMAWriteLatency(b *testing.B) { runExperiment(b, bench.Fig3) }
+func BenchmarkFig7SlaveDegradation(b *testing.B) { runExperiment(b, bench.Fig7) }
+func BenchmarkFig10aThroughput(b *testing.B)     { runExperiment(b, bench.Fig10a) }
+func BenchmarkFig10bLatency(b *testing.B)        { runExperiment(b, bench.Fig10b) }
+func BenchmarkFig11SetOffload(b *testing.B)      { runExperiment(b, bench.Fig11) }
+func BenchmarkFig12ValueSize(b *testing.B)       { runExperiment(b, bench.Fig12) }
+func BenchmarkFig13Get(b *testing.B)             { runExperiment(b, bench.Fig13) }
+func BenchmarkFig14Availability(b *testing.B)    { runExperiment(b, bench.Fig14) }
+func BenchmarkAblateSlaveCount(b *testing.B)     { runExperiment(b, bench.AblateSlaves) }
+func BenchmarkAblateNICCoreSpeed(b *testing.B)   { runExperiment(b, bench.AblateNICSpeed) }
+func BenchmarkAblateNicThreadNum(b *testing.B)   { runExperiment(b, bench.AblateThreads) }
+func BenchmarkAblateNICCache(b *testing.B)       { runExperiment(b, bench.AblateNICCache) }
+func BenchmarkAblateCPUPerOp(b *testing.B)       { runExperiment(b, bench.AblateCPU) }
+func BenchmarkExtPipeline(b *testing.B)          { runExperiment(b, bench.ExtPipeline) }
+
+// ---- Engine microbenchmarks (real CPU time, not virtual) ----
+
+func BenchmarkDictSet(b *testing.B) {
+	d := dict.New(1)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Set(keys[i&(1<<16-1)], i)
+	}
+}
+
+func BenchmarkDictGet(b *testing.B) {
+	d := dict.New(1)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%d", i)
+		d.Set(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Get(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkSkiplistInsertDelete(b *testing.B) {
+	sl := skiplist.New(1)
+	members := make([]string, 4096)
+	for i := range members {
+		members[i] = fmt.Sprintf("m:%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := members[i&4095]
+		sl.Insert(m, float64(i&1023))
+		sl.Delete(m, float64(i&1023))
+	}
+}
+
+func BenchmarkRESPParseCommand(b *testing.B) {
+	cmd := resp.EncodeCommand("SET", "key:0000012345", "some-reasonably-sized-value-payload")
+	b.SetBytes(int64(len(cmd)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r resp.Reader
+		r.Feed(cmd)
+		if _, ok, err := r.ReadCommand(); !ok || err != nil {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkStoreSET(b *testing.B) {
+	st := store.New(1, 1, func() int64 { return 0 })
+	argv := [][]byte{[]byte("SET"), []byte("key"), []byte("value-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Exec(0, argv)
+	}
+}
+
+func BenchmarkStoreGET(b *testing.B) {
+	st := store.New(1, 1, func() int64 { return 0 })
+	st.Exec(0, [][]byte{[]byte("SET"), []byte("key"), []byte("value")})
+	argv := [][]byte{[]byte("GET"), []byte("key")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Exec(0, argv)
+	}
+}
+
+func BenchmarkRDBDumpLoad(b *testing.B) {
+	st := store.New(1, 1, func() int64 { return 0 })
+	for i := 0; i < 10_000; i++ {
+		st.Exec(0, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("key:%d", i)), []byte("value-0123456789")})
+	}
+	dst := store.New(1, 2, func() int64 { return 0 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dump := rdb.Dump(st)
+		if err := rdb.Load(dst, dump); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(dump)))
+	}
+}

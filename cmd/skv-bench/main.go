@@ -1,0 +1,39 @@
+// Command skv-bench regenerates the paper's evaluation figures on the
+// simulated cluster. With no flags it runs everything in paper order.
+//
+//	skv-bench                  # all experiments
+//	skv-bench -exp fig11       # one experiment
+//	skv-bench -list            # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skv/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), "\n"))
+		return
+	}
+	if *exp != "" {
+		e := bench.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Println(e.String())
+		return
+	}
+	for _, e := range bench.All() {
+		fmt.Println(e.String())
+	}
+}

@@ -1,0 +1,101 @@
+// Command skv-cli is a minimal RESP client for skv-server (or any RESP
+// server).
+//
+//	skv-cli -addr localhost:6379                 # interactive REPL
+//	skv-cli -addr localhost:6379 SET key value   # one-shot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"skv/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6379", "server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		v, err := roundTrip(conn, args)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(render(v))
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", *addr)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			fmt.Printf("%s> ", *addr)
+			continue
+		}
+		if strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
+			roundTrip(conn, []string{"QUIT"})
+			return
+		}
+		v, err := roundTrip(conn, strings.Fields(line))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(render(v))
+		fmt.Printf("%s> ", *addr)
+	}
+}
+
+func roundTrip(conn net.Conn, argv []string) (resp.Value, error) {
+	if _, err := conn.Write(resp.EncodeCommand(argv...)); err != nil {
+		return resp.Value{}, err
+	}
+	var r resp.Reader
+	buf := make([]byte, 64<<10)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok, err := r.ReadValue()
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if ok {
+			return v, nil
+		}
+		conn.SetReadDeadline(deadline)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		r.Feed(buf[:n])
+	}
+}
+
+func render(v resp.Value) string {
+	switch v.Type {
+	case resp.TypeError:
+		return "(error) " + v.String()
+	case resp.TypeInteger:
+		return "(integer) " + v.String()
+	case resp.TypeBulk:
+		if v.Null {
+			return "(nil)"
+		}
+		return fmt.Sprintf("%q", v.String())
+	default:
+		return v.String()
+	}
+}

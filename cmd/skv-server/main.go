@@ -1,0 +1,43 @@
+// Command skv-server runs the SKV storage engine as a real RESP server
+// over TCP — usable with cmd/skv-cli or any RESP client for the
+// implemented command set.
+//
+//	skv-server -addr :6379 -rdb dump.rdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"skv/internal/netserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":6379", "listen address")
+	rdbPath := flag.String("rdb", "", "RDB snapshot path (loaded at start, written by SAVE and on shutdown)")
+	dbs := flag.Int("databases", 16, "number of databases")
+	flag.Parse()
+
+	s, err := netserver.New(netserver.Options{NumDBs: *dbs, RDBPath: *rdbPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down")
+		s.Close()
+		os.Exit(0)
+	}()
+
+	log.Printf("skv-server listening on %s", *addr)
+	if err := s.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: embed the SKV storage engine directly, then serve it over a
+// real TCP socket and talk to it with a RESP client — no simulation
+// involved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"skv/internal/netserver"
+	"skv/internal/resp"
+	"skv/internal/store"
+)
+
+func main() {
+	// ---- 1. The engine as a library ----
+	st := store.New(16, 42, func() int64 { return time.Now().UnixMilli() })
+
+	exec := func(args ...string) resp.Value {
+		argv := make([][]byte, len(args))
+		for i, a := range args {
+			argv[i] = []byte(a)
+		}
+		reply, _ := st.Exec(0, argv)
+		var r resp.Reader
+		r.Feed(reply)
+		v, _, _ := r.ReadValue()
+		return v
+	}
+
+	fmt.Println("embedded engine:")
+	fmt.Println("  SET user:1 ada     →", exec("SET", "user:1", "ada").String())
+	fmt.Println("  GET user:1         →", exec("GET", "user:1").String())
+	fmt.Println("  RPUSH queue a b c  →", exec("RPUSH", "queue", "a", "b", "c").String())
+	fmt.Println("  LRANGE queue 0 -1  →", exec("LRANGE", "queue", "0", "-1").String())
+	fmt.Println("  ZADD board 9 ada   →", exec("ZADD", "board", "9", "ada", "7", "bob").String())
+	fmt.Println("  ZRANGE board 0 -1  →", exec("ZRANGE", "board", "0", "-1", "WITHSCORES").String())
+	fmt.Println("  INCR hits ×3       →", exec("INCR", "hits").String(),
+		exec("INCR", "hits").String(), exec("INCR", "hits").String())
+
+	// ---- 2. The same engine over real TCP ----
+	srv, err := netserver.New(netserver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	do := func(args ...string) resp.Value {
+		if _, err := conn.Write(resp.EncodeCommand(args...)); err != nil {
+			log.Fatal(err)
+		}
+		var r resp.Reader
+		buf := make([]byte, 4096)
+		for {
+			v, ok, err := r.ReadValue()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				return v
+			}
+			n, err := conn.Read(buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Feed(buf[:n])
+		}
+	}
+
+	fmt.Printf("\nRESP over TCP (%s):\n", ln.Addr())
+	fmt.Println("  PING               →", do("PING").String())
+	fmt.Println("  SET greeting hello →", do("SET", "greeting", "hello").String())
+	fmt.Println("  APPEND greeting !  →", do("APPEND", "greeting", "!").String())
+	fmt.Println("  GET greeting       →", do("GET", "greeting").String())
+	fmt.Println("  SETEX temp 10 v    →", do("SETEX", "temp", "10", "v").String())
+	fmt.Println("  TTL temp           →", do("TTL", "temp").String())
+}

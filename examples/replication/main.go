@@ -1,0 +1,47 @@
+// Replication offload: build the paper's deployment — one master with a
+// BlueField-class SmartNIC, three slaves, eight closed-loop clients — and
+// show the core SKV mechanism at work: the master posts ONE work request
+// per write while Nic-KV fans the command out to every slave in the
+// background.
+package main
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/sim"
+)
+
+func main() {
+	fmt.Println("building 1 master (+SmartNIC) + 3 slaves + 8 clients, RDMA fabric ...")
+
+	for _, kind := range []cluster.Kind{cluster.KindRDMA, cluster.KindSKV} {
+		cfg := cluster.Config{Kind: kind, Slaves: 3, Clients: 8, Seed: 7}
+		if kind == cluster.KindSKV {
+			cfg.SKV = core.DefaultConfig()
+		}
+		c := cluster.Build(cfg)
+		if !c.AwaitReplication(5 * sim.Second) {
+			panic("replication did not converge")
+		}
+		res := c.Measure(50*sim.Millisecond, 300*sim.Millisecond)
+		fmt.Printf("\n%s\n", res)
+		fmt.Printf("  master core busy: %.0f%%\n", res.MasterUtil*100)
+		if kind == cluster.KindSKV {
+			fmt.Printf("  SmartNIC core busy: %.0f%% (replication runs here now)\n", res.NicUtil*100)
+			fmt.Printf("  replication requests master→NIC: %d (one per write)\n", c.HostKV.ReplReqsSent)
+			fmt.Printf("  commands fanned out NIC→slaves:  %d (%d slaves)\n", c.NicKV.StreamSent, len(c.Slaves))
+		}
+		// Show that the slaves actually converged with the master.
+		c.Eng.Run(c.Eng.Now().Add(200 * sim.Millisecond))
+		fmt.Printf("  master keys: %d | slave keys:", c.Master.Store().DBSize(0))
+		for _, s := range c.Slaves {
+			fmt.Printf(" %d", s.Store().DBSize(0))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nSKV posts one WR per write regardless of fan-out; RDMA-Redis posts one per slave —")
+	fmt.Println("that CPU difference is the paper's +14% throughput / −21% tail latency (Fig 11).")
+}

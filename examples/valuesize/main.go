@@ -1,0 +1,37 @@
+// Value-size sweep: reproduce the Fig 12 experiment interactively — SET
+// throughput of SKV vs RDMA-Redis as the value grows from cache-line-sized
+// to many kilobytes. The offload advantage persists across sizes until the
+// wire itself dominates.
+package main
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/sim"
+)
+
+func main() {
+	fmt.Println("SET throughput, 8 clients, 3 slaves (kops/s)")
+	fmt.Printf("%-8s  %-11s  %-8s  %s\n", "value", "rdma-redis", "skv", "gain")
+	for _, size := range []int{16, 64, 256, 1024, 4096, 16384, 65536} {
+		row := map[cluster.Kind]float64{}
+		for _, kind := range []cluster.Kind{cluster.KindRDMA, cluster.KindSKV} {
+			cfg := cluster.Config{Kind: kind, Slaves: 3, Clients: 8, Seed: 21, ValueSize: size}
+			if kind == cluster.KindSKV {
+				cfg.SKV = core.DefaultConfig()
+			}
+			c := cluster.Build(cfg)
+			if !c.AwaitReplication(5 * sim.Second) {
+				panic("replication did not converge")
+			}
+			res := c.Measure(50*sim.Millisecond, 200*sim.Millisecond)
+			row[kind] = res.Throughput
+		}
+		fmt.Printf("%-8s  %-11.1f  %-8.1f  %+.1f%%\n",
+			fmt.Sprintf("%dB", size),
+			row[cluster.KindRDMA]/1000, row[cluster.KindSKV]/1000,
+			(row[cluster.KindSKV]/row[cluster.KindRDMA]-1)*100)
+	}
+}

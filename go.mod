@@ -1,0 +1,3 @@
+module skv
+
+go 1.22

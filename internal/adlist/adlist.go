@@ -1,0 +1,155 @@
+// Package adlist is the doubly linked list Redis uses for list values and
+// internal bookkeeping (adlist.c). SKV inherits it for LPUSH/RPUSH-family
+// commands and for the server's client and slave lists.
+package adlist
+
+// Node is a list node carrying an arbitrary value.
+type Node struct {
+	prev, next *Node
+	Value      any
+}
+
+// Prev returns the previous node or nil.
+func (n *Node) Prev() *Node { return n.prev }
+
+// Next returns the next node or nil.
+func (n *Node) Next() *Node { return n.next }
+
+// List is a doubly linked list. The zero value is an empty list.
+type List struct {
+	head, tail *Node
+	length     int
+}
+
+// New creates an empty list.
+func New() *List { return &List{} }
+
+// Len reports the number of nodes.
+func (l *List) Len() int { return l.length }
+
+// Head returns the first node or nil.
+func (l *List) Head() *Node { return l.head }
+
+// Tail returns the last node or nil.
+func (l *List) Tail() *Node { return l.tail }
+
+// PushHead prepends a value.
+func (l *List) PushHead(v any) *Node {
+	n := &Node{Value: v}
+	if l.head == nil {
+		l.head, l.tail = n, n
+	} else {
+		n.next = l.head
+		l.head.prev = n
+		l.head = n
+	}
+	l.length++
+	return n
+}
+
+// PushTail appends a value.
+func (l *List) PushTail(v any) *Node {
+	n := &Node{Value: v}
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		n.prev = l.tail
+		l.tail.next = n
+		l.tail = n
+	}
+	l.length++
+	return n
+}
+
+// PopHead removes and returns the first value; ok is false when empty.
+func (l *List) PopHead() (any, bool) {
+	if l.head == nil {
+		return nil, false
+	}
+	n := l.head
+	l.Remove(n)
+	return n.Value, true
+}
+
+// PopTail removes and returns the last value; ok is false when empty.
+func (l *List) PopTail() (any, bool) {
+	if l.tail == nil {
+		return nil, false
+	}
+	n := l.tail
+	l.Remove(n)
+	return n.Value, true
+}
+
+// Remove unlinks a node obtained from this list.
+func (l *List) Remove(n *Node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	l.length--
+}
+
+// Index returns the node at position i (negative counts from the tail,
+// -1 being the last), or nil when out of range.
+func (l *List) Index(i int) *Node {
+	if i < 0 {
+		i = -i - 1
+		n := l.tail
+		for i > 0 && n != nil {
+			n = n.prev
+			i--
+		}
+		return n
+	}
+	n := l.head
+	for i > 0 && n != nil {
+		n = n.next
+		i--
+	}
+	return n
+}
+
+// Each calls fn front-to-back; returning false stops early.
+func (l *List) Each(fn func(v any) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.Value) {
+			return
+		}
+	}
+}
+
+// Range collects values in the inclusive index window [start, stop] with
+// Redis LRANGE semantics (negative indices from the end, clamping).
+func (l *List) Range(start, stop int) []any {
+	n := l.length
+	if start < 0 {
+		start = n + start
+		if start < 0 {
+			start = 0
+		}
+	}
+	if stop < 0 {
+		stop = n + stop
+	}
+	if start > stop || start >= n {
+		return nil
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	out := make([]any, 0, stop-start+1)
+	node := l.Index(start)
+	for i := start; i <= stop && node != nil; i++ {
+		out = append(out, node.Value)
+		node = node.next
+	}
+	return out
+}

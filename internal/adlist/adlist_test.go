@@ -1,0 +1,176 @@
+package adlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collect(l *List) []int {
+	var out []int
+	l.Each(func(v any) bool {
+		out = append(out, v.(int))
+		return true
+	})
+	return out
+}
+
+func TestPushPop(t *testing.T) {
+	l := New()
+	l.PushTail(2)
+	l.PushHead(1)
+	l.PushTail(3)
+	if got := collect(l); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if v, ok := l.PopHead(); !ok || v.(int) != 1 {
+		t.Fatalf("PopHead %v %v", v, ok)
+	}
+	if v, ok := l.PopTail(); !ok || v.(int) != 3 {
+		t.Fatalf("PopTail %v %v", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len=%d", l.Len())
+	}
+	l.PopHead()
+	if _, ok := l.PopHead(); ok {
+		t.Fatal("pop from empty returned ok")
+	}
+	if _, ok := l.PopTail(); ok {
+		t.Fatal("pop tail from empty returned ok")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.PushTail(i)
+	}
+	if l.Index(0).Value.(int) != 0 || l.Index(4).Value.(int) != 4 {
+		t.Fatal("positive index wrong")
+	}
+	if l.Index(-1).Value.(int) != 4 || l.Index(-5).Value.(int) != 0 {
+		t.Fatal("negative index wrong")
+	}
+	if l.Index(5) != nil || l.Index(-6) != nil {
+		t.Fatal("out of range should be nil")
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.PushTail(i)
+	}
+	l.Remove(l.Index(2))
+	if got := collect(l); len(got) != 4 || got[2] != 3 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if l.Head().Prev() != nil || l.Tail().Next() != nil {
+		t.Fatal("boundary links broken")
+	}
+}
+
+func TestRangeSemantics(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.PushTail(i)
+	}
+	cases := []struct {
+		start, stop int
+		want        []int
+	}{
+		{0, 2, []int{0, 1, 2}},
+		{-3, -1, []int{7, 8, 9}},
+		{0, -1, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		{5, 100, []int{5, 6, 7, 8, 9}},
+		{7, 3, nil},
+		{100, 200, nil},
+	}
+	for _, c := range cases {
+		got := l.Range(c.start, c.stop)
+		if len(got) != len(c.want) {
+			t.Errorf("Range(%d,%d) len=%d want %d", c.start, c.stop, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i].(int) != c.want[i] {
+				t.Errorf("Range(%d,%d)[%d]=%v want %d", c.start, c.stop, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// Property: PushTail sequence then Each reproduces the input order, and
+// Len matches.
+func TestPushOrderProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		l := New()
+		for _, v := range vals {
+			l.PushTail(v)
+		}
+		got := collect(l)
+		if l.Len() != len(vals) || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a list used as a deque matches a slice model.
+func TestDequeModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Val  int
+	}
+	f := func(ops []op) bool {
+		l := New()
+		var m []int
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				l.PushHead(o.Val)
+				m = append([]int{o.Val}, m...)
+			case 1:
+				l.PushTail(o.Val)
+				m = append(m, o.Val)
+			case 2:
+				v, ok := l.PopHead()
+				if ok != (len(m) > 0) {
+					return false
+				}
+				if ok {
+					if v.(int) != m[0] {
+						return false
+					}
+					m = m[1:]
+				}
+			case 3:
+				v, ok := l.PopTail()
+				if ok != (len(m) > 0) {
+					return false
+				}
+				if ok {
+					if v.(int) != m[len(m)-1] {
+						return false
+					}
+					m = m[:len(m)-1]
+				}
+			}
+			if l.Len() != len(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

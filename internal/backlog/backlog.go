@@ -1,0 +1,76 @@
+// Package backlog implements the replication backlog: the fixed-size ring
+// buffer of recent write-command bytes that makes partial resynchronization
+// possible (paper §III-C: "If the range is contained in the backlog buffer,
+// the data within the range in the backlog buffer will be sent to the slave
+// node").
+//
+// Offsets are global: the master's replication offset only ever grows, and
+// the backlog can serve any byte range still inside the ring.
+package backlog
+
+// Backlog is the ring buffer plus the global offset bookkeeping.
+type Backlog struct {
+	buf     []byte
+	idx     int   // next write position in buf
+	histlen int   // bytes of valid history in buf (≤ len(buf))
+	endOff  int64 // global offset of the next byte to be written
+}
+
+// New creates a backlog of the given capacity in bytes.
+func New(size int) *Backlog {
+	if size <= 0 {
+		size = 1 << 20
+	}
+	return &Backlog{buf: make([]byte, size)}
+}
+
+// Write appends command bytes, overwriting the oldest history when full.
+func (b *Backlog) Write(p []byte) {
+	b.endOff += int64(len(p))
+	for len(p) > 0 {
+		n := copy(b.buf[b.idx:], p)
+		b.idx = (b.idx + n) % len(b.buf)
+		p = p[n:]
+		b.histlen += n
+	}
+	if b.histlen > len(b.buf) {
+		b.histlen = len(b.buf)
+	}
+}
+
+// EndOffset reports the global offset one past the last written byte.
+func (b *Backlog) EndOffset() int64 { return b.endOff }
+
+// FirstOffset reports the global offset of the oldest retained byte.
+func (b *Backlog) FirstOffset() int64 { return b.endOff - int64(b.histlen) }
+
+// HistLen reports the number of retained bytes.
+func (b *Backlog) HistLen() int { return b.histlen }
+
+// Size reports the ring capacity.
+func (b *Backlog) Size() int { return len(b.buf) }
+
+// Range copies the bytes from global offset from (inclusive) to the end of
+// history. ok is false when the requested range has been overwritten — the
+// caller must fall back to a full resynchronization.
+func (b *Backlog) Range(from int64) ([]byte, bool) {
+	if from > b.endOff || from < b.FirstOffset() {
+		return nil, false
+	}
+	n := int(b.endOff - from)
+	if n == 0 {
+		return []byte{}, true
+	}
+	out := make([]byte, n)
+	// Position of `from` inside the ring.
+	start := (b.idx - b.histlen + int(from-b.FirstOffset())) % len(b.buf)
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < n; {
+		c := copy(out[i:], b.buf[start:])
+		i += c
+		start = (start + c) % len(b.buf)
+	}
+	return out, true
+}

@@ -1,0 +1,107 @@
+package backlog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteAndRange(t *testing.T) {
+	b := New(64)
+	b.Write([]byte("hello"))
+	b.Write([]byte("world"))
+	if b.EndOffset() != 10 || b.FirstOffset() != 0 {
+		t.Fatalf("offsets: first=%d end=%d", b.FirstOffset(), b.EndOffset())
+	}
+	got, ok := b.Range(0)
+	if !ok || string(got) != "helloworld" {
+		t.Fatalf("Range(0) = %q,%v", got, ok)
+	}
+	got, ok = b.Range(5)
+	if !ok || string(got) != "world" {
+		t.Fatalf("Range(5) = %q,%v", got, ok)
+	}
+	got, ok = b.Range(10)
+	if !ok || len(got) != 0 {
+		t.Fatalf("Range(end) = %q,%v", got, ok)
+	}
+}
+
+func TestOverwriteOldHistory(t *testing.T) {
+	b := New(8)
+	b.Write([]byte("0123456789AB")) // 12 bytes into an 8-byte ring
+	if b.FirstOffset() != 4 || b.EndOffset() != 12 {
+		t.Fatalf("offsets: first=%d end=%d", b.FirstOffset(), b.EndOffset())
+	}
+	if _, ok := b.Range(0); ok {
+		t.Fatal("overwritten range should not be servable")
+	}
+	got, ok := b.Range(4)
+	if !ok || string(got) != "456789AB" {
+		t.Fatalf("Range(4) = %q,%v", got, ok)
+	}
+	got, ok = b.Range(9)
+	if !ok || string(got) != "9AB" {
+		t.Fatalf("Range(9) = %q,%v", got, ok)
+	}
+}
+
+func TestFutureOffsetRejected(t *testing.T) {
+	b := New(16)
+	b.Write([]byte("xyz"))
+	if _, ok := b.Range(4); ok {
+		t.Fatal("future offset served")
+	}
+}
+
+func TestWriteLargerThanRing(t *testing.T) {
+	b := New(4)
+	b.Write([]byte("abcdefghij")) // 10 bytes into 4-byte ring
+	if b.HistLen() != 4 {
+		t.Fatalf("histlen=%d", b.HistLen())
+	}
+	got, ok := b.Range(6)
+	if !ok || string(got) != "ghij" {
+		t.Fatalf("Range(6) = %q,%v", got, ok)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	b := New(0)
+	if b.Size() != 1<<20 {
+		t.Fatalf("default size=%d", b.Size())
+	}
+}
+
+// Property: for arbitrary write sequences, Range(from) always equals the
+// tail of the concatenated history, for every servable offset.
+func TestRangeMatchesHistoryProperty(t *testing.T) {
+	f := func(chunks [][]byte, ringPow uint8) bool {
+		size := 1 << (ringPow%8 + 2) // 4..512
+		b := New(size)
+		var hist []byte
+		for _, c := range chunks {
+			b.Write(c)
+			hist = append(hist, c...)
+		}
+		// Probe a handful of offsets including boundaries.
+		probes := []int64{b.FirstOffset(), b.FirstOffset() + 1, (b.FirstOffset() + b.EndOffset()) / 2, b.EndOffset() - 1, b.EndOffset()}
+		for _, p := range probes {
+			if p < b.FirstOffset() || p > b.EndOffset() || p < 0 {
+				continue
+			}
+			got, ok := b.Range(p)
+			if !ok {
+				return false
+			}
+			want := hist[p:]
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentString(t *testing.T) {
+	e := &Experiment{
+		ID:     "x",
+		Title:  "test",
+		Header: []string{"col1", "longer-col"},
+		Rows:   [][]string{{"a", "b"}, {"ccc", "d"}},
+		Notes:  []string{"a note"},
+	}
+	out := e.String()
+	for _, frag := range []string{"== x — test ==", "col1", "longer-col", "ccc", "note: a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMetricStorage(t *testing.T) {
+	e := &Experiment{}
+	e.metric("k", 1.5)
+	e.metric("k2", -3)
+	if e.Metrics["k"] != 1.5 || e.Metrics["k2"] != -3 {
+		t.Fatal("metrics not stored")
+	}
+}
+
+func TestIDsAndByIDAgree(t *testing.T) {
+	for _, id := range IDs() {
+		// Don't run them (expensive); just check the dispatcher knows the
+		// cheap one and rejects garbage.
+		_ = id
+	}
+	if ByID("nonsense") != nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(IDs()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(IDs()))
+	}
+}
+
+func TestFig3RunsAndPreservesOrdering(t *testing.T) {
+	e := Fig3()
+	if e == nil || len(e.Rows) != 3 {
+		t.Fatalf("fig3 rows: %+v", e)
+	}
+	hostHost := e.Metrics["host_host_64B_us"]
+	remoteNIC := e.Metrics["remote_to_nic_64B_us"]
+	localNIC := e.Metrics["local_to_nic_64B_us"]
+	if !(localNIC < hostHost && hostHost < remoteNIC) {
+		t.Fatalf("Fig 3 ordering violated: local=%v hosthost=%v remote=%v",
+			localNIC, hostHost, remoteNIC)
+	}
+	// "Only a little lower": within 25%.
+	if localNIC < 0.75*hostHost {
+		t.Fatalf("local NIC latency too far below host↔host: %v vs %v", localNIC, hostHost)
+	}
+	// All in the low single-digit µs like the paper.
+	for _, v := range []float64{hostHost, remoteNIC, localNIC} {
+		if v < 0.5 || v > 10 {
+			t.Fatalf("latency %vµs outside Fig 3 scale", v)
+		}
+	}
+}

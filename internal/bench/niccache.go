@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+)
+
+// AblateNICCache measures the design §IV-A rejects: storing data on the
+// SmartNIC and serving reads from its ARM cores (as KV-Direct and Xenic do
+// on their very different hardware). The paper keeps all key-value pairs
+// in host memory, predicting that NIC-served reads would be slower on an
+// off-path SmartNIC due to the weaker processors and the extra NIC-switch
+// hop; this experiment quantifies that.
+func AblateNICCache() *Experiment {
+	e := &Experiment{
+		ID:    "ablate-niccache",
+		Title: "GET served from host (SKV's choice, §IV-A) vs from SmartNIC replica",
+		Header: []string{"clients",
+			"host tput", "nic tput",
+			"host avg µs", "nic avg µs",
+			"host p99 µs", "nic p99 µs"},
+		Notes: []string{
+			"paper §IV-A: \"the latency of accessing data will increase significantly due to the weaker processors and relatively larger RDMA latency of the off-path SmartNIC\" — so SKV stores all key-value pairs on the host",
+		},
+	}
+	for _, n := range []int{1, 4, 8} {
+		host := runNICCacheVariant(n, false)
+		nic := runNICCacheVariant(n, true)
+		e.Rows = append(e.Rows, []string{
+			fmt.Sprint(n),
+			kops(host.Throughput), kops(nic.Throughput),
+			f1(host.Avg.Micros()), f1(nic.Avg.Micros()),
+			f1(host.P99.Micros()), f1(nic.P99.Micros()),
+		})
+		if n == 8 {
+			e.metric("tput_penalty_pct_8c", (1-nic.Throughput/host.Throughput)*100)
+			e.metric("avg_latency_blowup_8c", nic.Avg.Micros()/host.Avg.Micros())
+		}
+	}
+	return e
+}
+
+func runNICCacheVariant(clients int, fromNIC bool) cluster.Result {
+	skvCfg := core.DefaultConfig()
+	skvCfg.ServeReadsFromNIC = fromNIC
+	cfg := cluster.Config{
+		Kind: cluster.KindSKV, Slaves: 0, Clients: clients, Seed: 61,
+		GetRatio: 1.0, SKV: skvCfg, ReadsFromNIC: fromNIC,
+	}
+	c := cluster.Build(cfg)
+	// Warm both stores with the full keyspace so GETs hit real values.
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = 'a' + byte(i%26)
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 10_000
+	}
+	for i := 0; i < cfg.KeySpace; i++ {
+		key := fmt.Sprintf("key:%010d", i)
+		c.Master.Store().Exec(0, [][]byte{[]byte("SET"), []byte(key), value})
+		if fromNIC {
+			c.NicKV.PreloadReplica(key, value)
+		}
+	}
+	return c.Measure(warmup, measure)
+}

@@ -1,0 +1,299 @@
+// Package cluster assembles full simulated deployments of the three
+// systems the paper evaluates:
+//
+//   - KindTCP: original Redis — the server over the kernel TCP model.
+//   - KindRDMA: RDMA-Redis — the same server over the verbs transport,
+//     master feeding each slave itself (the paper's baseline).
+//   - KindSKV: SKV — Host-KV + Nic-KV with replication and failure
+//     detection offloaded to the SmartNIC.
+//
+// A cluster is one master (with a SmartNIC for SKV), N slave machines, and
+// M closed-loop client machines, all on a 100Gb fabric, plus the measuring
+// equipment (latency histograms, throughput series).
+package cluster
+
+import (
+	"fmt"
+
+	"skv/internal/core"
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/rconn"
+	"skv/internal/server"
+	"skv/internal/sim"
+	"skv/internal/stats"
+	"skv/internal/tcpsim"
+	"skv/internal/transport"
+	"skv/internal/workload"
+)
+
+// Kind selects the system under test.
+type Kind int
+
+// Systems under test.
+const (
+	// KindTCP is original Redis over the kernel TCP stack.
+	KindTCP Kind = iota
+	// KindRDMA is RDMA-Redis: verbs transport, host-driven replication.
+	KindRDMA
+	// KindSKV is the SmartNIC-offloaded system.
+	KindSKV
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTCP:
+		return "redis"
+	case KindRDMA:
+		return "rdma-redis"
+	case KindSKV:
+		return "skv"
+	}
+	return "?"
+}
+
+// Config describes one deployment.
+type Config struct {
+	Kind    Kind
+	Slaves  int
+	Clients int
+	// Params: nil uses model.Default().
+	Params *model.Params
+	Seed   int64
+
+	// Workload shape.
+	KeySpace  int     // default 10000
+	ValueSize int     // default 64
+	GetRatio  float64 // fraction of GETs; 0 = pure SET (the paper's default)
+	Zipf      bool
+	// Pipeline keeps N requests in flight per client (redis-benchmark -P;
+	// default 1 = the paper's closed loop).
+	Pipeline int
+
+	// SKV-specific knobs.
+	SKV core.Config
+
+	// ReadsFromNIC points the clients at the SmartNIC endpoint instead of
+	// the master host (requires Kind=KindSKV and SKV.ServeReadsFromNIC) —
+	// the §IV-A ablation.
+	ReadsFromNIC bool
+
+	// DisableCron switches off serverCron (microbenchmarks only).
+	DisableCron bool
+}
+
+// Cluster is a built deployment.
+type Cluster struct {
+	Cfg    Config
+	Eng    *sim.Engine
+	Net    *fabric.Network
+	Params *model.Params
+
+	Master      *server.Server
+	Slaves      []*server.Server
+	SlaveAgents []*core.SlaveAgent // SKV only
+	HostKV      *core.HostKV       // SKV only
+	NicKV       *core.NicKV        // SKV only
+	Clients     []*workload.Client
+
+	MasterMachine *fabric.Machine
+	SlaveMachines []*fabric.Machine
+
+	clientsStarted bool
+}
+
+// Build constructs the deployment. Nothing runs until the engine does.
+func Build(cfg Config) *Cluster {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 10_000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	p := cfg.Params
+	if p == nil {
+		def := model.Default()
+		p = &def
+	}
+	eng := sim.New(cfg.Seed + 1)
+	net := fabric.New(eng, p)
+	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, Params: p}
+
+	makeStack := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
+		if cfg.Kind == KindTCP {
+			return tcpsim.New(net, ep, proc)
+		}
+		return rconn.New(net, ep, proc)
+	}
+	serverWakeup := p.CompChannelWake
+	if cfg.Kind == KindTCP {
+		serverWakeup = p.TCPWakeup
+	}
+
+	newServer := func(name string, m *fabric.Machine, seed int64) (*server.Server, transport.Stack) {
+		coreRes := sim.NewCore(eng, name+"-core", p.HostCoreSpeed)
+		proc := sim.NewProc(eng, coreRes, serverWakeup)
+		stack := makeStack(m.Host, proc)
+		srv := server.New(server.Options{
+			Name:        name,
+			Params:      p,
+			Seed:        seed,
+			Port:        core.ClientPort,
+			DisableCron: cfg.DisableCron,
+		}, eng, stack, proc)
+		return srv, stack
+	}
+
+	// Master (with SmartNIC when SKV).
+	c.MasterMachine = net.NewMachine("master", cfg.Kind == KindSKV)
+	c.Master, _ = newServer("master", c.MasterMachine, cfg.Seed+100)
+
+	if cfg.Kind == KindSKV {
+		c.NicKV = core.NewNicKV(eng, net, c.MasterMachine, p, cfg.SKV)
+		c.HostKV = core.AttachMaster(c.Master, net, c.MasterMachine.NIC, cfg.SKV)
+	}
+
+	// Slaves.
+	for i := 0; i < cfg.Slaves; i++ {
+		m := net.NewMachine(fmt.Sprintf("slave%d", i), false)
+		c.SlaveMachines = append(c.SlaveMachines, m)
+		srv, _ := newServer(fmt.Sprintf("slave%d", i), m, cfg.Seed+200+int64(i))
+		c.Slaves = append(c.Slaves, srv)
+		if cfg.Kind == KindSKV {
+			// SLAVEOF through the SmartNIC (§III-C). Delay one tick so the
+			// NIC listener exists before the first request.
+			agent := core.AttachSlave(srv, net, c.MasterMachine.NIC, cfg.SKV)
+			c.SlaveAgents = append(c.SlaveAgents, agent)
+		} else {
+			target := c.MasterMachine.Host
+			srvRef := srv
+			eng.At(0, func() { srvRef.SlaveOf(target, core.ClientPort) })
+		}
+	}
+
+	// Clients, one machine each (the load generator box is never the
+	// bottleneck, as with redis-benchmark on its own server).
+	for i := 0; i < cfg.Clients; i++ {
+		m := net.NewMachine(fmt.Sprintf("client%d", i), false)
+		gen := workload.NewGenerator(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf)
+		wakeup := p.ClientWakeup
+		cl := workload.NewClient(fmt.Sprintf("client%d", i), eng, p, m.Host, makeStack, gen, wakeup)
+		cl.Pipeline = cfg.Pipeline
+		c.Clients = append(c.Clients, cl)
+	}
+	return c
+}
+
+// AwaitReplication runs the simulation until every slave reaches the
+// steady-state replication phase, or the timeout elapses. Returns success.
+func (c *Cluster) AwaitReplication(timeout sim.Duration) bool {
+	deadline := c.Eng.Now().Add(timeout)
+	for c.Eng.Now() < deadline {
+		if c.replicationReady() {
+			return true
+		}
+		c.Eng.Run(c.Eng.Now().Add(sim.Millisecond))
+	}
+	return c.replicationReady()
+}
+
+func (c *Cluster) replicationReady() bool {
+	if c.Cfg.Kind == KindSKV {
+		for _, a := range c.SlaveAgents {
+			if !a.Synced() {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range c.Slaves {
+		if !s.SyncedWithMaster() {
+			return false
+		}
+	}
+	return true
+}
+
+// StartClients connects all clients to the master; their closed loops
+// begin as soon as each dial completes.
+func (c *Cluster) StartClients() {
+	if c.clientsStarted {
+		return
+	}
+	c.clientsStarted = true
+	target := c.MasterMachine.Host
+	if c.Cfg.ReadsFromNIC {
+		target = c.MasterMachine.NIC
+	}
+	for _, cl := range c.Clients {
+		cl.Connect(target, core.ClientPort)
+	}
+}
+
+// Result summarizes one measured run.
+type Result struct {
+	System     string
+	Clients    int
+	Slaves     int
+	ValueSize  int
+	Throughput float64 // operations per second
+	Avg        sim.Duration
+	P50        sim.Duration
+	P99        sim.Duration
+	Ops        uint64
+	ErrReplies uint64
+	// MasterUtil is the master core's busy fraction over the window.
+	MasterUtil float64
+	// NicUtil is Nic-KV's main ARM core busy fraction (SKV only).
+	NicUtil float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-11s clients=%-3d slaves=%d val=%-5d  tput=%8.1f kops/s  avg=%7.1fµs  p50=%7.1fµs  p99=%7.1fµs",
+		r.System, r.Clients, r.Slaves, r.ValueSize,
+		r.Throughput/1000, r.Avg.Micros(), r.P50.Micros(), r.P99.Micros())
+}
+
+// Measure starts the clients (if not yet), lets the system warm up, then
+// measures for the given duration and aggregates client-side statistics —
+// the redis-benchmark protocol.
+func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
+	c.StartClients()
+	start := c.Eng.Now().Add(warmup)
+	for _, cl := range c.Clients {
+		cl.WarmupUntil = start
+	}
+	end := start.Add(duration)
+	c.Eng.Run(end)
+
+	agg := stats.NewHistogram()
+	var errs uint64
+	for _, cl := range c.Clients {
+		agg.Merge(cl.Hist)
+		errs += cl.ErrReplies
+	}
+	res := Result{
+		System:     c.Cfg.Kind.String(),
+		Clients:    len(c.Clients),
+		Slaves:     len(c.Slaves),
+		ValueSize:  c.Cfg.ValueSize,
+		Throughput: float64(agg.Count()) / duration.Seconds(),
+		Avg:        agg.Mean(),
+		P50:        agg.Percentile(50),
+		P99:        agg.Percentile(99),
+		Ops:        agg.Count(),
+		ErrReplies: errs,
+		MasterUtil: c.Master.Proc().Core.Utilization(end),
+	}
+	if c.NicKV != nil {
+		res.NicUtil = c.NicKV.Proc().Core.Utilization(end)
+	}
+	return res
+}
+
+// Run advances the simulation to the given horizon (helper for scenario
+// scripts like the availability experiment).
+func (c *Cluster) Run(until sim.Time) { c.Eng.Run(until) }

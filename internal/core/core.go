@@ -1,0 +1,144 @@
+// Package core implements SKV itself (paper §III–§IV): the split of the
+// distributed key-value store across the host and the off-path SmartNIC.
+//
+//   - HostKV (hostkv.go) runs on the master host: it executes commands,
+//     stores all key-value pairs (§IV-A: data stays in host memory), and for
+//     every write posts a single replication request to the SmartNIC instead
+//     of feeding each slave itself.
+//   - NicKV (nickv.go) runs on the SmartNIC ARM cores: it maintains the
+//     node list, fans replicated commands out to all slaves
+//     (WRITE_WITH_IMM through internal/rconn), handles the initial
+//     synchronization handshake, probes node liveness every second, and
+//     performs failover (§III-D).
+//   - SlaveAgent (slaveagent.go) runs on each slave host: it initiates
+//     synchronization through the SmartNIC, receives the initial payload
+//     directly from the master, applies the steady-state command stream
+//     from Nic-KV, and answers probes.
+//
+// All control and replication traffic uses a compact binary framing over
+// the RDMA message transport; offsets in the stream frames let slaves
+// deduplicate the overlap between the initial payload and the live stream
+// and detect gaps after crashes (triggering automatic resynchronization).
+package core
+
+import (
+	"encoding/binary"
+
+	"skv/internal/sim"
+)
+
+// Well-known ports in an SKV deployment.
+const (
+	// ClientPort is where Host-KV serves clients.
+	ClientPort = 6379
+	// ReplPort is where a slave's Host-KV accepts the initial-sync payload
+	// connection from the master.
+	ReplPort = 6380
+	// NicPort is where Nic-KV listens (on the SmartNIC endpoint).
+	NicPort = 7000
+)
+
+// Message tags (first byte of every SKV frame).
+const (
+	msgMasterHello    = 'M' // master → NIC: identifies the master connection
+	msgInitSync       = 'I' // slave → NIC: id, last master replID, offset
+	msgNewSlave       = 'N' // NIC → master: id, replID, offset
+	msgReplReq        = 'R' // master → NIC: startOff, encoded command
+	msgCmdStream      = 'C' // NIC → slave: startOff, encoded command
+	msgProbe          = 'P' // NIC → any node
+	msgProbeAck       = 'A' // node → NIC
+	msgPayloadRDB     = 'Y' // master → slave: replID, baseOff, RDB bytes
+	msgPayloadBacklog = 'B' // master → slave: replID, startOff, stream bytes
+	msgProgress       = 'G' // slave → NIC: replication offset
+	msgStatus         = 'S' // NIC → master: valid slave count, min offset
+	msgPromote        = 'F' // NIC → slave: become master (failover)
+	msgDemote         = 'D' // NIC → node: resume slave role
+)
+
+// ---- frame encoding helpers ----
+
+func appendU64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], uint16(len(s)))
+	dst = append(dst, tmp[:]...)
+	return append(dst, s...)
+}
+
+// frameReader decodes a received frame.
+type frameReader struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (r *frameReader) u64() uint64 {
+	if r.pos+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *frameReader) i64() int64 { return int64(r.u64()) }
+
+func (r *frameReader) str() string {
+	if r.pos+2 > len(r.b) {
+		r.bad = true
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(r.b[r.pos:]))
+	r.pos += 2
+	if r.pos+n > len(r.b) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *frameReader) rest() []byte {
+	if r.bad {
+		return nil
+	}
+	return r.b[r.pos:]
+}
+
+// Config carries the SKV-specific tunables the paper names.
+type Config struct {
+	// MinSlaves: with fewer available slaves, writes fail (§III-D).
+	MinSlaves int
+	// MaxLag: when the slowest valid slave is more than this many stream
+	// bytes behind, writes fail ("if the progress is too slow ... it will
+	// return an error message to the client", §III-C). 0 disables.
+	MaxLag int64
+	// ThreadNum is the number of SmartNIC cores used for replication
+	// (§III-C thread-num; the default 1 disables multi-threading, as in the
+	// paper). Clamped to min(NIC cores, slave count) at run time.
+	ThreadNum int
+	// ProgressInterval is how often slaves report replication progress to
+	// Nic-KV (§III-C step ③).
+	ProgressInterval sim.Duration
+	// ServeReadsFromNIC enables the design §IV-A rejects: Nic-KV keeps a
+	// shadow replica and serves read commands from the SmartNIC. Used only
+	// by the ablate-niccache experiment.
+	ServeReadsFromNIC bool
+}
+
+// DefaultConfig mirrors the paper's default deployment.
+func DefaultConfig() Config {
+	return Config{
+		MinSlaves:        0,
+		MaxLag:           0,
+		ThreadNum:        1,
+		ProgressInterval: 500 * sim.Millisecond,
+	}
+}

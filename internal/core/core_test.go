@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skv/internal/sim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame := []byte{msgInitSync}
+	frame = appendStr(frame, "slave0/host")
+	frame = appendStr(frame, "replid-abc")
+	frame = appendU64(frame, 123456789)
+
+	r := &frameReader{b: frame, pos: 1}
+	if got := r.str(); got != "slave0/host" {
+		t.Fatalf("id=%q", got)
+	}
+	if got := r.str(); got != "replid-abc" {
+		t.Fatalf("replid=%q", got)
+	}
+	if got := r.i64(); got != 123456789 {
+		t.Fatalf("offset=%d", got)
+	}
+	if r.bad {
+		t.Fatal("reader flagged bad on valid frame")
+	}
+}
+
+func TestFrameReaderRest(t *testing.T) {
+	frame := []byte{msgReplReq}
+	frame = appendU64(frame, 42)
+	frame = append(frame, []byte("command-bytes")...)
+	r := &frameReader{b: frame, pos: 1}
+	if off := r.i64(); off != 42 {
+		t.Fatalf("off=%d", off)
+	}
+	if got := string(r.rest()); got != "command-bytes" {
+		t.Fatalf("rest=%q", got)
+	}
+}
+
+func TestFrameReaderTruncationSetsBad(t *testing.T) {
+	cases := [][]byte{
+		{msgInitSync},                    // nothing after tag
+		{msgInitSync, 0x00},              // half a length prefix
+		{msgInitSync, 0x00, 0x05, 'a'},   // promised 5, delivered 1
+		append([]byte{msgReplReq}, 1, 2), // partial u64
+	}
+	for i, frame := range cases {
+		r := &frameReader{b: frame, pos: 1}
+		switch frame[0] {
+		case msgInitSync:
+			r.str()
+		case msgReplReq:
+			r.u64()
+		}
+		if !r.bad {
+			t.Errorf("case %d: truncated frame not flagged", i)
+		}
+		if r.rest() != nil {
+			t.Errorf("case %d: rest() on bad frame not nil", i)
+		}
+	}
+}
+
+// Property: string + u64 sequences round-trip for arbitrary content.
+func TestFrameEncodingProperty(t *testing.T) {
+	f := func(a, b string, n uint64) bool {
+		if len(a) > 60000 || len(b) > 60000 {
+			return true
+		}
+		frame := []byte{0xAA}
+		frame = appendStr(frame, a)
+		frame = appendU64(frame, n)
+		frame = appendStr(frame, b)
+		r := &frameReader{b: frame, pos: 1}
+		return r.str() == a && r.u64() == n && r.str() == b && !r.bad
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ThreadNum != 1 {
+		t.Error("paper default is single-threaded NIC replication")
+	}
+	if cfg.MinSlaves != 0 || cfg.MaxLag != 0 {
+		t.Error("gates should default off")
+	}
+	if cfg.ProgressInterval <= 0 {
+		t.Error("progress reports must be periodic")
+	}
+	_ = sim.Second
+}
+
+func TestPortAssignments(t *testing.T) {
+	// The three planes must not collide.
+	if ClientPort == ReplPort || ClientPort == NicPort || ReplPort == NicPort {
+		t.Fatal("port collision")
+	}
+}

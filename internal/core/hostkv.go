@@ -1,0 +1,199 @@
+package core
+
+import (
+	"skv/internal/fabric"
+	"skv/internal/rdb"
+	"skv/internal/server"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+// HostKV is the master-side glue that turns a plain server.Server into an
+// SKV master: every write becomes a single replication request posted to
+// Nic-KV (one work request instead of one per slave), and the initial
+// synchronization payload is served directly to joining slaves (§III-C).
+type HostKV struct {
+	Srv *server.Server
+	cfg Config
+	net *fabric.Network
+
+	nicConn transport.Conn
+
+	// Latest Nic-KV status report.
+	validSlaves    int
+	minSlaveOffset int64
+	slaveOffsets   []int64
+	statusSeen     bool
+
+	// payloadConns are the direct master→slave connections used for the
+	// initial-sync payload (§III-C step ③).
+	payloadConns map[string]transport.Conn
+	pendingSends map[string][][]byte
+
+	// Stats.
+	FullSyncs    uint64
+	PartialSyncs uint64
+	ReplReqsSent uint64
+}
+
+// AttachMaster wires an SKV master: connects to Nic-KV, redirects the
+// server's replication path to the SmartNIC, and installs the
+// min-slaves/lag write gate.
+func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoint, cfg Config) *HostKV {
+	h := &HostKV{
+		Srv:          srv,
+		cfg:          cfg,
+		net:          net,
+		payloadConns: make(map[string]transport.Conn),
+		pendingSends: make(map[string][][]byte),
+	}
+	srv.OnPropagate = h.propagate
+	srv.WriteGate = h.gate
+	srv.WaitOffsets = func() []int64 { return h.slaveOffsets }
+	srv.Stack().Dial(nicEP, NicPort, func(conn transport.Conn, err error) {
+		if err != nil {
+			panic("core: master cannot reach Nic-KV: " + err.Error())
+		}
+		h.nicConn = conn
+		conn.SetHandler(h.onNicMessage)
+		conn.Send([]byte{msgMasterHello})
+	})
+	return h
+}
+
+// ValidSlaves reports the latest slave availability Nic-KV announced.
+func (h *HostKV) ValidSlaves() int { return h.validSlaves }
+
+// propagate replaces feedSlaves: one replication request to the SmartNIC
+// per write, regardless of the slave count. The entire steady-state
+// replication then happens in the background on the NIC while the master
+// returns to its clients ("the host CPU only needs to post one WR for the
+// replication of each SET command", §V-C).
+func (h *HostKV) propagate(cmd []byte) {
+	if h.nicConn == nil {
+		return // NIC connection still handshaking; backlog covers the gap
+	}
+	h.Srv.Proc().Core.Charge(h.Srv.Params().ReplOffloadReqCPU)
+	start := h.Srv.ReplOffset() - int64(len(cmd))
+	frame := []byte{msgReplReq}
+	frame = appendU64(frame, uint64(start))
+	frame = append(frame, cmd...)
+	h.ReplReqsSent++
+	h.nicConn.Send(frame)
+}
+
+// gate vetoes writes when availability or replication lag violate the
+// configured bounds (§III-C/§III-D).
+func (h *HostKV) gate() string {
+	if h.cfg.MinSlaves > 0 {
+		if !h.statusSeen || h.validSlaves < h.cfg.MinSlaves {
+			return "NOREPLICAS Not enough available slaves to accept writes."
+		}
+	}
+	if h.cfg.MaxLag > 0 && h.statusSeen && h.validSlaves > 0 {
+		if lag := h.Srv.ReplOffset() - h.minSlaveOffset; lag > h.cfg.MaxLag {
+			return "LAGGING Replication progress is too slow."
+		}
+	}
+	return ""
+}
+
+func (h *HostKV) onNicMessage(data []byte) {
+	if len(data) == 0 || !h.Srv.Alive() {
+		return
+	}
+	r := &frameReader{b: data, pos: 1}
+	switch data[0] {
+	case msgProbe:
+		// "When the master node and the slave nodes receive this message,
+		// they reply to Nic-KV immediately."
+		h.Srv.Proc().Core.Charge(h.Srv.Params().ProbeCPU)
+		h.nicConn.Send([]byte{msgProbeAck})
+	case msgNewSlave:
+		id := r.str()
+		replID := r.str()
+		off := r.i64()
+		if r.bad {
+			return
+		}
+		h.serveNewSlave(id, replID, off)
+	case msgStatus:
+		count := int(r.u64())
+		h.minSlaveOffset = r.i64()
+		offs := make([]int64, 0, count)
+		for i := 0; i < count; i++ {
+			offs = append(offs, r.i64())
+		}
+		if r.bad {
+			return
+		}
+		h.validSlaves = count
+		h.slaveOffsets = offs
+		h.statusSeen = true
+		h.Srv.CheckWaiters()
+	}
+}
+
+// serveNewSlave performs the master's part of the initial synchronization
+// phase: persist everything (fork + RDB serialization cost), establish the
+// direct connection to the slave, compare replication offsets, and send
+// either the backlog range (partial) or the full data file (§III-C Fig 8).
+func (h *HostKV) serveNewSlave(id, replID string, off int64) {
+	srv := h.Srv
+	p := srv.Params()
+
+	// Persist all key-value data (paper: this happens before the offset
+	// comparison).
+	srv.Proc().Core.Charge(p.ForkCPU)
+	dump := rdb.Dump(srv.Store())
+	srv.Proc().Core.Charge(sim.Duration(float64(len(dump)) * p.RDBPerByte))
+
+	var frame []byte
+	if replID == srv.ReplID() {
+		if delta, okRange := srv.Backlog().Range(off); okRange {
+			// Deviation inside the backlog (or zero): partial resync.
+			h.PartialSyncs++
+			frame = []byte{msgPayloadBacklog}
+			frame = appendStr(frame, srv.ReplID())
+			frame = appendU64(frame, uint64(off))
+			frame = append(frame, delta...)
+		}
+	}
+	if frame == nil {
+		h.FullSyncs++
+		frame = []byte{msgPayloadRDB}
+		frame = appendStr(frame, srv.ReplID())
+		frame = appendU64(frame, uint64(srv.ReplOffset()))
+		frame = append(frame, dump...)
+	}
+	h.sendPayload(id, frame)
+}
+
+// sendPayload delivers an initial-sync frame over the direct master→slave
+// connection, dialing it on first use.
+func (h *HostKV) sendPayload(id string, frame []byte) {
+	if conn, okConn := h.payloadConns[id]; okConn && !conn.Closed() {
+		conn.Send(frame)
+		return
+	}
+	h.pendingSends[id] = append(h.pendingSends[id], frame)
+	if len(h.pendingSends[id]) > 1 {
+		return // dial already in flight
+	}
+	ep := h.net.EndpointByName(id)
+	if ep == nil {
+		delete(h.pendingSends, id)
+		return
+	}
+	h.Srv.Stack().Dial(ep, ReplPort, func(conn transport.Conn, err error) {
+		queued := h.pendingSends[id]
+		delete(h.pendingSends, id)
+		if err != nil {
+			return // slave vanished; it will re-request sync
+		}
+		h.payloadConns[id] = conn
+		for _, f := range queued {
+			conn.Send(f)
+		}
+	})
+}

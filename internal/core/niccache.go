@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/store"
+	"skv/internal/transport"
+)
+
+// This file implements the design §IV-A *rejects* — serving reads from
+// data stored on the SmartNIC, as KV-Direct and Xenic do on their (on-path
+// / FPGA) hardware — so the decision can be measured rather than asserted:
+// "If SKV follows this idea, the latency of accessing data will increase
+// significantly due to the weaker processors and relatively larger RDMA
+// latency of the off-path SmartNIC."
+//
+// When Config.ServeReadsFromNIC is set, Nic-KV maintains a shadow replica
+// of the keyspace (applied from the replication stream it already relays)
+// and accepts client connections on the SmartNIC endpoint, serving read
+// commands from the ARM cores. Write commands are refused with a -MOVED
+// error pointing at the master. The ablate-niccache experiment compares
+// this against the paper's host-served reads.
+
+// nicClient is one client connection served by the SmartNIC.
+type nicClient struct {
+	conn   transport.Conn
+	reader resp.Reader
+	db     int
+}
+
+// initReadServing sets up the shadow store and the client listener. Called
+// from NewNicKV when the config asks for it.
+func (n *NicKV) initReadServing() {
+	n.replica = store.New(16, 0x51CA, func() int64 {
+		return int64(n.eng.Now() / sim.Time(sim.Millisecond))
+	})
+	n.Stack.Listen(ClientPort, func(conn transport.Conn) {
+		c := &nicClient{conn: conn}
+		conn.SetHandler(func(data []byte) { n.onClientData(c, data) })
+	})
+}
+
+// applyToReplica mirrors one replicated command into the shadow store,
+// consuming ARM-core cycles like any other apply.
+func (n *NicKV) applyToReplica(cmd []byte) {
+	if n.replica == nil {
+		return
+	}
+	n.replReader.Feed(cmd)
+	for {
+		argv, okCmd, err := n.replReader.ReadCommand()
+		if err != nil || !okCmd {
+			return
+		}
+		if strings.EqualFold(string(argv[0]), "select") && len(argv) == 2 {
+			continue // single-db ablation; SELECTs don't apply
+		}
+		n.proc.Core.Charge(n.params.SlaveApplyCPU)
+		n.replica.Exec(0, argv)
+	}
+}
+
+// PreloadReplica installs a key directly in the shadow store (the ablation
+// warms the NIC replica the same way the master is warmed).
+func (n *NicKV) PreloadReplica(key string, value []byte) {
+	if n.replica == nil {
+		return
+	}
+	n.replica.Exec(0, [][]byte{[]byte("SET"), []byte(key), value})
+}
+
+// ReplicaSize reports the shadow store's key count (tests).
+func (n *NicKV) ReplicaSize() int {
+	if n.replica == nil {
+		return 0
+	}
+	return n.replica.DBSize(0)
+}
+
+// onClientData serves client commands on the SmartNIC ARM core.
+func (n *NicKV) onClientData(c *nicClient, data []byte) {
+	c.reader.Feed(data)
+	for {
+		argv, okCmd, err := c.reader.ReadCommand()
+		if err != nil {
+			n.proc.Core.Charge(n.params.ReplyBuildCPU)
+			c.conn.Send(resp.AppendError(nil, "ERR Protocol error"))
+			c.conn.Close()
+			return
+		}
+		if !okCmd {
+			return
+		}
+		n.serveClientCommand(c, argv)
+	}
+}
+
+func (n *NicKV) serveClientCommand(c *nicClient, argv [][]byte) {
+	size := 0
+	for _, a := range argv {
+		size += len(a) + 14
+	}
+	// Everything here runs on the (slow) ARM core: parse, execute, reply.
+	n.proc.Core.Charge(n.params.ParseCost(size))
+	name := strings.ToLower(string(argv[0]))
+	if store.IsWriteCommand(name) {
+		n.proc.Core.Charge(n.params.ReplyBuildCPU)
+		c.conn.Send(resp.AppendError(nil, "MOVED write commands go to the master host"))
+		return
+	}
+	var payload int
+	if len(argv) > 1 {
+		payload = len(argv[1])
+	}
+	n.proc.Core.Charge(n.params.CmdExecGetCPU +
+		sim.Duration(float64(payload)*n.params.CmdExecPerByte))
+	reply, _ := n.replica.Exec(c.db, argv)
+	n.proc.Core.Charge(n.params.ReplyBuildCPU)
+	c.conn.Send(reply)
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/rconn"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/store"
+	"skv/internal/transport"
+)
+
+// nodeEntry is one slave in the node list Nic-KV maintains on the SmartNIC
+// ("a node list storing the corresponding relationship between the master
+// node and the slave node is maintained on the SmartNIC", §III-C).
+type nodeEntry struct {
+	id     string // fabric endpoint name of the slave host
+	conn   transport.Conn
+	replID string
+	offset int64
+
+	valid       bool // cleared by the failure detector (§III-D invalid flag)
+	lastAck     sim.Time
+	probeSentAt sim.Time
+	threadIdx   int
+}
+
+// NicKV is the SmartNIC-resident component of SKV. It runs on the NIC's
+// ARM cores (weak, Speed<1) behind the NIC switch, and never handles
+// client requests — it only cooperates with other server nodes (§III-C).
+type NicKV struct {
+	eng    *sim.Engine
+	params *model.Params
+	net    *fabric.Network
+	cfg    Config
+
+	// Stack is the RDMA transport on the SmartNIC endpoint, driven by the
+	// main ARM core.
+	Stack *rconn.Stack
+	proc  *sim.Proc
+
+	// threads are the optional extra replication procs (thread-num > 1),
+	// each on its own ARM core; slaves are spread across them evenly.
+	threads []*sim.Proc
+
+	nodes   []*nodeEntry
+	byConn  map[transport.Conn]*nodeEntry
+	nextThr int
+
+	masterConn    transport.Conn
+	masterValid   bool
+	masterLastAck sim.Time
+	masterProbeAt sim.Time
+	promotedID    string
+
+	probeTicker *sim.Ticker
+
+	// Shadow replica for the §IV-A ablation (nil unless enabled).
+	replica    *store.Store
+	replReader resp.Reader
+
+	// Stats for tests and ablations.
+	ReplRequests   uint64
+	StreamSent     uint64
+	Failovers      uint64
+	MasterRestores uint64
+}
+
+// NewNicKV boots Nic-KV on the SmartNIC endpoint of machine m. It creates
+// the ARM cores, the main event-loop process, optional replication threads,
+// the listener on NicPort, and the 1-second probe time event.
+func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *model.Params, cfg Config) *NicKV {
+	if m.NIC == nil {
+		panic("core: NewNicKV on a machine without a SmartNIC")
+	}
+	if cfg.ThreadNum < 1 {
+		cfg.ThreadNum = 1
+	}
+	if cfg.ThreadNum > params.NICCores {
+		cfg.ThreadNum = params.NICCores
+	}
+	mainCore := sim.NewCore(eng, m.Name+"-nic-core0", params.NICCoreSpeed)
+	proc := sim.NewProc(eng, mainCore, params.CompChannelWake)
+	n := &NicKV{
+		eng:    eng,
+		params: params,
+		net:    net,
+		cfg:    cfg,
+		Stack:  rconn.New(net, m.NIC, proc),
+		proc:   proc,
+		byConn: make(map[transport.Conn]*nodeEntry),
+	}
+	for i := 1; i < cfg.ThreadNum; i++ {
+		c := sim.NewCore(eng, fmt.Sprintf("%s-nic-core%d", m.Name, i), params.NICCoreSpeed)
+		n.threads = append(n.threads, sim.NewProc(eng, c, params.CompChannelWake))
+	}
+	n.Stack.Listen(NicPort, n.accept)
+	n.probeTicker = eng.Every(params.ProbePeriod, n.probeTick)
+	if cfg.ServeReadsFromNIC {
+		n.initReadServing()
+	}
+	return n
+}
+
+// Proc exposes the main ARM-core process (utilization reporting).
+func (n *NicKV) Proc() *sim.Proc { return n.proc }
+
+// NodeCount reports the node-list length.
+func (n *NicKV) NodeCount() int { return len(n.nodes) }
+
+// ValidSlaves reports the slaves currently marked valid (excluding a
+// promoted node).
+func (n *NicKV) ValidSlaves() int {
+	c := 0
+	for _, nd := range n.nodes {
+		if nd.valid && nd.id != n.promotedID {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *NicKV) accept(conn transport.Conn) {
+	conn.SetHandler(func(data []byte) { n.onMessage(conn, data) })
+	conn.SetCloseHandler(func() {
+		if nd := n.byConn[conn]; nd != nil {
+			nd.valid = false
+		}
+		delete(n.byConn, conn)
+	})
+}
+
+// onMessage dispatches one frame received on the SmartNIC. It runs on the
+// main ARM core with the completion cost already charged by the transport.
+func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	r := &frameReader{b: data, pos: 1}
+	switch data[0] {
+	case msgMasterHello:
+		n.masterConn = conn
+		n.masterValid = true
+		n.masterLastAck = n.eng.Now()
+	case msgInitSync:
+		id := r.str()
+		replID := r.str()
+		off := r.i64()
+		if r.bad {
+			return
+		}
+		n.registerSlave(id, replID, off, conn)
+	case msgReplReq:
+		n.ReplRequests++
+		n.proc.Core.Charge(n.params.NicParseReqCPU)
+		off := r.i64()
+		cmd := r.rest()
+		if r.bad {
+			return
+		}
+		n.fanOut(off, cmd)
+	case msgProgress:
+		if nd := n.byConn[conn]; nd != nil {
+			nd.offset = r.i64()
+			nd.lastAck = n.eng.Now()
+		}
+	case msgProbeAck:
+		if conn == n.masterConn {
+			n.masterLastAck = n.eng.Now()
+			if !n.masterValid {
+				n.restoreMaster()
+			}
+			return
+		}
+		if nd := n.byConn[conn]; nd != nil {
+			nd.lastAck = n.eng.Now()
+			if !nd.valid {
+				// §III-D / Fig 14: recovered node — remove the invalid
+				// flag and replicate normally as before.
+				nd.valid = true
+			}
+		}
+	}
+}
+
+// registerSlave implements §III-C step ①: create a client object for the
+// new slave, append its replication status to the node list, and notify
+// the master (step ②).
+func (n *NicKV) registerSlave(id, replID string, off int64, conn transport.Conn) {
+	nd := n.findNode(id)
+	if nd == nil {
+		nd = &nodeEntry{id: id, threadIdx: n.nextThr}
+		if len(n.threads) > 0 {
+			n.nextThr = (n.nextThr + 1) % len(n.threads)
+		}
+		n.nodes = append(n.nodes, nd)
+	}
+	if nd.conn != nil && nd.conn != conn {
+		delete(n.byConn, nd.conn)
+	}
+	nd.conn = conn
+	nd.replID = replID
+	nd.offset = off
+	nd.valid = true
+	nd.lastAck = n.eng.Now()
+	n.byConn[conn] = nd
+	if len(n.threads) > 0 {
+		if ca, okAssign := conn.(rconn.CoreAssignable); okAssign {
+			ca.AssignSendCore(n.threads[nd.threadIdx].Core)
+		}
+	}
+	if n.masterConn != nil {
+		frame := []byte{msgNewSlave}
+		frame = appendStr(frame, id)
+		frame = appendStr(frame, replID)
+		frame = appendU64(frame, uint64(off))
+		n.masterConn.Send(frame)
+	}
+}
+
+func (n *NicKV) findNode(id string) *nodeEntry {
+	for _, nd := range n.nodes {
+		if nd.id == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+// fanOut is the steady-state replication phase (§III-C, Fig 9): the command
+// is written to the send buffer of every valid slave and pushed with
+// WRITE_WITH_IMM. With thread-num > 1, slaves are spread evenly across the
+// ARM cores; the default single-threaded mode does everything on the main
+// core.
+func (n *NicKV) fanOut(off int64, cmd []byte) {
+	n.applyToReplica(cmd)
+	frame := []byte{msgCmdStream}
+	frame = appendU64(frame, uint64(off))
+	frame = append(frame, cmd...)
+	for _, nd := range n.nodes {
+		if !nd.valid || nd.conn == nil || nd.id == n.promotedID {
+			continue
+		}
+		n.StreamSent++
+		if len(n.threads) > 0 {
+			conn := nd.conn
+			n.threads[nd.threadIdx].Post(n.params.NicFeedSlaveCPU, func() {
+				conn.Send(frame)
+			})
+		} else {
+			n.proc.Core.Charge(n.params.NicFeedSlaveCPU)
+			nd.conn.Send(frame)
+		}
+	}
+}
+
+// probeTick fires every ProbePeriod on the NIC: check for overdue replies
+// (declaring nodes crashed after waiting-time), send the next round of
+// probes, and report status to the master.
+func (n *NicKV) probeTick() {
+	n.proc.Post(n.params.ProbeCPU, func() {
+		now := n.eng.Now()
+		deadline := n.params.WaitingTime
+
+		// Failure detection (§III-D): a node whose last reply is older than
+		// waiting-time is considered to have crashed and gets the invalid
+		// flag in the node list.
+		for _, nd := range n.nodes {
+			if nd.valid && nd.probeSentAt > 0 && now.Sub(nd.lastAck) >= deadline {
+				nd.valid = false
+			}
+		}
+		if n.masterConn != nil && n.masterValid && n.masterProbeAt > 0 &&
+			now.Sub(n.masterLastAck) >= deadline {
+			n.masterValid = false
+			n.failover()
+		}
+
+		// Send probes.
+		probe := []byte{msgProbe}
+		if n.masterConn != nil {
+			n.masterProbeAt = now
+			n.masterConn.Send(probe)
+		}
+		for _, nd := range n.nodes {
+			if nd.conn != nil {
+				nd.probeSentAt = now
+				nd.conn.Send(probe)
+			}
+		}
+
+		// Status to the master: valid slave count, slowest offset, and each
+		// valid slave's offset (the master's min-slaves / lag write gate
+		// and WAIT consume this).
+		if n.masterConn != nil && n.masterValid {
+			var offs []int64
+			minOff := int64(-1)
+			for _, nd := range n.nodes {
+				if nd.valid && nd.id != n.promotedID {
+					offs = append(offs, nd.offset)
+					if minOff < 0 || nd.offset < minOff {
+						minOff = nd.offset
+					}
+				}
+			}
+			frame := []byte{msgStatus}
+			frame = appendU64(frame, uint64(len(offs)))
+			frame = appendU64(frame, uint64(minOff))
+			for _, off := range offs {
+				frame = appendU64(frame, uint64(off))
+			}
+			n.masterConn.Send(frame)
+		}
+	})
+}
+
+// failover promotes the first available slave when the master is declared
+// crashed (§III-D).
+func (n *NicKV) failover() {
+	for _, nd := range n.nodes {
+		if nd.valid && nd.conn != nil {
+			n.Failovers++
+			n.promotedID = nd.id
+			nd.conn.Send([]byte{msgPromote})
+			return
+		}
+	}
+}
+
+// restoreMaster handles the original master's recovery: it continues as
+// master and the previously promoted slave is downgraded (§III-D).
+func (n *NicKV) restoreMaster() {
+	n.masterValid = true
+	n.MasterRestores++
+	if n.promotedID == "" {
+		return
+	}
+	if nd := n.findNode(n.promotedID); nd != nil && nd.conn != nil {
+		nd.conn.Send([]byte{msgDemote})
+	}
+	n.promotedID = ""
+}
+
+// PromotedID reports the currently promoted node ("" when the original
+// master is healthy).
+func (n *NicKV) PromotedID() string { return n.promotedID }
+
+// MasterValid reports the failure detector's view of the master.
+func (n *NicKV) MasterValid() bool { return n.masterValid }

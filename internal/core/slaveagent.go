@@ -1,0 +1,266 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"skv/internal/fabric"
+	"skv/internal/rdb"
+	"skv/internal/resp"
+	"skv/internal/server"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+// SlaveAgent is the slave-side glue of SKV: it executes the SLAVEOF flow
+// through the SmartNIC (initial sync request → payload from master →
+// steady-state stream from Nic-KV), answers probes, and reacts to
+// promote/demote orders during failover.
+type SlaveAgent struct {
+	Srv *server.Server
+	cfg Config
+	net *fabric.Network
+
+	nicEP   *fabric.Endpoint
+	nicConn transport.Conn
+	id      string
+
+	masterReplID string
+	offset       int64
+	synced       bool
+	// buffered holds stream chunks that arrived before the initial payload
+	// (or across a detected gap); offsets deduplicate on drain.
+	buffered []streamChunk
+
+	reader resp.Reader
+	db     int
+
+	progress *sim.Ticker
+
+	// Stats.
+	Applied  uint64
+	Resyncs  uint64
+	Promoted uint64
+	Demoted  uint64
+}
+
+type streamChunk struct {
+	off  int64
+	data []byte
+}
+
+// AttachSlave wires an SKV slave: listens for the master's payload
+// connection, connects to Nic-KV, and sends the initial synchronization
+// request (the effect of executing SLAVEOF on the slave, §III-C).
+func AttachSlave(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoint, cfg Config) *SlaveAgent {
+	a := &SlaveAgent{
+		Srv:   srv,
+		cfg:   cfg,
+		net:   net,
+		nicEP: nicEP,
+		id:    srv.Stack().Endpoint().Name(),
+	}
+	srv.SetRole(server.RoleSlave)
+	// Accept the direct payload connection from the master.
+	srv.Stack().Listen(ReplPort, func(conn transport.Conn) {
+		conn.SetHandler(func(data []byte) { a.onPayload(data) })
+	})
+	a.connectToNic()
+	if cfg.ProgressInterval > 0 {
+		a.progress = srv.Engine().Every(cfg.ProgressInterval, a.reportProgress)
+	}
+	return a
+}
+
+// Offset reports the slave's replication offset.
+func (a *SlaveAgent) Offset() int64 { return a.offset }
+
+// Synced reports whether the slave is in the steady-state phase.
+func (a *SlaveAgent) Synced() bool { return a.synced }
+
+func (a *SlaveAgent) connectToNic() {
+	a.Srv.Stack().Dial(a.nicEP, NicPort, func(conn transport.Conn, err error) {
+		if err != nil {
+			// Nic-KV not up yet: the paper's slave re-checks master info at
+			// an interval.
+			a.Srv.Engine().After(500*sim.Millisecond, a.connectToNic)
+			return
+		}
+		a.nicConn = conn
+		conn.SetHandler(a.onNicMessage)
+		a.sendInitSync()
+	})
+}
+
+// sendInitSync sends the initial synchronization request to the SmartNIC
+// on the master node (§III-C step ①): replication ID, offset, identity.
+func (a *SlaveAgent) sendInitSync() {
+	if a.nicConn == nil {
+		return
+	}
+	a.synced = false
+	frame := []byte{msgInitSync}
+	frame = appendStr(frame, a.id)
+	frame = appendStr(frame, a.masterReplID)
+	frame = appendU64(frame, uint64(a.offset))
+	a.nicConn.Send(frame)
+}
+
+// Resync forces a fresh synchronization (used after recovery).
+func (a *SlaveAgent) Resync() {
+	a.Resyncs++
+	a.sendInitSync()
+}
+
+func (a *SlaveAgent) onNicMessage(data []byte) {
+	if len(data) == 0 || !a.Srv.Alive() {
+		return
+	}
+	r := &frameReader{b: data, pos: 1}
+	switch data[0] {
+	case msgProbe:
+		a.Srv.Proc().Core.Charge(a.Srv.Params().ProbeCPU)
+		a.nicConn.Send([]byte{msgProbeAck})
+	case msgCmdStream:
+		off := r.i64()
+		cmd := r.rest()
+		if r.bad {
+			return
+		}
+		a.onStream(off, cmd)
+	case msgPromote:
+		// Failover: become the master (§III-D).
+		a.Promoted++
+		a.Srv.PromoteToMaster()
+	case msgDemote:
+		// Original master recovered: downgrade and resynchronize.
+		a.Demoted++
+		a.Srv.SetRole(server.RoleSlave)
+		a.Resync()
+	}
+}
+
+// onStream handles one steady-state replication chunk. Offsets make the
+// overlap with the initial payload idempotent and expose gaps (a crashed
+// and recovered slave sees a jump and triggers resynchronization).
+func (a *SlaveAgent) onStream(off int64, cmd []byte) {
+	if a.Srv.Role() == server.RoleMaster {
+		return // promoted: no longer a stream consumer
+	}
+	if !a.synced {
+		a.buffered = append(a.buffered, streamChunk{off: off, data: append([]byte(nil), cmd...)})
+		return
+	}
+	switch {
+	case off+int64(len(cmd)) <= a.offset:
+		// Entirely before our offset: already covered by the payload.
+		return
+	case off > a.offset:
+		// Gap: we missed stream traffic (e.g. while crashed). Buffer and
+		// request resynchronization from the current offset.
+		a.buffered = append(a.buffered, streamChunk{off: off, data: append([]byte(nil), cmd...)})
+		a.Resync()
+		return
+	}
+	a.apply(cmd[a.offset-off:])
+	a.offset = off + int64(len(cmd))
+}
+
+// apply executes replicated command bytes immediately (§III-C: "Every time
+// the slave node receives a new command, it executes the command
+// immediately").
+func (a *SlaveAgent) apply(data []byte) {
+	a.reader.Feed(data)
+	for {
+		argv, parsed, err := a.reader.ReadCommand()
+		if err != nil || !parsed {
+			return
+		}
+		name := strings.ToLower(string(argv[0]))
+		if name == "select" && len(argv) == 2 {
+			if n, convErr := strconv.Atoi(string(argv[1])); convErr == nil {
+				a.db = n
+			}
+			continue
+		}
+		a.Srv.Proc().Core.Charge(a.Srv.Params().SlaveApplyCPU)
+		a.Srv.Store().Exec(a.db, argv)
+		a.Applied++
+	}
+}
+
+// onPayload handles the initial-sync payload from the master (§III-C step
+// ③): either the full data file or the backlog range.
+func (a *SlaveAgent) onPayload(data []byte) {
+	if len(data) == 0 || !a.Srv.Alive() {
+		return
+	}
+	p := a.Srv.Params()
+	r := &frameReader{b: data, pos: 1}
+	switch data[0] {
+	case msgPayloadRDB:
+		replID := r.str()
+		base := r.i64()
+		body := r.rest()
+		if r.bad {
+			return
+		}
+		a.Srv.Proc().Core.Charge(sim.Duration(float64(len(body)) * p.RDBPerByte))
+		if err := rdb.Load(a.Srv.Store(), body); err != nil {
+			a.Resync()
+			return
+		}
+		a.masterReplID = replID
+		a.offset = base
+		a.enterSteadyState()
+	case msgPayloadBacklog:
+		replID := r.str()
+		start := r.i64()
+		body := r.rest()
+		if r.bad {
+			return
+		}
+		a.masterReplID = replID
+		if skip := a.offset - start; skip > 0 {
+			if skip >= int64(len(body)) {
+				body = nil
+			} else {
+				body = body[skip:]
+			}
+		} else {
+			a.offset = start
+		}
+		a.apply(body)
+		a.offset += int64(len(body))
+		a.enterSteadyState()
+	}
+}
+
+// enterSteadyState drains buffered stream chunks (deduplicating by offset)
+// and switches to live application.
+func (a *SlaveAgent) enterSteadyState() {
+	a.synced = true
+	buf := a.buffered
+	a.buffered = nil
+	for _, ch := range buf {
+		if !a.synced {
+			return // a gap in the buffer re-triggered resync
+		}
+		a.onStream(ch.off, ch.data)
+	}
+}
+
+// reportProgress sends the replication offset to Nic-KV (§III-C step ③).
+func (a *SlaveAgent) reportProgress() {
+	if a.nicConn == nil || !a.Srv.Alive() || !a.synced {
+		return
+	}
+	a.Srv.Proc().Post(a.Srv.Params().ReplyBuildCPU, func() {
+		if a.nicConn == nil || !a.Srv.Alive() {
+			return
+		}
+		frame := []byte{msgProgress}
+		frame = appendU64(frame, uint64(a.offset))
+		a.nicConn.Send(frame)
+	})
+}

@@ -1,0 +1,222 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	d := New(1)
+	if created := d.Set("k", 1); !created {
+		t.Fatal("first Set should create")
+	}
+	if created := d.Set("k", 2); created {
+		t.Fatal("second Set should replace")
+	}
+	v, ok := d.Get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if !d.Delete("k") {
+		t.Fatal("Delete existing failed")
+	}
+	if d.Delete("k") {
+		t.Fatal("Delete missing succeeded")
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len=%d", d.Len())
+	}
+}
+
+func TestGrowthTriggersIncrementalRehash(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 100; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	// With 100 entries, growth must have happened at least once; either
+	// the rehash is done or in progress, and all keys are reachable.
+	for i := 0; i < 100; i++ {
+		v, ok := d.Get(fmt.Sprintf("key:%d", i))
+		if !ok || v.(int) != i {
+			t.Fatalf("key:%d lost during rehash (ok=%v)", i, ok)
+		}
+	}
+	if d.Len() != 100 {
+		t.Fatalf("len=%d", d.Len())
+	}
+}
+
+func TestRehashCompletesViaSteps(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 5000; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	for i := 0; i < 100000 && d.Rehashing(); i++ {
+		d.RehashStep(10)
+	}
+	if d.Rehashing() {
+		t.Fatal("rehash never completed")
+	}
+	for i := 0; i < 5000; i++ {
+		if _, ok := d.Get(fmt.Sprintf("key:%d", i)); !ok {
+			t.Fatalf("key:%d lost after rehash", i)
+		}
+	}
+}
+
+func TestDeleteDuringRehash(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 1000; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	// Force a rehash to be mid-flight by growing, then delete half.
+	for i := 0; i < 1000; i += 2 {
+		if !d.Delete(fmt.Sprintf("key:%d", i)) {
+			t.Fatalf("key:%d not deletable", i)
+		}
+	}
+	if d.Len() != 500 {
+		t.Fatalf("len=%d, want 500", d.Len())
+	}
+	for i := 1; i < 1000; i += 2 {
+		if _, ok := d.Get(fmt.Sprintf("key:%d", i)); !ok {
+			t.Fatalf("surviving key:%d missing", i)
+		}
+	}
+}
+
+func TestRandomKeyCoversEntries(t *testing.T) {
+	d := New(42)
+	for i := 0; i < 50; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		k, ok := d.RandomKey()
+		if !ok {
+			t.Fatal("RandomKey failed on non-empty dict")
+		}
+		seen[k] = true
+	}
+	if len(seen) < 40 {
+		t.Fatalf("random sampling too narrow: %d/50 keys seen", len(seen))
+	}
+	empty := New(1)
+	if _, ok := empty.RandomKey(); ok {
+		t.Fatal("RandomKey on empty dict returned ok")
+	}
+}
+
+func TestEachVisitsAllOnce(t *testing.T) {
+	d := New(1)
+	want := map[string]int{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		d.Set(k, i)
+		want[k] = i
+	}
+	got := map[string]int{}
+	d.Each(func(k string, v any) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %s visited twice", k)
+		}
+		got[k] = v.(int)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s value %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 100; i++ {
+		d.Set(fmt.Sprintf("k%d", i), i)
+	}
+	n := 0
+	d.Each(func(string, any) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestKeysLength(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 64; i++ {
+		d.Set(fmt.Sprintf("k%d", i), nil)
+	}
+	if got := len(d.Keys()); got != 64 {
+		t.Fatalf("Keys len=%d", got)
+	}
+}
+
+// Property: a Dict behaves exactly like map[string]int under an arbitrary
+// operation sequence (model-based check).
+func TestDictMatchesMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  int
+	}
+	f := func(ops []op) bool {
+		d := New(7)
+		m := map[string]int{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%64)
+			switch o.Kind % 3 {
+			case 0:
+				_, inMap := m[key]
+				created := d.Set(key, o.Val)
+				if created == inMap {
+					return false
+				}
+				m[key] = o.Val
+			case 1:
+				v, ok := d.Get(key)
+				mv, mok := m[key]
+				if ok != mok || (ok && v.(int) != mv) {
+					return false
+				}
+			case 2:
+				_, inMap := m[key]
+				if d.Delete(key) != inMap {
+					return false
+				}
+				delete(m, key)
+			}
+			if d.Len() != len(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketGrowthPolicy(t *testing.T) {
+	d := New(1)
+	d.Set("a", 1)
+	if d.BucketCount() != initialSize {
+		t.Fatalf("initial buckets = %d, want %d", d.BucketCount(), initialSize)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Set(fmt.Sprintf("k%d", i), i)
+	}
+	if d.BucketCount() < 1000 {
+		t.Fatalf("buckets = %d after 1000 inserts; growth policy broken", d.BucketCount())
+	}
+}

@@ -1,0 +1,54 @@
+package dict
+
+import "math/bits"
+
+// Scan performs one step of a guarantee-preserving cursor iteration
+// (dictScan): it visits every entry of the bucket(s) selected by cursor and
+// returns the next cursor, 0 when the iteration has wrapped.
+//
+// The cursor walks the table in reverse-binary-increment order, which
+// guarantees that every element present for the whole duration of the scan
+// is returned at least once even across incremental rehashes (elements may
+// be returned more than once; callers de-duplicate if needed) — the same
+// contract as Redis SCAN.
+func (d *Dict) Scan(cursor uint64, fn func(key string, val any)) uint64 {
+	if d.Len() == 0 && !d.Rehashing() {
+		return 0
+	}
+	if len(d.ht[0].buckets) == 0 {
+		return 0
+	}
+	if !d.Rehashing() {
+		m0 := d.ht[0].mask()
+		for e := d.ht[0].buckets[cursor&m0]; e != nil; e = e.next {
+			fn(e.key, e.val)
+		}
+		cursor |= ^m0
+		cursor = rev(rev(cursor) + 1)
+		return cursor
+	}
+
+	// Rehashing: iterate the smaller table's bucket, then every bucket of
+	// the larger table that it expands into.
+	small, large := &d.ht[0], &d.ht[1]
+	if len(small.buckets) > len(large.buckets) {
+		small, large = large, small
+	}
+	m0, m1 := small.mask(), large.mask()
+	for e := small.buckets[cursor&m0]; e != nil; e = e.next {
+		fn(e.key, e.val)
+	}
+	for {
+		for e := large.buckets[cursor&m1]; e != nil; e = e.next {
+			fn(e.key, e.val)
+		}
+		cursor |= ^m1
+		cursor = rev(rev(cursor) + 1)
+		if cursor&(m0^m1) == 0 {
+			break
+		}
+	}
+	return cursor
+}
+
+func rev(v uint64) uint64 { return bits.Reverse64(v) }

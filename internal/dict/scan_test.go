@@ -1,0 +1,92 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fullScan drives Scan until it wraps, collecting visited keys.
+func fullScan(d *Dict, hook func()) map[string]int {
+	seen := map[string]int{}
+	cursor := uint64(0)
+	for i := 0; ; i++ {
+		cursor = d.Scan(cursor, func(k string, _ any) { seen[k]++ })
+		if hook != nil {
+			hook()
+		}
+		if cursor == 0 || i > 1<<20 {
+			break
+		}
+	}
+	return seen
+}
+
+func TestScanVisitsEverything(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 1000; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	seen := fullScan(d, nil)
+	for i := 0; i < 1000; i++ {
+		if seen[fmt.Sprintf("key:%d", i)] == 0 {
+			t.Fatalf("key:%d never visited", i)
+		}
+	}
+}
+
+func TestScanEmptyDict(t *testing.T) {
+	d := New(1)
+	if c := d.Scan(0, func(string, any) { t.Fatal("callback on empty dict") }); c != 0 {
+		t.Fatalf("cursor=%d on empty dict", c)
+	}
+}
+
+func TestScanDuringRehash(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 2000; i++ {
+		d.Set(fmt.Sprintf("key:%d", i), i)
+	}
+	// Trigger a rehash and freeze it mid-flight by inserting past the load
+	// factor; then scan while stepping the rehash between Scan calls.
+	if !d.Rehashing() {
+		// Force a rehash window by growing further.
+		for i := 2000; !d.Rehashing() && i < 10000; i++ {
+			d.Set(fmt.Sprintf("key:%d", i), i)
+		}
+	}
+	seen := fullScan(d, func() { d.RehashStep(3) })
+	for i := 0; i < 2000; i++ {
+		if seen[fmt.Sprintf("key:%d", i)] == 0 {
+			t.Fatalf("key:%d missed during concurrent rehash", i)
+		}
+	}
+}
+
+func TestScanGuaranteeUnderGrowth(t *testing.T) {
+	// Stable keys inserted before the scan must all be seen even while the
+	// table grows mid-scan from fresh inserts.
+	d := New(2)
+	const stable = 500
+	for i := 0; i < stable; i++ {
+		d.Set(fmt.Sprintf("stable:%d", i), i)
+	}
+	extra := 0
+	seen := map[string]int{}
+	cursor := uint64(0)
+	for rounds := 0; ; rounds++ {
+		cursor = d.Scan(cursor, func(k string, _ any) { seen[k]++ })
+		// Insert churn between scan steps.
+		for j := 0; j < 10; j++ {
+			d.Set(fmt.Sprintf("extra:%d", extra), extra)
+			extra++
+		}
+		if cursor == 0 || rounds > 1<<20 {
+			break
+		}
+	}
+	for i := 0; i < stable; i++ {
+		if seen[fmt.Sprintf("stable:%d", i)] == 0 {
+			t.Fatalf("stable:%d missed while table grew mid-scan", i)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package fabric models the physical cluster: machines connected by a
+// 100Gb switch, optionally carrying an off-path SmartNIC (Mellanox
+// BlueField class) whose embedded NIC switch directs traffic either to the
+// host or to the NIC's ARM complex (paper §II-A, Fig 2).
+//
+// The fabric is a latency/bandwidth model, not a packet simulator: a message
+// of S bytes from endpoint A to endpoint B arrives after
+// pathLatency(A,B) + S/bandwidth. Path latency is composed from PCIe hops,
+// wire+switch propagation, the NIC-switch hop, and the (slow) on-NIC memory
+// subsystem, which together reproduce the paper's Fig 3 ordering:
+//
+//	host → local SmartNIC  <  host ↔ host  <  remote host → SmartNIC
+//
+// with all three within a few hundred nanoseconds of each other ("the
+// SmartNIC is just like a separated endpoint in the network").
+package fabric
+
+import (
+	"fmt"
+
+	"skv/internal/model"
+	"skv/internal/sim"
+)
+
+// Kind distinguishes host endpoints from SmartNIC (ARM complex) endpoints.
+type Kind int
+
+const (
+	// KindHost is a host NIC port backed by host memory over PCIe.
+	KindHost Kind = iota
+	// KindNIC is the SmartNIC ARM complex behind the embedded NIC switch.
+	KindNIC
+)
+
+func (k Kind) String() string {
+	if k == KindNIC {
+		return "nic"
+	}
+	return "host"
+}
+
+// Endpoint is an addressable network attachment point.
+type Endpoint struct {
+	machine *Machine
+	kind    Kind
+	name    string
+
+	// down simulates a powered-off or unreachable endpoint: messages to it
+	// are silently dropped (an RDMA peer would see timeouts).
+	down bool
+
+	deliver func(Message)
+}
+
+// Name reports the endpoint's unique fabric address.
+func (e *Endpoint) Name() string { return e.name }
+
+// Kind reports whether this is a host or NIC endpoint.
+func (e *Endpoint) Kind() Kind { return e.kind }
+
+// Machine reports the machine the endpoint belongs to.
+func (e *Endpoint) Machine() *Machine { return e.machine }
+
+// SetDown marks the endpoint unreachable (true) or reachable (false).
+func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// Down reports whether the endpoint is unreachable.
+func (e *Endpoint) Down() bool { return e.down }
+
+// Handle registers the receive function invoked for each delivered message.
+// Exactly one receiver (the RDMA device or TCP stack) owns an endpoint.
+func (e *Endpoint) Handle(fn func(Message)) { e.deliver = fn }
+
+// Machine is one server chassis: a host endpoint and, if a SmartNIC is
+// installed, a NIC endpoint sharing the same physical port.
+type Machine struct {
+	Name string
+	Host *Endpoint
+	NIC  *Endpoint // nil if no SmartNIC installed
+}
+
+// Message is one fabric-level datagram.
+type Message struct {
+	Src     *Endpoint
+	Dst     *Endpoint
+	Size    int
+	Payload any
+}
+
+// Network is the set of machines and the switch connecting them.
+type Network struct {
+	eng      *sim.Engine
+	params   *model.Params
+	machines map[string]*Machine
+
+	// lastArrival enforces FIFO delivery per (src,dst) pair, the ordering
+	// guarantee of a reliable-connected transport: a large message sent
+	// first cannot be overtaken by a small one sent later.
+	lastArrival map[[2]*Endpoint]sim.Time
+
+	// Delivered counts messages delivered (for tests/ablation reporting).
+	Delivered uint64
+	// Dropped counts messages dropped due to a down endpoint.
+	Dropped uint64
+}
+
+// New creates an empty network on the engine with the given parameters.
+func New(eng *sim.Engine, params *model.Params) *Network {
+	return &Network{
+		eng:         eng,
+		params:      params,
+		machines:    make(map[string]*Machine),
+		lastArrival: make(map[[2]*Endpoint]sim.Time),
+	}
+}
+
+// Engine exposes the simulation engine driving this network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Params exposes the calibration parameters.
+func (n *Network) Params() *model.Params { return n.params }
+
+// NewMachine adds a machine. If smartNIC is true the machine gets a NIC
+// endpoint for the on-SmartNIC software (Nic-KV).
+func (n *Network) NewMachine(name string, smartNIC bool) *Machine {
+	if _, dup := n.machines[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate machine %q", name))
+	}
+	m := &Machine{Name: name}
+	m.Host = &Endpoint{machine: m, kind: KindHost, name: name + "/host"}
+	if smartNIC {
+		m.NIC = &Endpoint{machine: m, kind: KindNIC, name: name + "/nic"}
+	}
+	n.machines[name] = m
+	return m
+}
+
+// Machine looks up a machine by name, or nil.
+func (n *Network) Machine(name string) *Machine { return n.machines[name] }
+
+// EndpointByName resolves an endpoint address of the form "machine/host" or
+// "machine/nic", or nil when unknown. Message payloads that must name a
+// node (SKV's initial-sync requests) carry these strings.
+func (n *Network) EndpointByName(name string) *Endpoint {
+	for _, m := range n.machines {
+		if m.Host != nil && m.Host.name == name {
+			return m.Host
+		}
+		if m.NIC != nil && m.NIC.name == name {
+			return m.NIC
+		}
+	}
+	return nil
+}
+
+// nicMemLatency is the extra latency of terminating traffic in the SmartNIC
+// ARM complex (slow on-board DDR + full network stack on the NIC, §II-A2).
+func (n *Network) nicMemLatency() sim.Duration {
+	return n.params.NICSwitchLatency + n.params.PCIeLatency // ≈ stack+DDR cost
+}
+
+// PathLatency reports the one-way fabric latency between two endpoints,
+// excluding serialization (size/bandwidth) and NIC processing.
+func (n *Network) PathLatency(src, dst *Endpoint) sim.Duration {
+	p := n.params
+	if src == dst {
+		return p.NICSwitchLatency // pure loopback through the NIC switch
+	}
+	var d sim.Duration
+	// Source side: getting the data from its memory to the port.
+	if src.kind == KindHost {
+		d += p.PCIeLatency
+	} else {
+		d += n.nicMemLatency()
+	}
+	// Middle: same machine → only the embedded NIC switch; different
+	// machine → wire + ToR switch.
+	if src.machine == dst.machine {
+		d += p.NICSwitchLatency
+	} else {
+		d += p.WireLatency
+		// Reaching an ARM complex behind a remote NIC takes the extra
+		// embedded-switch hop.
+		if dst.kind == KindNIC || src.kind == KindNIC {
+			d += p.NICSwitchLatency
+		}
+	}
+	// Destination side: placing the data into its memory.
+	if dst.kind == KindHost {
+		d += p.PCIeLatency
+	} else {
+		d += n.nicMemLatency()
+	}
+	return d
+}
+
+// Send schedules delivery of a message. extra is additional latency the
+// caller wants included (e.g. sender/receiver NIC processing from the RDMA
+// model, or kernel-stack latency from the TCP model).
+func (n *Network) Send(src, dst *Endpoint, size int, payload any, extra sim.Duration) {
+	if dst == nil {
+		panic("fabric: Send to nil endpoint")
+	}
+	lat := n.PathLatency(src, dst) + n.params.TransferTime(size) + extra
+	key := [2]*Endpoint{src, dst}
+	arrive := n.eng.Now().Add(lat)
+	if last := n.lastArrival[key]; arrive < last {
+		arrive = last
+	}
+	n.lastArrival[key] = arrive
+	lat = arrive.Sub(n.eng.Now())
+	n.eng.After(lat, func() {
+		if dst.down || dst.deliver == nil {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.deliver(Message{Src: src, Dst: dst, Size: size, Payload: payload})
+	})
+}

@@ -1,0 +1,67 @@
+// Package intset is the sorted integer-set encoding Redis applies to small
+// all-integer sets (intset.c): a sorted array with binary search, upgraded
+// to a hash table once it grows or a non-integer member arrives (the
+// upgrade is the object layer's job).
+package intset
+
+import "sort"
+
+// IntSet is a sorted set of int64 values. The zero value is empty and ready
+// to use.
+type IntSet struct {
+	vals []int64
+}
+
+// New creates an empty intset.
+func New() *IntSet { return &IntSet{} }
+
+// Len reports the number of members.
+func (s *IntSet) Len() int { return len(s.vals) }
+
+func (s *IntSet) search(v int64) (int, bool) {
+	i := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= v })
+	return i, i < len(s.vals) && s.vals[i] == v
+}
+
+// Add inserts v, reporting whether it was absent.
+func (s *IntSet) Add(v int64) bool {
+	i, found := s.search(v)
+	if found {
+		return false
+	}
+	s.vals = append(s.vals, 0)
+	copy(s.vals[i+1:], s.vals[i:])
+	s.vals[i] = v
+	return true
+}
+
+// Remove deletes v, reporting whether it was present.
+func (s *IntSet) Remove(v int64) bool {
+	i, found := s.search(v)
+	if !found {
+		return false
+	}
+	s.vals = append(s.vals[:i], s.vals[i+1:]...)
+	return true
+}
+
+// Contains reports membership.
+func (s *IntSet) Contains(v int64) bool {
+	_, found := s.search(v)
+	return found
+}
+
+// Members returns the values in ascending order (a copy).
+func (s *IntSet) Members() []int64 {
+	out := make([]int64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Get returns the i-th smallest member.
+func (s *IntSet) Get(i int) (int64, bool) {
+	if i < 0 || i >= len(s.vals) {
+		return 0, false
+	}
+	return s.vals[i], true
+}

@@ -1,0 +1,92 @@
+package intset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New()
+	if !s.Add(5) || !s.Add(1) || !s.Add(9) {
+		t.Fatal("fresh adds should return true")
+	}
+	if s.Add(5) {
+		t.Fatal("duplicate add returned true")
+	}
+	if !s.Contains(5) || s.Contains(2) {
+		t.Fatal("membership wrong")
+	}
+	if !s.Remove(5) || s.Remove(5) {
+		t.Fatal("remove semantics wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len=%d", s.Len())
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := New()
+	for _, v := range []int64{5, -3, 99, 0, 7, -100} {
+		s.Add(v)
+	}
+	m := s.Members()
+	if !sort.SliceIsSorted(m, func(i, j int) bool { return m[i] < m[j] }) {
+		t.Fatalf("members not sorted: %v", m)
+	}
+}
+
+func TestGetByIndex(t *testing.T) {
+	s := New()
+	s.Add(10)
+	s.Add(20)
+	s.Add(30)
+	if v, ok := s.Get(1); !ok || v != 20 {
+		t.Fatalf("Get(1)=%d,%v", v, ok)
+	}
+	if _, ok := s.Get(3); ok {
+		t.Fatal("out of range Get ok")
+	}
+	if _, ok := s.Get(-1); ok {
+		t.Fatal("negative Get ok")
+	}
+}
+
+// Property: IntSet matches a map[int64]bool model and stays sorted.
+func TestSetModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Val  int8 // small domain forces collisions
+	}
+	f := func(ops []op) bool {
+		s := New()
+		m := map[int64]bool{}
+		for _, o := range ops {
+			v := int64(o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				if s.Add(v) == m[v] {
+					return false
+				}
+				m[v] = true
+			case 1:
+				if s.Remove(v) != m[v] {
+					return false
+				}
+				delete(m, v)
+			case 2:
+				if s.Contains(v) != m[v] {
+					return false
+				}
+			}
+			if s.Len() != len(m) {
+				return false
+			}
+		}
+		mem := s.Members()
+		return sort.SliceIsSorted(mem, func(i, j int) bool { return mem[i] < mem[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"testing"
+
+	"skv/internal/sim"
+)
+
+func TestDefaultsEncodePaperStructure(t *testing.T) {
+	p := Default()
+	// §II-C: SmartNIC cores are much weaker than host cores.
+	if p.NICCoreSpeed >= p.HostCoreSpeed {
+		t.Error("NIC cores must be slower than host cores")
+	}
+	// BlueField-2 has 8 ARM cores.
+	if p.NICCores != 8 {
+		t.Errorf("NICCores=%d, want 8", p.NICCores)
+	}
+	// The kernel TCP path must cost far more CPU per message than the RDMA
+	// completion path (the Fig 10 mechanism).
+	if p.TCPRxCPU < 4*p.CPUCompletion {
+		t.Error("TCP receive CPU should dwarf RDMA completion handling")
+	}
+	// The Fig 11 mechanism: per-slave feeding + posting must exceed the
+	// one-shot offload request cost for ≥2 slaves.
+	perSlave := p.ReplFeedSlaveCPU + p.CPUPostWR
+	offload := p.ReplOffloadReqCPU + p.CPUPostWR
+	if 2*perSlave <= offload {
+		t.Error("offload must win at 2+ slaves")
+	}
+	// §III-D defaults: probes every second.
+	if p.ProbePeriod != sim.Second {
+		t.Errorf("ProbePeriod=%v, want 1s", p.ProbePeriod)
+	}
+	if p.WaitingTime <= p.ProbePeriod {
+		t.Error("waiting-time must exceed the probe period")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := Default()
+	if p.TransferTime(0) != 0 || p.TransferTime(-5) != 0 {
+		t.Error("non-positive sizes should transfer in 0")
+	}
+	// 1250 bytes at 100Gb/s = 100ns.
+	if got := p.TransferTime(1250); got != 100*sim.Nanosecond {
+		t.Errorf("TransferTime(1250)=%v, want 100ns", got)
+	}
+	// Monotone in size.
+	if p.TransferTime(100) >= p.TransferTime(10_000) {
+		t.Error("transfer time must grow with size")
+	}
+}
+
+func TestMessageCostHelpers(t *testing.T) {
+	p := Default()
+	if p.TCPMsgCPURx(0) != p.TCPRxCPU {
+		t.Error("zero-byte RX should cost the fixed part")
+	}
+	if p.TCPMsgCPURx(10_000) <= p.TCPMsgCPURx(10) {
+		t.Error("RX cost must grow with size")
+	}
+	if p.TCPMsgCPUTx(10_000) <= p.TCPMsgCPUTx(10) {
+		t.Error("TX cost must grow with size")
+	}
+	if p.ParseCost(1000) <= p.ParseCost(10) {
+		t.Error("parse cost must grow with size")
+	}
+}
+
+func TestFig10CalibrationArithmetic(t *testing.T) {
+	// The saturated single-core service times implied by the constants
+	// should straddle the paper's measured throughput: ≈130 kops/s for
+	// kernel TCP, >330 kops/s for RDMA.
+	p := Default()
+	smallMsg := 80
+	tcpService := p.TCPMsgCPURx(smallMsg) + p.TCPMsgCPUTx(smallMsg) +
+		p.ParseCost(smallMsg) + p.CmdExecSetCPU + p.ReplyBuildCPU
+	tcpKops := 1e6 / tcpService.Micros() / 1000
+	if tcpKops < 110 || tcpKops > 160 {
+		t.Errorf("implied TCP saturation %.0f kops/s, want ≈130", tcpKops)
+	}
+	rdmaService := p.CPUCompletion + p.ParseCost(smallMsg) + p.CmdExecSetCPU +
+		p.ReplyBuildCPU + p.CPUPostWR
+	rdmaKops := 1e6 / rdmaService.Micros() / 1000
+	if rdmaKops < 330 {
+		t.Errorf("implied RDMA saturation %.0f kops/s, want >330", rdmaKops)
+	}
+}

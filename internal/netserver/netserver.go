@@ -1,0 +1,266 @@
+// Package netserver serves the SKV storage engine over real TCP sockets
+// with the RESP protocol — the non-simulated face of the library. Any RESP
+// client (including redis-cli) can talk to it for the implemented command
+// set; cmd/skv-server wraps it in a binary and cmd/skv-cli is a matching
+// client.
+//
+// Unlike the simulated server (internal/server), which models CPU costs on
+// virtual cores, this server simply executes: one goroutine per connection
+// parses commands and a store-wide mutex serializes execution, mirroring
+// Redis's single-threaded command semantics.
+package netserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"skv/internal/rdb"
+	"skv/internal/resp"
+	"skv/internal/store"
+)
+
+// Options configures a network server.
+type Options struct {
+	// NumDBs is the SELECT-able database count (default 16).
+	NumDBs int
+	// Seed drives the store's internal randomness (default: time-based).
+	Seed int64
+	// RDBPath, when non-empty, is loaded at startup (if present) and
+	// written by the SAVE command and by Close.
+	RDBPath string
+	// CronInterval is the active-expiry cycle period (default 100ms).
+	CronInterval time.Duration
+}
+
+// Server is a live TCP RESP server.
+type Server struct {
+	opts Options
+	st   *store.Store
+	mu   sync.Mutex // serializes store access (Redis single-thread semantics)
+	ln   net.Listener
+
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+
+	// Stats.
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+	Served  uint64
+}
+
+// New creates a server with a fresh store, loading RDBPath if it exists.
+func New(opts Options) (*Server, error) {
+	if opts.NumDBs == 0 {
+		opts.NumDBs = 16
+	}
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
+	}
+	if opts.CronInterval == 0 {
+		opts.CronInterval = 100 * time.Millisecond
+	}
+	st := store.New(opts.NumDBs, opts.Seed, func() int64 {
+		return time.Now().UnixMilli()
+	})
+	s := &Server{
+		opts:   opts,
+		st:     st,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if opts.RDBPath != "" {
+		if data, err := os.ReadFile(opts.RDBPath); err == nil {
+			if err := rdb.Load(st, data); err != nil {
+				return nil, fmt.Errorf("netserver: loading %s: %w", opts.RDBPath, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Store exposes the underlying keyspace (for embedding and tests).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Serve accepts connections on ln until Close. It owns the listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	s.wg.Add(1)
+	go s.cron()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound address (after Serve starts).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the server, waits for handlers, and persists to RDBPath.
+func (s *Server) Close() error {
+	var err error
+	s.closeOne.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.connsMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+		s.wg.Wait()
+		if s.opts.RDBPath != "" {
+			if werr := s.save(); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	})
+	return err
+}
+
+// cron runs the active expiry cycle.
+func (s *Server) cron() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.CronInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.st.ActiveExpireCycle(20)
+			s.st.RehashStep(100)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// save writes an RDB snapshot to RDBPath atomically.
+func (s *Server) save() error {
+	s.mu.Lock()
+	data := rdb.Dump(s.st)
+	s.mu.Unlock()
+	tmp := s.opts.RDBPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.opts.RDBPath)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+		conn.Close()
+	}()
+
+	var reader resp.Reader
+	buf := make([]byte, 16<<10)
+	out := bufio.NewWriter(conn)
+	db := 0
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			reader.Feed(buf[:n])
+			for {
+				argv, complete, perr := reader.ReadCommand()
+				if perr != nil {
+					out.Write(resp.AppendError(nil, "ERR Protocol error"))
+					out.Flush()
+					return
+				}
+				if !complete {
+					break
+				}
+				reply, newDB, quit := s.execute(db, argv)
+				db = newDB
+				out.Write(reply)
+				if quit {
+					out.Flush()
+					return
+				}
+			}
+			if out.Buffered() > 0 {
+				if err := out.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+	}
+}
+
+// execute runs one command, handling the connection-level commands SELECT,
+// SAVE and QUIT here and everything else in the store.
+func (s *Server) execute(db int, argv [][]byte) (reply []byte, newDB int, quit bool) {
+	name := strings.ToLower(string(argv[0]))
+	switch name {
+	case "quit":
+		return resp.AppendSimple(nil, "OK"), db, true
+	case "select":
+		if len(argv) != 2 {
+			return resp.AppendError(nil, "ERR wrong number of arguments for 'select' command"), db, false
+		}
+		n, err := strconv.Atoi(string(argv[1]))
+		if err != nil || n < 0 || n >= s.st.NumDBs() {
+			return resp.AppendError(nil, "ERR DB index is out of range"), db, false
+		}
+		return resp.AppendSimple(nil, "OK"), n, false
+	case "save", "bgsave":
+		if s.opts.RDBPath == "" {
+			return resp.AppendError(nil, "ERR no RDB path configured"), db, false
+		}
+		if err := s.save(); err != nil {
+			return resp.AppendError(nil, "ERR saving: "+err.Error()), db, false
+		}
+		return resp.AppendSimple(nil, "OK"), db, false
+	}
+	s.mu.Lock()
+	reply, _ = s.st.Exec(db, argv)
+	s.Served++
+	s.mu.Unlock()
+	return reply, db, false
+}

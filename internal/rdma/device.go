@@ -1,0 +1,361 @@
+package rdma
+
+import (
+	"fmt"
+
+	"skv/internal/fabric"
+	"skv/internal/sim"
+)
+
+// Device is the RDMA-capable NIC function attached to one fabric endpoint.
+// The core given at construction is the CPU that drives the device's verbs
+// calls (posting work requests consumes its cycles); completions and
+// incoming one-sided operations consume no CPU until harvested.
+type Device struct {
+	net  *fabric.Network
+	ep   *fabric.Endpoint
+	core *sim.Core
+
+	qps       map[uint32]*QP
+	mrs       map[uint32]*MR
+	listeners map[int]func(*QP)
+
+	nextQPN  uint32
+	nextRKey uint32
+	nextReq  uint64
+	pending  map[uint64]func(*QP, error) // in-flight Connect callbacks
+}
+
+// NewDevice opens a device on the endpoint, driven by the given core.
+func NewDevice(net *fabric.Network, ep *fabric.Endpoint, core *sim.Core) *Device {
+	d := &Device{
+		net:       net,
+		ep:        ep,
+		core:      core,
+		qps:       make(map[uint32]*QP),
+		mrs:       make(map[uint32]*MR),
+		listeners: make(map[int]func(*QP)),
+		pending:   make(map[uint64]func(*QP, error)),
+	}
+	ep.Handle(d.recv)
+	return d
+}
+
+// Endpoint reports the fabric endpoint the device is attached to.
+func (d *Device) Endpoint() *fabric.Endpoint { return d.ep }
+
+// Core reports the CPU core charged for verbs calls on this device.
+func (d *Device) Core() *sim.Core { return d.core }
+
+// AllocPD allocates a protection domain.
+func (d *Device) AllocPD() *PD { return &PD{dev: d} }
+
+// NewCQ creates a completion queue.
+func (d *Device) NewCQ() *CQ { return &CQ{dev: d} }
+
+// QP is a reliable-connected queue pair.
+type QP struct {
+	dev     *Device
+	qpn     uint32
+	peerEP  *fabric.Endpoint
+	peerQPN uint32
+
+	SendCQ *CQ
+	RecvCQ *CQ
+
+	recvQueue []RecvWR
+	// stash holds arrived SEND/WRITE_WITH_IMM packets that found no posted
+	// receive (receiver-not-ready); they complete when a recv is posted,
+	// modelling RNR retry.
+	stash  []packet
+	closed bool
+
+	// Context lets the application attach per-connection state (the client
+	// object in Redis terms).
+	Context any
+
+	// sendCore, when non-nil, overrides the device core for PostSend cost
+	// accounting — the thread that drives this QP's send queue (Nic-KV's
+	// multi-threaded replication pins QPs to ARM cores).
+	sendCore *sim.Core
+
+	// PostedSends counts PostSend calls (CPU-accounting assertions in
+	// tests and the WR-count ablation read this).
+	PostedSends uint64
+}
+
+// QPN reports the queue pair number.
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// RemoteEndpoint reports the peer's fabric endpoint.
+func (qp *QP) RemoteEndpoint() *fabric.Endpoint { return qp.peerEP }
+
+// Closed reports whether Close was called.
+func (qp *QP) Closed() bool { return qp.closed }
+
+func (d *Device) newQP(sendCQ, recvCQ *CQ) *QP {
+	d.nextQPN++
+	qp := &QP{dev: d, qpn: d.nextQPN, SendCQ: sendCQ, RecvCQ: recvCQ}
+	d.qps[qp.qpn] = qp
+	return qp
+}
+
+// Listen registers an accept handler for CM connection requests on port.
+// The accept callback receives the fully connected QP.
+func (d *Device) Listen(port int, accept func(*QP)) {
+	if _, dup := d.listeners[port]; dup {
+		panic(fmt.Sprintf("rdma: %s already listening on %d", d.ep.Name(), port))
+	}
+	d.listeners[port] = accept
+}
+
+// Connect initiates an RDMA_CM connection to a listener. cb runs when the
+// handshake completes (or fails because nothing listens / peer is down —
+// the latter surfaces as no callback at all, like a CM timeout, unless
+// the caller arranges its own timer).
+//
+// The new QP uses freshly created send/recv CQs unless the caller passes
+// non-nil ones.
+func (d *Device) Connect(peer *fabric.Endpoint, port int, sendCQ, recvCQ *CQ, cb func(*QP, error)) {
+	if sendCQ == nil {
+		sendCQ = d.NewCQ()
+	}
+	if recvCQ == nil {
+		recvCQ = d.NewCQ()
+	}
+	qp := d.newQP(sendCQ, recvCQ)
+	qp.peerEP = peer
+	d.nextReq++
+	id := d.nextReq
+	d.pending[id] = func(q *QP, err error) { cb(q, err) }
+	d.send(peer, 64, packet{kind: pktConnReq, srcQPN: qp.qpn, port: port, wrID: id})
+}
+
+// send pushes a packet onto the fabric with RDMA NIC processing latency.
+func (d *Device) send(dst *fabric.Endpoint, size int, p packet) {
+	params := d.net.Params()
+	extra := params.RDMASenderProc + params.RDMAReceiverProc
+	d.net.Send(d.ep, dst, size, p, extra)
+}
+
+// recv handles a fabric delivery. This is NIC hardware processing: it never
+// charges host CPU.
+func (d *Device) recv(m fabric.Message) {
+	p, ok := m.Payload.(packet)
+	if !ok {
+		return
+	}
+	switch p.kind {
+	case pktConnReq:
+		accept, listening := d.listeners[p.port]
+		if !listening {
+			d.send(m.Src, 64, packet{kind: pktConnRej, dstQPN: p.srcQPN, wrID: p.wrID})
+			return
+		}
+		qp := d.newQP(d.NewCQ(), d.NewCQ())
+		qp.peerEP = m.Src
+		qp.peerQPN = p.srcQPN
+		d.send(m.Src, 64, packet{kind: pktConnAcc, dstQPN: p.srcQPN, srcQPN: qp.qpn, wrID: p.wrID})
+		accept(qp)
+	case pktConnAcc:
+		qp := d.qps[p.dstQPN]
+		cb := d.pending[p.wrID]
+		delete(d.pending, p.wrID)
+		if qp == nil || cb == nil {
+			return
+		}
+		qp.peerQPN = p.srcQPN
+		cb(qp, nil)
+	case pktConnRej:
+		cb := d.pending[p.wrID]
+		delete(d.pending, p.wrID)
+		delete(d.qps, p.dstQPN)
+		if cb != nil {
+			cb(nil, fmt.Errorf("rdma: connection to %s refused", m.Src.Name()))
+		}
+	case pktOp:
+		d.recvOp(m.Src, p)
+	case pktAck:
+		qp := d.qps[p.dstQPN]
+		if qp == nil {
+			return
+		}
+		qp.SendCQ.push(WC{WRID: p.wrID, Op: p.op, Status: p.status, QPN: qp.qpn})
+	case pktReadResp:
+		qp := d.qps[p.dstQPN]
+		if qp == nil {
+			return
+		}
+		qp.SendCQ.push(WC{WRID: p.wrID, Op: OpRead, Status: p.status, ByteLen: len(p.data), Data: p.data, QPN: qp.qpn})
+	}
+}
+
+func (d *Device) recvOp(src *fabric.Endpoint, p packet) {
+	qp := d.qps[p.dstQPN]
+	if qp == nil || qp.closed {
+		return // stale packet to a destroyed QP
+	}
+	switch p.op {
+	case OpWrite, OpWriteImm:
+		status := StatusSuccess
+		mr := d.mrs[p.rkey]
+		if mr == nil || mr.dereg || p.roff < 0 || p.roff+len(p.data) > len(mr.buf) {
+			status = StatusRemoteAccessErr
+		} else {
+			copy(mr.buf[p.roff:], p.data)
+		}
+		if status == StatusSuccess && p.op == OpWriteImm {
+			qp.consumeRecv(p)
+		}
+		if p.sig {
+			d.send(src, 16, packet{kind: pktAck, dstQPN: p.srcQPN, wrID: p.wrID, op: p.op, status: status})
+		}
+	case OpSend:
+		qp.consumeRecv(p)
+		if p.sig {
+			d.send(src, 16, packet{kind: pktAck, dstQPN: p.srcQPN, wrID: p.wrID, op: OpSend, status: StatusSuccess})
+		}
+	case OpRead:
+		mr := d.mrs[p.rkey]
+		status := StatusSuccess
+		var data []byte
+		if mr == nil || mr.dereg || p.roff < 0 || p.roff+p.rlen > len(mr.buf) {
+			status = StatusRemoteAccessErr
+		} else {
+			data = append([]byte(nil), mr.buf[p.roff:p.roff+p.rlen]...)
+		}
+		d.send(src, len(data)+16, packet{kind: pktReadResp, dstQPN: p.srcQPN, wrID: p.wrID, data: data, status: status})
+	}
+}
+
+// consumeRecv matches an inbound SEND/WRITE_WITH_IMM against a posted recv,
+// or stashes it until one is posted (RNR retry semantics).
+func (qp *QP) consumeRecv(p packet) {
+	if len(qp.recvQueue) == 0 {
+		qp.stash = append(qp.stash, p)
+		return
+	}
+	rw := qp.recvQueue[0]
+	qp.recvQueue = qp.recvQueue[1:]
+	wc := WC{
+		WRID:    rw.WRID,
+		Op:      OpRecv,
+		Status:  StatusSuccess,
+		ByteLen: len(p.data),
+		QPN:     qp.qpn,
+	}
+	if p.op == OpSend {
+		wc.Data = p.data
+	}
+	if p.immSet {
+		wc.Imm = p.imm
+		wc.ImmValid = true
+	}
+	qp.RecvCQ.push(wc)
+}
+
+// PostRecv posts a receive work request. Charges CPUPostWR on the device's
+// driving core.
+func (qp *QP) PostRecv(wr RecvWR) {
+	qp.chargePost()
+	qp.recvQueue = append(qp.recvQueue, wr)
+	if len(qp.stash) > 0 {
+		p := qp.stash[0]
+		qp.stash = qp.stash[1:]
+		qp.consumeRecv(p)
+	}
+}
+
+// PostRecvN posts n receives with sequential WRIDs starting at base,
+// charging a single doorbell's worth of CPU (batched post, as real
+// applications do when refilling the receive ring).
+func (qp *QP) PostRecvN(base uint64, n int) {
+	qp.chargePost()
+	for i := 0; i < n; i++ {
+		qp.recvQueue = append(qp.recvQueue, RecvWR{WRID: base + uint64(i)})
+	}
+	for len(qp.stash) > 0 && len(qp.recvQueue) > 0 {
+		p := qp.stash[0]
+		qp.stash = qp.stash[1:]
+		qp.consumeRecv(p)
+	}
+}
+
+// SetSendCore pins the QP's send-side CPU accounting to a specific core.
+func (qp *QP) SetSendCore(c *sim.Core) { qp.sendCore = c }
+
+// postCore is the core charged for send-queue posts.
+func (qp *QP) postCore() *sim.Core {
+	if qp.sendCore != nil {
+		return qp.sendCore
+	}
+	return qp.dev.core
+}
+
+func (qp *QP) chargePost() {
+	if qp.dev.core != nil {
+		qp.dev.core.Charge(qp.dev.net.Params().CPUPostWR)
+	}
+}
+
+// PostSend posts a send-queue work request (SEND, WRITE, WRITE_WITH_IMM or
+// READ). Charges CPUPostWR on the driving core; the payload departs at the
+// core's current completion point, so CPU queueing delays the wire exactly
+// as a real doorbell written at the end of a busy handler would be.
+func (qp *QP) PostSend(wr SendWR) error {
+	if qp.closed {
+		return fmt.Errorf("rdma: post on closed QP %d", qp.qpn)
+	}
+	if qp.peerEP == nil {
+		return fmt.Errorf("rdma: QP %d not connected", qp.qpn)
+	}
+	qp.PostedSends++
+	if pc := qp.postCore(); pc != nil {
+		pc.Charge(qp.dev.net.Params().CPUPostWR)
+	}
+	d := qp.dev
+	p := packet{
+		kind:   pktOp,
+		srcQPN: qp.qpn,
+		dstQPN: qp.peerQPN,
+		op:     wr.Op,
+		rkey:   wr.RemoteKey,
+		roff:   wr.RemoteOff,
+		rlen:   wr.Len,
+		wrID:   wr.WRID,
+		sig:    wr.Signaled,
+	}
+	size := 16
+	if wr.Op != OpRead {
+		p.data = append([]byte(nil), wr.Data...)
+		size += len(wr.Data)
+	}
+	if wr.Op == OpWriteImm {
+		p.imm = wr.Imm
+		p.immSet = true
+	}
+	// The message leaves the NIC once the CPU has finished the work it is
+	// currently charged with (the doorbell rings at the end of the handler).
+	var depart sim.Duration
+	if pc := qp.postCore(); pc != nil {
+		depart = pc.BusyUntil().Sub(d.net.Engine().Now())
+		if depart < 0 {
+			depart = 0
+		}
+	}
+	params := d.net.Params()
+	extra := depart + params.RDMASenderProc + params.RDMAReceiverProc
+	d.net.Send(d.ep, qp.peerEP, size, p, extra)
+	return nil
+}
+
+// Close destroys the QP. Outstanding stashed packets are dropped.
+func (qp *QP) Close() {
+	if qp.closed {
+		return
+	}
+	qp.closed = true
+	delete(qp.dev.qps, qp.qpn)
+	qp.stash = nil
+	qp.recvQueue = nil
+}

@@ -1,0 +1,239 @@
+// Package rdma simulates the subset of the InfiniBand verbs API that SKV's
+// communication module uses (paper §III-B): protection domains, memory
+// regions, reliable-connected queue pairs, completion queues with event
+// channels, and the SEND/RECV, RDMA WRITE, WRITE_WITH_IMM and RDMA READ
+// operations, plus an RDMA_CM-style connection manager.
+//
+// Cost accounting follows the paper's performance argument:
+//
+//   - Posting a work request (ibv_post_send) consumes host CPU
+//     (model.CPUPostWR) on the core driving the device. This is the cost the
+//     SKV master eliminates by posting one WR per write instead of one per
+//     slave.
+//   - One-sided WRITE/READ consume no CPU at the passive side.
+//   - Harvesting a completion costs model.CPUCompletion; consumers that
+//     block on the completion event channel additionally pay a wakeup
+//     (charged by their Proc, amortized under load — §III-B's
+//     ibv_get_cq_event design).
+//   - On-wire latency comes from the fabric path model plus sender/receiver
+//     NIC processing, reproducing Fig 3.
+package rdma
+
+import (
+	"fmt"
+
+	"skv/internal/sim"
+)
+
+// Opcode identifies a verbs operation.
+type Opcode int
+
+// Supported verbs operations.
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpWrite
+	OpWriteImm
+	OpRead
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_WITH_IMM"
+	case OpRead:
+		return "READ"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota
+	StatusRemoteAccessErr
+	StatusFlushed // QP destroyed with the WR outstanding
+)
+
+// WC is a work completion (ibv_wc).
+type WC struct {
+	WRID     uint64
+	Op       Opcode
+	Status   Status
+	Imm      uint32
+	ImmValid bool
+	ByteLen  int
+	// Data is the received payload for RECV completions of SENDs, or the
+	// fetched payload for READ completions.
+	Data []byte
+	// QPN identifies the local QP the completion belongs to.
+	QPN uint32
+}
+
+// CQ is a completion queue with an optional event channel. RequestNotify
+// arms a one-shot notification (ibv_req_notify_cq); when a completion
+// arrives while armed, the notify callback fires once and the CQ disarms,
+// matching the ack-and-rearm discipline the paper describes.
+type CQ struct {
+	dev    *Device
+	items  []WC
+	armed  bool
+	notify func()
+
+	// Completions counts all CQEs ever pushed (for tests).
+	Completions uint64
+}
+
+// OnNotify installs the event-channel callback.
+func (cq *CQ) OnNotify(fn func()) { cq.notify = fn }
+
+// RequestNotify arms the completion event channel. If completions are
+// already pending, the notification fires immediately (edge-triggered verbs
+// semantics require the consumer to poll after arming; firing immediately
+// models that race being handled).
+func (cq *CQ) RequestNotify() {
+	cq.armed = true
+	if len(cq.items) > 0 {
+		cq.fire()
+	}
+}
+
+func (cq *CQ) fire() {
+	if cq.armed && cq.notify != nil {
+		cq.armed = false
+		cq.notify()
+	}
+}
+
+func (cq *CQ) push(wc WC) {
+	cq.items = append(cq.items, wc)
+	cq.Completions++
+	cq.fire()
+}
+
+// Poll drains up to max completions (max <= 0 means all). The caller is
+// responsible for charging model.CPUCompletion per harvested CQE on its
+// core; helper ChargePoll does both.
+func (cq *CQ) Poll(max int) []WC {
+	if max <= 0 || max >= len(cq.items) {
+		out := cq.items
+		cq.items = nil
+		return out
+	}
+	out := cq.items[:max]
+	cq.items = append([]WC(nil), cq.items[max:]...)
+	return out
+}
+
+// ChargePoll polls all pending completions and charges the completion
+// harvesting cost on the given core.
+func (cq *CQ) ChargePoll(core *sim.Core) []WC {
+	out := cq.Poll(0)
+	if n := len(out); n > 0 && core != nil {
+		core.Charge(sim.Duration(n) * cq.dev.net.Params().CPUCompletion)
+	}
+	return out
+}
+
+// Pending reports the number of unharvested completions.
+func (cq *CQ) Pending() int { return len(cq.items) }
+
+// PD is a protection domain.
+type PD struct {
+	dev *Device
+}
+
+// MR is a registered memory region backed by real bytes, addressed remotely
+// by its RKey.
+type MR struct {
+	pd    *PD
+	buf   []byte
+	rkey  uint32
+	dereg bool
+}
+
+// RKey is the remote access key.
+func (mr *MR) RKey() uint32 { return mr.rkey }
+
+// Len reports the region size.
+func (mr *MR) Len() int { return len(mr.buf) }
+
+// Bytes exposes the underlying memory (the receive side reads messages out
+// of it, exactly as a verbs application reads its registered buffer).
+func (mr *MR) Bytes() []byte { return mr.buf }
+
+// Deregister invalidates the region; subsequent remote writes fail with
+// StatusRemoteAccessErr.
+func (mr *MR) Deregister() {
+	mr.dereg = true
+	delete(mr.pd.dev.mrs, mr.rkey)
+}
+
+// RegisterMR allocates and registers a region of the given size.
+func (pd *PD) RegisterMR(size int) *MR {
+	dev := pd.dev
+	dev.nextRKey++
+	mr := &MR{pd: pd, buf: make([]byte, size), rkey: dev.nextRKey}
+	dev.mrs[mr.rkey] = mr
+	return mr
+}
+
+// SendWR is a send-queue work request.
+type SendWR struct {
+	WRID uint64
+	Op   Opcode // OpSend, OpWrite, OpWriteImm, OpRead
+	Data []byte // payload for SEND/WRITE*; nil for READ
+	// RemoteKey/RemoteOff address the peer MR for WRITE*/READ.
+	RemoteKey uint32
+	RemoteOff int
+	// Len is the number of bytes to fetch for READ.
+	Len int
+	Imm uint32
+	// Signaled requests a completion on the sender's CQ (unsignaled WRs
+	// complete silently, like IBV_SEND_SIGNALED omitted).
+	Signaled bool
+}
+
+// RecvWR is a receive-queue work request. For SENDs the payload is copied
+// into the completion; for WRITE_WITH_IMM the recv is consumed purely to
+// deliver the notification.
+type RecvWR struct {
+	WRID uint64
+}
+
+// packet is the fabric payload exchanged between devices.
+type packet struct {
+	kind   pktKind
+	srcQPN uint32
+	dstQPN uint32
+	op     Opcode
+	data   []byte
+	rkey   uint32
+	roff   int
+	rlen   int
+	imm    uint32
+	immSet bool
+	wrID   uint64
+	sig    bool
+	port   int
+	status Status
+}
+
+type pktKind int
+
+const (
+	pktOp pktKind = iota
+	pktAck
+	pktReadResp
+	pktConnReq
+	pktConnAcc
+	pktConnRej
+)

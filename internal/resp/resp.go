@@ -1,0 +1,314 @@
+// Package resp implements the Redis serialization protocol (RESP2) that SKV
+// inherits from Redis: command parsing on the server side (arrays of bulk
+// strings, plus inline commands) and reply encoding/decoding.
+//
+// The Reader is incremental: transport messages can split or coalesce
+// protocol units arbitrarily, exactly as TCP segments or RDMA ring frames
+// do, and parsing resumes when more bytes arrive.
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Value types.
+const (
+	TypeSimple  = '+'
+	TypeError   = '-'
+	TypeInteger = ':'
+	TypeBulk    = '$'
+	TypeArray   = '*'
+)
+
+// ErrProtocol reports malformed input; a server replies with an error and
+// closes the connection.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// Value is one decoded RESP value.
+type Value struct {
+	Type  byte
+	Str   []byte  // Simple/Error/Bulk payload
+	Int   int64   // Integer payload
+	Array []Value // Array elements
+	Null  bool    // null bulk ($-1) or null array (*-1)
+}
+
+// IsOK reports whether the value is the +OK simple string.
+func (v Value) IsOK() bool { return v.Type == TypeSimple && string(v.Str) == "OK" }
+
+// IsError reports whether the value is an error reply.
+func (v Value) IsError() bool { return v.Type == TypeError }
+
+func (v Value) String() string {
+	switch v.Type {
+	case TypeSimple, TypeError:
+		return string(v.Str)
+	case TypeInteger:
+		return strconv.FormatInt(v.Int, 10)
+	case TypeBulk:
+		if v.Null {
+			return "(nil)"
+		}
+		return string(v.Str)
+	case TypeArray:
+		if v.Null {
+			return "(nil array)"
+		}
+		var b bytes.Buffer
+		b.WriteByte('[')
+		for i, e := range v.Array {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	return "?"
+}
+
+// ---- Encoding ----
+
+// AppendSimple appends +s\r\n.
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendError appends -msg\r\n.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, msg...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendInt appends :n\r\n.
+func AppendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, '\r', '\n')
+}
+
+// AppendBulk appends $len\r\npayload\r\n.
+func AppendBulk(dst, payload []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(payload)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, payload...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendBulkString appends a bulk from a Go string.
+func AppendBulkString(dst []byte, s string) []byte { return AppendBulk(dst, []byte(s)) }
+
+// AppendNullBulk appends $-1\r\n.
+func AppendNullBulk(dst []byte) []byte { return append(dst, '$', '-', '1', '\r', '\n') }
+
+// AppendArrayHeader appends *n\r\n; the caller then appends n values.
+func AppendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '\r', '\n')
+}
+
+// AppendNullArray appends *-1\r\n.
+func AppendNullArray(dst []byte) []byte { return append(dst, '*', '-', '1', '\r', '\n') }
+
+// EncodeCommand encodes argv as an array of bulk strings (the client→server
+// wire format).
+func EncodeCommand(argv ...string) []byte {
+	var dst []byte
+	dst = AppendArrayHeader(dst, len(argv))
+	for _, a := range argv {
+		dst = AppendBulkString(dst, a)
+	}
+	return dst
+}
+
+// EncodeCommandBytes is EncodeCommand for byte-slice arguments.
+func EncodeCommandBytes(argv ...[]byte) []byte {
+	var dst []byte
+	dst = AppendArrayHeader(dst, len(argv))
+	for _, a := range argv {
+		dst = AppendBulk(dst, a)
+	}
+	return dst
+}
+
+// ---- Incremental decoding ----
+
+// Reader incrementally decodes RESP values or commands from fed bytes.
+type Reader struct {
+	buf []byte
+	pos int
+}
+
+// Feed appends incoming bytes.
+func (r *Reader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+
+// Buffered reports unconsumed byte count.
+func (r *Reader) Buffered() int { return len(r.buf) - r.pos }
+
+func (r *Reader) compact() {
+	if r.pos > 0 && r.pos == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.pos = 0
+	} else if r.pos > 4096 {
+		r.buf = append(r.buf[:0], r.buf[r.pos:]...)
+		r.pos = 0
+	}
+}
+
+// line returns the next CRLF-terminated line (without CRLF), advancing the
+// cursor; ok is false when incomplete.
+func (r *Reader) line() ([]byte, bool) {
+	idx := bytes.Index(r.buf[r.pos:], []byte("\r\n"))
+	if idx < 0 {
+		return nil, false
+	}
+	l := r.buf[r.pos : r.pos+idx]
+	r.pos += idx + 2
+	return l, true
+}
+
+// ReadValue decodes one complete value. ok=false means more bytes needed
+// (cursor unchanged).
+func (r *Reader) ReadValue() (Value, bool, error) {
+	save := r.pos
+	v, ok, err := r.readValue()
+	if !ok || err != nil {
+		r.pos = save
+		if err != nil {
+			return Value{}, false, err
+		}
+		return Value{}, false, nil
+	}
+	r.compact()
+	return v, true, nil
+}
+
+func (r *Reader) readValue() (Value, bool, error) {
+	if r.pos >= len(r.buf) {
+		return Value{}, false, nil
+	}
+	t := r.buf[r.pos]
+	switch t {
+	case TypeSimple, TypeError:
+		r.pos++
+		l, ok := r.line()
+		if !ok {
+			return Value{}, false, nil
+		}
+		return Value{Type: t, Str: append([]byte(nil), l...)}, true, nil
+	case TypeInteger:
+		r.pos++
+		l, ok := r.line()
+		if !ok {
+			return Value{}, false, nil
+		}
+		n, err := strconv.ParseInt(string(l), 10, 64)
+		if err != nil {
+			return Value{}, false, fmt.Errorf("%w: bad integer %q", ErrProtocol, l)
+		}
+		return Value{Type: t, Int: n}, true, nil
+	case TypeBulk:
+		r.pos++
+		l, ok := r.line()
+		if !ok {
+			return Value{}, false, nil
+		}
+		n, err := strconv.Atoi(string(l))
+		if err != nil || n < -1 {
+			return Value{}, false, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, l)
+		}
+		if n == -1 {
+			return Value{Type: t, Null: true}, true, nil
+		}
+		if len(r.buf)-r.pos < n+2 {
+			return Value{}, false, nil
+		}
+		payload := append([]byte(nil), r.buf[r.pos:r.pos+n]...)
+		if r.buf[r.pos+n] != '\r' || r.buf[r.pos+n+1] != '\n' {
+			return Value{}, false, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+		}
+		r.pos += n + 2
+		return Value{Type: t, Str: payload}, true, nil
+	case TypeArray:
+		r.pos++
+		l, ok := r.line()
+		if !ok {
+			return Value{}, false, nil
+		}
+		n, err := strconv.Atoi(string(l))
+		if err != nil || n < -1 {
+			return Value{}, false, fmt.Errorf("%w: bad array length %q", ErrProtocol, l)
+		}
+		if n == -1 {
+			return Value{Type: t, Null: true}, true, nil
+		}
+		arr := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			e, ok, err := r.readValue()
+			if err != nil {
+				return Value{}, false, err
+			}
+			if !ok {
+				return Value{}, false, nil
+			}
+			arr = append(arr, e)
+		}
+		return Value{Type: t, Array: arr}, true, nil
+	default:
+		return Value{}, false, fmt.Errorf("%w: unexpected byte %q", ErrProtocol, t)
+	}
+}
+
+// ReadCommand decodes one client command: either a RESP array of bulk
+// strings or an inline command (space-separated words on one line).
+// ok=false means more bytes needed.
+func (r *Reader) ReadCommand() ([][]byte, bool, error) {
+	if r.pos >= len(r.buf) {
+		return nil, false, nil
+	}
+	for r.pos < len(r.buf) && r.buf[r.pos] != TypeArray {
+		// Inline command; empty lines are skipped silently.
+		l, ok := r.line()
+		if !ok {
+			return nil, false, nil
+		}
+		fields := bytes.Fields(l)
+		if len(fields) == 0 {
+			r.compact()
+			continue
+		}
+		argv := make([][]byte, len(fields))
+		for i, f := range fields {
+			argv[i] = append([]byte(nil), f...)
+		}
+		r.compact()
+		return argv, true, nil
+	}
+	if r.pos >= len(r.buf) {
+		return nil, false, nil
+	}
+	v, ok, err := r.ReadValue()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	if v.Null || len(v.Array) == 0 {
+		return nil, false, fmt.Errorf("%w: empty command array", ErrProtocol)
+	}
+	argv := make([][]byte, len(v.Array))
+	for i, e := range v.Array {
+		if e.Type != TypeBulk || e.Null {
+			return nil, false, fmt.Errorf("%w: command element not a bulk string", ErrProtocol)
+		}
+		argv[i] = e.Str
+	}
+	return argv, true, nil
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"skv/internal/fabric"
+	"skv/internal/rdb"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+// ---- Master side ----
+
+// propagate appends a write to the replication stream: backlog first, then
+// either the default slave fan-out or the SKV offload hook.
+func (s *Server) propagate(db int, argv [][]byte) {
+	if db != s.replDB {
+		sel := resp.EncodeCommand("SELECT", strconv.Itoa(db))
+		s.backlog.Write(sel)
+		s.replDB = db
+		if s.OnPropagate == nil {
+			s.feedSlaves(sel)
+		} else {
+			s.OnPropagate(sel)
+		}
+	}
+	cmd := resp.EncodeCommandBytes(argv...)
+	s.backlog.Write(cmd)
+	s.WritesPropagated++
+	if s.OnPropagate == nil {
+		s.feedSlaves(cmd)
+	} else {
+		s.OnPropagate(cmd)
+	}
+}
+
+// feedSlaves is the RDMA-Redis/original-Redis steady-state replication: the
+// master writes the command into every slave's output buffer and flushes it
+// — consuming CPU (and a posted work request, inside conn.Send) per slave
+// per write. This is exactly the overhead Fig 7 measures and SKV offloads.
+func (s *Server) feedSlaves(cmd []byte) {
+	p := s.params
+	for _, sl := range s.slaves {
+		s.proc.Core.Charge(p.ReplFeedSlaveCPU)
+		if p.ReplFeedJitterP > 0 && s.rnd.Float64() < p.ReplFeedJitterP {
+			// Output-buffer growth / backlog trim slow path.
+			s.proc.Core.Charge(p.ReplFeedJitterCPU)
+		}
+		sl.client.conn.Send(cmd)
+	}
+}
+
+// cmdPSync implements the master side of the synchronization handshake:
+// partial resync from the backlog when possible, full RDB transfer
+// otherwise (paper §III-C initial synchronization, inherited from Redis).
+func (s *Server) cmdPSync(c *client, argv [][]byte) {
+	if len(argv) != 3 {
+		s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'psync' command"))
+		return
+	}
+	wantID := string(argv[1])
+	wantOff, err := strconv.ParseInt(string(argv[2]), 10, 64)
+	if err != nil {
+		s.reply(c, resp.AppendError(nil, "ERR invalid offset"))
+		return
+	}
+	c.isSlaveLink = true
+	sl := &slaveHandle{client: c, addr: c.conn.RemoteAddr()}
+	if wantID == s.replID {
+		if delta, okRange := s.backlog.Range(wantOff); okRange {
+			// Partial resynchronization.
+			sl.ackOff = wantOff
+			s.slaves = append(s.slaves, sl)
+			s.reply(c, resp.AppendSimple(nil, "CONTINUE"))
+			if len(delta) > 0 {
+				s.proc.Core.Charge(s.params.ReplFeedSlaveCPU)
+				c.conn.Send(delta)
+			}
+			return
+		}
+	}
+	// Full resynchronization: persist all data (the paper's step ②; the
+	// fork plus serialization consume master CPU) and ship the RDB file.
+	s.reply(c, resp.AppendSimple(nil, fmt.Sprintf("FULLRESYNC %s %d", s.replID, s.ReplOffset())))
+	s.proc.Core.Charge(s.params.ForkCPU)
+	dump := rdb.Dump(s.store)
+	s.proc.Core.Charge(sim.Duration(float64(len(dump)) * s.params.RDBPerByte))
+	sl.ackOff = s.ReplOffset()
+	s.slaves = append(s.slaves, sl)
+	c.conn.Send(dump)
+}
+
+// cmdReplConf handles REPLCONF; ACK carries the slave's replication
+// progress (paper §III-C step ③: the progress report).
+func (s *Server) cmdReplConf(c *client, argv [][]byte) {
+	if len(argv) >= 3 && strings.EqualFold(string(argv[1]), "ACK") {
+		off, err := strconv.ParseInt(string(argv[2]), 10, 64)
+		if err == nil {
+			for _, sl := range s.slaves {
+				if sl.client == c {
+					sl.ackOff = off
+				}
+			}
+			s.CheckWaiters()
+		}
+		return // ACK gets no reply
+	}
+	s.reply(c, resp.AppendSimple(nil, "OK"))
+}
+
+func (s *Server) cmdSlaveOf(c *client, argv [][]byte) {
+	if len(argv) == 3 && strings.EqualFold(string(argv[1]), "NO") && strings.EqualFold(string(argv[2]), "ONE") {
+		s.PromoteToMaster()
+		s.reply(c, resp.AppendSimple(nil, "OK"))
+		return
+	}
+	// In-simulation addressing is by endpoint, not hostname; the harness
+	// wires replication via the SlaveOf API.
+	s.reply(c, resp.AppendError(nil, "ERR use the SlaveOf API in simulation"))
+}
+
+// SlaveAckOffsets reports each attached slave's acknowledged offset.
+func (s *Server) SlaveAckOffsets() []int64 {
+	out := make([]int64, len(s.slaves))
+	for i, sl := range s.slaves {
+		out[i] = sl.ackOff
+	}
+	return out
+}
+
+// ---- Slave side ----
+
+// linkState tracks the replication handshake progress.
+type linkState int
+
+const (
+	linkConnecting linkState = iota
+	linkWaitPsyncReply
+	linkWaitRDB
+	linkStreaming
+)
+
+// masterLink is the slave's connection to its master.
+type masterLink struct {
+	srv        *Server
+	conn       transport.Conn
+	targetEP   *fabric.Endpoint
+	targetPort int
+	state      linkState
+
+	masterReplID string
+	offset       int64
+	db           int
+	reader       resp.Reader
+}
+
+// MasterOffset reports the slave's replication offset (bytes of stream
+// applied or in the query buffer).
+func (s *Server) MasterOffset() int64 {
+	if s.master == nil {
+		return 0
+	}
+	return s.master.offset
+}
+
+// SyncedWithMaster reports whether the slave reached steady-state
+// streaming.
+func (s *Server) SyncedWithMaster() bool {
+	return s.master != nil && s.master.state == linkStreaming
+}
+
+// SlaveOf connects this server as a slave of the given master endpoint
+// (the SLAVEOF command's effect). Passing nil promotes to master.
+func (s *Server) SlaveOf(target *fabric.Endpoint, port int) {
+	if target == nil {
+		s.PromoteToMaster()
+		return
+	}
+	s.role = RoleSlave
+	ml := &masterLink{srv: s, targetEP: target, targetPort: port, state: linkConnecting}
+	// Carry over prior sync state for partial resynchronization.
+	if s.master != nil {
+		ml.masterReplID = s.master.masterReplID
+		ml.offset = s.master.offset
+	}
+	s.master = ml
+	s.stack.Dial(target, port, func(conn transport.Conn, err error) {
+		if !s.alive || s.master != ml {
+			return
+		}
+		if err != nil {
+			// Master unreachable: retry after a beat (the paper's slave
+			// checks for master info "at every certain interval").
+			s.eng.After(500*sim.Millisecond, func() {
+				if s.alive && s.master == ml {
+					s.SlaveOf(target, port)
+				}
+			})
+			return
+		}
+		ml.conn = conn
+		conn.SetHandler(func(data []byte) { ml.onMessage(data) })
+		conn.SetCloseHandler(func() {})
+		id := ml.masterReplID
+		if id == "" {
+			id = "?"
+		}
+		ml.state = linkWaitPsyncReply
+		s.proc.Core.Charge(s.params.ReplyBuildCPU)
+		conn.Send(resp.EncodeCommand("PSYNC", id, strconv.FormatInt(ml.offset, 10)))
+	})
+}
+
+// onMessage drives the slave-side sync state machine.
+func (ml *masterLink) onMessage(data []byte) {
+	s := ml.srv
+	if !s.alive || s.master != ml {
+		return
+	}
+	switch ml.state {
+	case linkWaitPsyncReply:
+		var r resp.Reader
+		r.Feed(data)
+		v, ok, err := r.ReadValue()
+		if err != nil || !ok || v.Type != resp.TypeSimple {
+			return
+		}
+		fields := strings.Fields(string(v.Str))
+		switch {
+		case len(fields) == 3 && fields[0] == "FULLRESYNC":
+			ml.masterReplID = fields[1]
+			off, _ := strconv.ParseInt(fields[2], 10, 64)
+			ml.offset = off
+			ml.state = linkWaitRDB
+		case len(fields) >= 1 && fields[0] == "CONTINUE":
+			ml.state = linkStreaming
+		}
+		// Any trailing bytes in the same message are stream data.
+		if rest := data[len(data)-r.Buffered():]; len(rest) > 0 && ml.state == linkStreaming {
+			ml.onMessage(rest)
+		}
+	case linkWaitRDB:
+		// The RDB payload: charge load cost proportional to size.
+		s.proc.Core.Charge(sim.Duration(float64(len(data)) * s.params.RDBPerByte))
+		if err := rdb.Load(s.store, data); err != nil {
+			// Corrupt transfer: restart sync from scratch.
+			ml.masterReplID = ""
+			ml.offset = 0
+			s.SlaveOf(ml.targetEP, ml.targetPort)
+			return
+		}
+		ml.state = linkStreaming
+	case linkStreaming:
+		ml.offset += int64(len(data))
+		ml.reader.Feed(data)
+		for {
+			argv, ok, err := ml.reader.ReadCommand()
+			if err != nil || !ok {
+				return
+			}
+			ml.applyCommand(argv)
+		}
+	}
+}
+
+// applyCommand executes one replicated write on the slave ("Every time the
+// slave node receives a new command, it executes the command immediately to
+// ensure that its data is consistent with the master node").
+func (ml *masterLink) applyCommand(argv [][]byte) {
+	s := ml.srv
+	name := strings.ToLower(string(argv[0]))
+	if name == "select" && len(argv) == 2 {
+		if n, err := strconv.Atoi(string(argv[1])); err == nil {
+			ml.db = n
+		}
+		return
+	}
+	s.proc.Core.Charge(s.params.SlaveApplyCPU)
+	s.store.Exec(ml.db, argv)
+}
+
+// sendAck reports replication progress to the master (REPLCONF ACK).
+func (ml *masterLink) sendAck() {
+	if ml.conn == nil || ml.state != linkStreaming {
+		return
+	}
+	ml.srv.proc.Core.Charge(ml.srv.params.ReplyBuildCPU)
+	ml.conn.Send(resp.EncodeCommand("REPLCONF", "ACK", strconv.FormatInt(ml.offset, 10)))
+}

@@ -1,0 +1,445 @@
+// Package server implements the Redis-like single-threaded key-value server
+// SKV builds on (paper §II-B, Fig 4): an event loop handling file events
+// (client sockets / RDMA connections) and time events (serverCron), client
+// objects with query and reply buffers, command dispatch into the store,
+// and master-slave replication.
+//
+// Instantiated over internal/tcpsim it is the "original Redis" baseline;
+// over internal/rconn it is RDMA-Redis. The SKV system in internal/core
+// reuses it with the replication path redirected to the SmartNIC.
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"skv/internal/backlog"
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/store"
+	"skv/internal/transport"
+)
+
+// Role is the node's replication role.
+type Role int
+
+// Replication roles.
+const (
+	RoleMaster Role = iota
+	RoleSlave
+)
+
+func (r Role) String() string {
+	if r == RoleSlave {
+		return "slave"
+	}
+	return "master"
+}
+
+// Options configures a Server.
+type Options struct {
+	// Name identifies the server in logs and stats.
+	Name string
+	// Params supplies the cost model; nil uses model.Default().
+	Params *model.Params
+	// Seed drives the server's internal randomness deterministically.
+	Seed int64
+	// NumDBs is the SELECT-able database count (default 16).
+	NumDBs int
+	// BacklogSize is the replication backlog capacity (default 1MB).
+	BacklogSize int
+	// Port is the listen port (default 6379).
+	Port int
+	// DisableCron turns off serverCron time events (microbenchmarks only).
+	DisableCron bool
+}
+
+// Server is one key-value node: a single-threaded process bound to a
+// transport stack.
+type Server struct {
+	name   string
+	eng    *sim.Engine
+	proc   *sim.Proc
+	stack  transport.Stack
+	params *model.Params
+	rnd    *rand.Rand
+
+	store   *store.Store
+	backlog *backlog.Backlog
+	replID  string
+	role    Role
+	port    int
+
+	clients      map[uint64]*client
+	nextClientID uint64
+
+	// Master-side replication state.
+	slaves []*slaveHandle
+	replDB int // database the replication stream currently selects
+	// WriteGate, when non-nil, can veto writes (SKV's min-slaves rule).
+	WriteGate func() string
+
+	// Slave-side replication state.
+	master *masterLink
+
+	// OnPropagate, when non-nil, replaces the default feed-each-slave
+	// replication path (SKV routes the write to Nic-KV instead). The
+	// backlog has already been appended when it runs.
+	OnPropagate func(cmd []byte)
+
+	// OnRoleChange is invoked after promotion/demotion (failover tests).
+	OnRoleChange func(Role)
+
+	// WaitOffsets, when non-nil, supplies per-replica acknowledged offsets
+	// for WAIT (SKV wires Nic-KV's status reports here; the default reads
+	// the slaves' REPLCONF ACKs).
+	WaitOffsets func() []int64
+	waiters     []*waiter
+
+	alive bool
+	cron  *sim.Ticker
+
+	// Stats.
+	CommandsProcessed uint64
+	WritesPropagated  uint64
+	ErrRepliesSent    uint64
+}
+
+// client mirrors the Redis client object: per-connection buffers and state.
+type client struct {
+	id     uint64
+	conn   transport.Conn
+	reader resp.Reader
+	db     int
+	// isSlaveLink marks the connection as a replication channel to a slave.
+	isSlaveLink bool
+}
+
+// slaveHandle is the master's view of one attached slave.
+type slaveHandle struct {
+	client *client
+	ackOff int64
+	addr   string
+}
+
+// New creates a server on the given transport stack. The stack's process is
+// the server's single thread.
+func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *Server {
+	p := opts.Params
+	if p == nil {
+		def := model.Default()
+		p = &def
+	}
+	if opts.NumDBs == 0 {
+		opts.NumDBs = 16
+	}
+	if opts.BacklogSize == 0 {
+		opts.BacklogSize = 1 << 20
+	}
+	if opts.Port == 0 {
+		opts.Port = 6379
+	}
+	rnd := rand.New(rand.NewSource(opts.Seed ^ 0x5b17))
+	s := &Server{
+		name:    opts.Name,
+		eng:     eng,
+		proc:    proc,
+		stack:   stack,
+		params:  p,
+		rnd:     rnd,
+		backlog: backlog.New(opts.BacklogSize),
+		replID:  fmt.Sprintf("%016x%016x", rnd.Uint64(), rnd.Uint64()),
+		clients: make(map[uint64]*client),
+		port:    opts.Port,
+		alive:   true,
+	}
+	s.store = store.New(opts.NumDBs, opts.Seed^0x57a7e, func() int64 {
+		return int64(eng.Now() / sim.Time(sim.Millisecond))
+	})
+	stack.Listen(opts.Port, s.accept)
+	if !opts.DisableCron {
+		s.cron = eng.Every(p.CronPeriod, s.serverCron)
+	}
+	return s
+}
+
+// Accessors used by the SKV layer and the benchmark harness.
+
+// Name reports the server's identifier.
+func (s *Server) Name() string { return s.name }
+
+// Store exposes the keyspace.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Backlog exposes the replication backlog.
+func (s *Server) Backlog() *backlog.Backlog { return s.backlog }
+
+// Proc exposes the server's single-threaded process.
+func (s *Server) Proc() *sim.Proc { return s.proc }
+
+// Params exposes the cost model.
+func (s *Server) Params() *model.Params { return s.params }
+
+// Engine exposes the simulation engine.
+func (s *Server) Engine() *sim.Engine { return s.eng }
+
+// Stack exposes the transport stack.
+func (s *Server) Stack() transport.Stack { return s.stack }
+
+// Role reports the current replication role.
+func (s *Server) Role() Role { return s.role }
+
+// ReplID reports the replication ID.
+func (s *Server) ReplID() string { return s.replID }
+
+// ReplOffset reports the master replication offset (bytes of write stream).
+func (s *Server) ReplOffset() int64 { return s.backlog.EndOffset() }
+
+// Port reports the listen port.
+func (s *Server) Port() int { return s.port }
+
+// Alive reports whether the process is running (false after Crash).
+func (s *Server) Alive() bool { return s.alive }
+
+// SlaveCount reports the number of attached slaves (master side).
+func (s *Server) SlaveCount() int { return len(s.slaves) }
+
+// serverCron is the periodic time event: active expiry, rehash steps,
+// replication bookkeeping. Its CPU cost is a deliberate tail-latency source.
+func (s *Server) serverCron() {
+	if !s.alive {
+		return
+	}
+	s.proc.Post(s.params.CronCPU, func() {
+		s.store.ActiveExpireCycle(20)
+		s.store.RehashStep(100)
+		if s.role == RoleSlave && s.master != nil {
+			s.master.sendAck()
+		}
+	})
+}
+
+// accept handles a new inbound connection.
+func (s *Server) accept(conn transport.Conn) {
+	if !s.alive {
+		return
+	}
+	s.nextClientID++
+	c := &client{id: s.nextClientID, conn: conn}
+	s.clients[c.id] = c
+	conn.SetHandler(func(data []byte) { s.readQueryFromClient(c, data) })
+	conn.SetCloseHandler(func() { s.freeClient(c) })
+}
+
+func (s *Server) freeClient(c *client) {
+	delete(s.clients, c.id)
+	for i, sl := range s.slaves {
+		if sl.client == c {
+			s.slaves = append(s.slaves[:i], s.slaves[i+1:]...)
+			break
+		}
+	}
+	// Retire any WAIT blocked on this client.
+	remaining := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.c == c {
+			w.done = true
+			if w.timer != nil {
+				w.timer.Cancel()
+			}
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	s.waiters = remaining
+}
+
+// readQueryFromClient is the file-event read callback (paper Fig 4): feed
+// the query buffer, parse complete commands, execute each.
+func (s *Server) readQueryFromClient(c *client, data []byte) {
+	if !s.alive {
+		return
+	}
+	c.reader.Feed(data)
+	for {
+		argv, ok, err := c.reader.ReadCommand()
+		if err != nil {
+			s.proc.Core.Charge(s.params.ReplyBuildCPU)
+			c.conn.Send(resp.AppendError(nil, "ERR Protocol error"))
+			c.conn.Close()
+			s.freeClient(c)
+			return
+		}
+		if !ok {
+			return
+		}
+		s.processCommand(c, argv)
+		if !s.alive {
+			return
+		}
+	}
+}
+
+// execCost models the CPU consumed executing a command body.
+func (s *Server) execCost(name string, argv [][]byte) sim.Duration {
+	p := s.params
+	var base sim.Duration
+	var payload int
+	switch name {
+	case "get":
+		base = p.CmdExecGetCPU
+		if len(argv) > 1 {
+			payload = len(argv[1])
+		}
+	case "set":
+		base = p.CmdExecSetCPU
+		if len(argv) > 2 {
+			payload = len(argv[2])
+		}
+	default:
+		base = p.CmdExecSetCPU
+		for _, a := range argv[1:] {
+			payload += len(a)
+		}
+	}
+	cost := base + sim.Duration(float64(payload)*p.CmdExecPerByte)
+	if p.ExecJitterSigma > 0 {
+		f := math.Exp(p.ExecJitterSigma * s.rnd.NormFloat64() * 0.5)
+		cost = sim.Duration(float64(cost) * f)
+	}
+	return cost
+}
+
+// processCommand runs one parsed command on behalf of a client: charge
+// parse+execute CPU, dispatch (server-level commands first, then the
+// store), reply, and propagate writes.
+func (s *Server) processCommand(c *client, argv [][]byte) {
+	name := strings.ToLower(string(argv[0]))
+	size := 0
+	for _, a := range argv {
+		size += len(a) + 14 // RESP framing overhead per arg
+	}
+	s.proc.Core.Charge(s.params.ParseCost(size))
+	s.CommandsProcessed++
+
+	// Server-level commands (connection state, replication handshake).
+	switch name {
+	case "select":
+		s.cmdSelect(c, argv)
+		return
+	case "psync":
+		s.cmdPSync(c, argv)
+		return
+	case "replconf":
+		s.cmdReplConf(c, argv)
+		return
+	case "slaveof", "replicaof":
+		s.cmdSlaveOf(c, argv)
+		return
+	case "wait":
+		s.cmdWait(c, argv)
+		return
+	}
+
+	// Writes are refused on slaves and when the write gate (min-slaves)
+	// vetoes them.
+	if store.IsWriteCommand(name) {
+		if s.role == RoleSlave {
+			s.reply(c, resp.AppendError(nil, "READONLY You can't write against a read only replica."))
+			return
+		}
+		if s.WriteGate != nil {
+			if msg := s.WriteGate(); msg != "" {
+				s.ErrRepliesSent++
+				s.reply(c, resp.AppendError(nil, msg))
+				return
+			}
+		}
+	}
+
+	s.proc.Core.Charge(s.execCost(name, argv))
+	reply, dirty := s.store.Exec(c.db, argv)
+	if dirty && s.role == RoleMaster {
+		s.propagate(c.db, argv)
+	}
+	s.reply(c, reply)
+}
+
+// reply writes the RESP reply to the client (the addReply →
+// sendReplyToClient path).
+func (s *Server) reply(c *client, data []byte) {
+	s.proc.Core.Charge(s.params.ReplyBuildCPU)
+	c.conn.Send(data)
+}
+
+func (s *Server) cmdSelect(c *client, argv [][]byte) {
+	if len(argv) != 2 {
+		s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'select' command"))
+		return
+	}
+	n, err := strconv.Atoi(string(argv[1]))
+	if err != nil || n < 0 || n >= s.store.NumDBs() {
+		s.reply(c, resp.AppendError(nil, "ERR DB index is out of range"))
+		return
+	}
+	c.db = n
+	s.reply(c, resp.AppendSimple(nil, "OK"))
+}
+
+// Crash stops the process: no more events are handled until Recover. The
+// transport endpoints stay up (the machine is alive; the Host-KV process
+// died), so peers observe silence, exactly what Nic-KV's probe-based
+// failure detector is built to catch (paper §III-D, Fig 14).
+func (s *Server) Crash() {
+	s.alive = false
+	if s.cron != nil {
+		s.cron.Stop()
+	}
+}
+
+// Recover restarts the process. A slave re-establishes replication with its
+// master (partial resync via the backlog when possible).
+func (s *Server) Recover() {
+	if s.alive {
+		return
+	}
+	s.alive = true
+	if s.cron != nil {
+		s.cron = s.eng.Every(s.params.CronPeriod, s.serverCron)
+	}
+	if s.role == RoleSlave && s.master != nil {
+		target, port := s.master.targetEP, s.master.targetPort
+		s.master = nil
+		s.SlaveOf(target, port)
+	}
+}
+
+// SetRole forces the replication role without side effects (the SKV layer
+// manages its own synchronization).
+func (s *Server) SetRole(r Role) { s.role = r }
+
+// PromoteToMaster switches a slave into master role (SKV failover).
+func (s *Server) PromoteToMaster() {
+	if s.role == RoleMaster {
+		return
+	}
+	s.role = RoleMaster
+	s.master = nil
+	if s.OnRoleChange != nil {
+		s.OnRoleChange(RoleMaster)
+	}
+}
+
+// DemoteToSlaveOf turns a (promoted) master back into a slave of target.
+func (s *Server) DemoteToSlaveOf(target *fabric.Endpoint, port int) {
+	s.role = RoleSlave
+	if s.OnRoleChange != nil {
+		s.OnRoleChange(RoleSlave)
+	}
+	s.SlaveOf(target, port)
+}

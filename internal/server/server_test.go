@@ -1,0 +1,448 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/tcpsim"
+	"skv/internal/transport"
+)
+
+// world wires an engine, fabric and helper constructors for server tests.
+type world struct {
+	eng *sim.Engine
+	net *fabric.Network
+	p   *model.Params
+}
+
+func newWorld(seed int64) *world {
+	eng := sim.New(seed)
+	p := model.Default()
+	return &world{eng: eng, net: fabric.New(eng, &p), p: &p}
+}
+
+// run advances the simulation a bounded slice of virtual time (the cron
+// time events keep the queue non-empty forever, so Run(0) would not
+// return).
+func (w *world) run() { w.eng.Run(w.eng.Now().Add(500 * sim.Millisecond)) }
+
+func (w *world) server(name string, port int) *Server {
+	m := w.net.NewMachine(name, false)
+	core := sim.NewCore(w.eng, name+"-core", 1.0)
+	proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+	stack := tcpsim.New(w.net, m.Host, proc)
+	return New(Options{Name: name, Params: w.p, Seed: seed(name), Port: port}, w.eng, stack, proc)
+}
+
+func seed(name string) int64 {
+	var s int64
+	for _, c := range name {
+		s = s*31 + int64(c)
+	}
+	return s
+}
+
+// scriptClient drives a server over the simulated fabric.
+type scriptClient struct {
+	w      *world
+	conn   transport.Conn
+	reader resp.Reader
+	got    []resp.Value
+}
+
+func (w *world) dial(t *testing.T, srv *Server) *scriptClient {
+	t.Helper()
+	m := w.net.NewMachine("cli-"+srv.Name()+nextID(), false)
+	core := sim.NewCore(w.eng, m.Name+"-core", 1.0)
+	proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+	stack := tcpsim.New(w.net, m.Host, proc)
+	sc := &scriptClient{w: w}
+	stack.Dial(srv.Stack().Endpoint(), srv.Port(), func(c transport.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		sc.conn = c
+		c.SetHandler(func(data []byte) {
+			sc.reader.Feed(data)
+			for {
+				v, ok, err := sc.reader.ReadValue()
+				if err != nil || !ok {
+					return
+				}
+				sc.got = append(sc.got, v)
+			}
+		})
+	})
+	w.run()
+	if sc.conn == nil {
+		t.Fatal("client never connected")
+	}
+	return sc
+}
+
+var idCounter int
+
+func nextID() string {
+	idCounter++
+	return string(rune('a' + idCounter%26))
+}
+
+// do sends a command and runs the engine until quiescent, returning the
+// last reply received.
+func (sc *scriptClient) do(t *testing.T, args ...string) resp.Value {
+	t.Helper()
+	before := len(sc.got)
+	sc.w.eng.After(0, func() { sc.conn.Send(resp.EncodeCommand(args...)) })
+	sc.w.eng.Run(sc.w.eng.Now().Add(50 * sim.Millisecond))
+	if len(sc.got) <= before {
+		t.Fatalf("no reply to %v", args)
+	}
+	return sc.got[len(sc.got)-1]
+}
+
+func TestServerExecutesCommands(t *testing.T) {
+	w := newWorld(1)
+	srv := w.server("s", 6379)
+	c := w.dial(t, srv)
+	if v := c.do(t, "SET", "k", "v"); !v.IsOK() {
+		t.Fatalf("SET: %s", v.String())
+	}
+	if v := c.do(t, "GET", "k"); v.String() != "v" {
+		t.Fatalf("GET: %s", v.String())
+	}
+	if srv.CommandsProcessed < 2 {
+		t.Fatalf("CommandsProcessed=%d", srv.CommandsProcessed)
+	}
+}
+
+func TestServerSelect(t *testing.T) {
+	w := newWorld(2)
+	srv := w.server("s", 6379)
+	c := w.dial(t, srv)
+	c.do(t, "SET", "k", "db0")
+	if v := c.do(t, "SELECT", "1"); !v.IsOK() {
+		t.Fatalf("SELECT: %s", v.String())
+	}
+	if v := c.do(t, "GET", "k"); !v.Null {
+		t.Fatalf("db1 GET: %s", v.String())
+	}
+	if v := c.do(t, "SELECT", "99"); !v.IsError() {
+		t.Fatal("SELECT 99 accepted")
+	}
+}
+
+func TestSlaveRefusesWrites(t *testing.T) {
+	w := newWorld(3)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	if !slave.SyncedWithMaster() {
+		t.Fatal("slave did not sync")
+	}
+	c := w.dial(t, slave)
+	if v := c.do(t, "SET", "k", "v"); !v.IsError() || !strings.Contains(v.String(), "READONLY") {
+		t.Fatalf("slave write: %s", v.String())
+	}
+	if v := c.do(t, "GET", "anything"); v.IsError() {
+		t.Fatalf("slave read refused: %s", v.String())
+	}
+}
+
+func TestFullResyncTransfersDataset(t *testing.T) {
+	w := newWorld(4)
+	master := w.server("m", 6379)
+	c := w.dial(t, master)
+	for i := 0; i < 50; i++ {
+		c.do(t, "SET", "key"+nextID()+string(rune('0'+i%10)), "value")
+	}
+	preKeys := master.Store().DBSize(0)
+	if preKeys == 0 {
+		t.Fatal("no keys on master")
+	}
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	if !slave.SyncedWithMaster() {
+		t.Fatal("slave did not sync")
+	}
+	if got := slave.Store().DBSize(0); got != preKeys {
+		t.Fatalf("slave keys=%d master=%d after full resync", got, preKeys)
+	}
+	// Steady state: a new write reaches the slave.
+	c.do(t, "SET", "fresh", "val")
+	reply, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte("fresh")})
+	if string(reply) != "$3\r\nval\r\n" {
+		t.Fatalf("steady-state propagation: %q", reply)
+	}
+}
+
+func TestPartialResyncViaBacklog(t *testing.T) {
+	w := newWorld(5)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	c.do(t, "SET", "a", "1")
+
+	// Knock the slave out, write more, then recover: the gap fits in the
+	// backlog so the slave must take the CONTINUE path (no RDB load).
+	slave.Crash()
+	c.do(t, "SET", "b", "2")
+	c.do(t, "SET", "c", "3")
+	slave.Recover()
+	w.run()
+	if !slave.SyncedWithMaster() {
+		t.Fatal("slave did not resync")
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		reply, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte(k)})
+		if reply[0] != '$' || string(reply) == "$-1\r\n" {
+			t.Fatalf("key %s missing after partial resync: %q", k, reply)
+		}
+	}
+}
+
+func TestSlaveAcksAdvanceMasterView(t *testing.T) {
+	w := newWorld(6)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	for i := 0; i < 20; i++ {
+		c.do(t, "SET", "k", "v")
+	}
+	// Run past a cron period so the slave sends REPLCONF ACK.
+	w.eng.Run(w.eng.Now().Add(300 * sim.Millisecond))
+	offs := master.SlaveAckOffsets()
+	if len(offs) != 1 {
+		t.Fatalf("slave handles: %d", len(offs))
+	}
+	if offs[0] != master.ReplOffset() {
+		t.Fatalf("ack offset %d != master offset %d", offs[0], master.ReplOffset())
+	}
+}
+
+func TestWriteGateBlocksWrites(t *testing.T) {
+	w := newWorld(7)
+	srv := w.server("s", 6379)
+	srv.WriteGate = func() string { return "NOREPLICAS nope" }
+	c := w.dial(t, srv)
+	if v := c.do(t, "SET", "k", "v"); !v.IsError() {
+		t.Fatalf("gated write accepted: %s", v.String())
+	}
+	if v := c.do(t, "GET", "k"); v.IsError() {
+		t.Fatal("gate must not block reads")
+	}
+	if srv.ErrRepliesSent == 0 {
+		t.Fatal("ErrRepliesSent not counted")
+	}
+}
+
+func TestOnPropagateHookReplacesFanout(t *testing.T) {
+	w := newWorld(8)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	var hooked [][]byte
+	master.OnPropagate = func(cmd []byte) { hooked = append(hooked, cmd) }
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	if len(hooked) != 1 {
+		t.Fatalf("hook called %d times", len(hooked))
+	}
+	// The default fan-out must NOT have run: slave never saw the write.
+	reply, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte("k")})
+	if string(reply) != "$-1\r\n" {
+		t.Fatal("default fan-out ran despite OnPropagate hook")
+	}
+	// But the backlog was still appended (offsets must advance).
+	if master.ReplOffset() == 0 {
+		t.Fatal("backlog not written")
+	}
+}
+
+func TestProtocolErrorClosesConnection(t *testing.T) {
+	w := newWorld(9)
+	srv := w.server("s", 6379)
+	c := w.dial(t, srv)
+	w.eng.After(0, func() { c.conn.Send([]byte("*1\r\n:5\r\n")) }) // ints not allowed in commands
+	w.run()
+	if len(c.got) == 0 || !c.got[len(c.got)-1].IsError() {
+		t.Fatal("no protocol error reply")
+	}
+}
+
+func TestUnknownAndPingCommands(t *testing.T) {
+	w := newWorld(10)
+	srv := w.server("s", 6379)
+	c := w.dial(t, srv)
+	if v := c.do(t, "PING"); v.String() != "PONG" {
+		t.Fatalf("PING: %s", v.String())
+	}
+	if v := c.do(t, "WHATISTHIS"); !v.IsError() {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestCrashStopsProcessingRecoverResumes(t *testing.T) {
+	w := newWorld(11)
+	srv := w.server("s", 6379)
+	c := w.dial(t, srv)
+	c.do(t, "SET", "k", "1")
+	srv.Crash()
+	before := len(c.got)
+	w.eng.After(0, func() { c.conn.Send(resp.EncodeCommand("GET", "k")) })
+	w.run()
+	if len(c.got) != before {
+		t.Fatal("crashed server replied")
+	}
+	srv.Recover()
+	if v := c.do(t, "GET", "k"); v.String() != "1" {
+		t.Fatalf("after recover: %s", v.String())
+	}
+}
+
+func TestRoleTransitions(t *testing.T) {
+	w := newWorld(12)
+	srv := w.server("s", 6379)
+	if srv.Role() != RoleMaster {
+		t.Fatal("fresh server should be master")
+	}
+	srv.SetRole(RoleSlave)
+	if srv.Role() != RoleSlave || srv.Role().String() != "slave" {
+		t.Fatal("SetRole failed")
+	}
+	changed := false
+	srv.OnRoleChange = func(r Role) { changed = r == RoleMaster }
+	srv.PromoteToMaster()
+	if !changed || srv.Role() != RoleMaster {
+		t.Fatal("promotion failed")
+	}
+}
+
+func TestSlaveOfCommandNoOne(t *testing.T) {
+	w := newWorld(13)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, slave)
+	if v := c.do(t, "SLAVEOF", "NO", "ONE"); !v.IsOK() {
+		t.Fatalf("SLAVEOF NO ONE: %s", v.String())
+	}
+	if slave.Role() != RoleMaster {
+		t.Fatal("SLAVEOF NO ONE did not promote")
+	}
+	if v := c.do(t, "SET", "now-writable", "1"); !v.IsOK() {
+		t.Fatalf("write after promotion: %s", v.String())
+	}
+}
+
+func TestSelectPropagatesInReplicationStream(t *testing.T) {
+	w := newWorld(14)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	c.do(t, "SELECT", "2")
+	c.do(t, "SET", "indb2", "yes")
+	c.do(t, "SELECT", "0")
+	c.do(t, "SET", "indb0", "yes")
+	w.run()
+	r2, _ := slave.Store().Exec(2, [][]byte{[]byte("GET"), []byte("indb2")})
+	r0, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte("indb0")})
+	if string(r2) != "$3\r\nyes\r\n" {
+		t.Fatalf("db2 write not replicated to slave db2: %q", r2)
+	}
+	if string(r0) != "$3\r\nyes\r\n" {
+		t.Fatalf("db0 write after SELECT-back not replicated: %q", r0)
+	}
+	rWrong, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte("indb2")})
+	if string(rWrong) != "$-1\r\n" {
+		t.Fatal("db2 key leaked into slave db0")
+	}
+}
+
+func TestExpiryReplicates(t *testing.T) {
+	w := newWorld(15)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	c.do(t, "PEXPIRE", "k", "200")
+	w.run() // 500ms ≫ 200ms TTL
+	reply, _ := slave.Store().Exec(0, [][]byte{[]byte("GET"), []byte("k")})
+	if string(reply) != "$-1\r\n" {
+		t.Fatalf("expired key still on slave: %q", reply)
+	}
+}
+
+func TestWaitCommandBaseline(t *testing.T) {
+	w := newWorld(16)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	// One replica must acknowledge within a cron period (ACK every 100ms);
+	// the WAIT reply is deferred, so run past the ACK.
+	waitFor := func(args ...string) resp.Value {
+		before := len(c.got)
+		w.eng.After(0, func() { c.conn.Send(resp.EncodeCommand(args...)) })
+		w.eng.Run(w.eng.Now().Add(700 * sim.Millisecond))
+		if len(c.got) <= before {
+			t.Fatalf("no reply to %v", args)
+		}
+		return c.got[len(c.got)-1]
+	}
+	v := waitFor("WAIT", "1", "500")
+	if v.Type != resp.TypeInteger || v.Int < 1 {
+		t.Fatalf("WAIT 1: %s", v.String())
+	}
+	// Asking for more replicas than exist must time out with the count.
+	v = waitFor("WAIT", "5", "200")
+	if v.Type != resp.TypeInteger || v.Int >= 5 {
+		t.Fatalf("WAIT 5 should time out with <5: %s", v.String())
+	}
+}
+
+func TestWaitRejectsOnSlaveAndBadArgs(t *testing.T) {
+	w := newWorld(17)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, slave)
+	if v := c.do(t, "WAIT", "1", "10"); !v.IsError() {
+		t.Fatalf("WAIT on replica: %s", v.String())
+	}
+	cm := w.dial(t, master)
+	if v := cm.do(t, "WAIT", "x", "10"); !v.IsError() {
+		t.Fatalf("WAIT bad arg: %s", v.String())
+	}
+	if v := cm.do(t, "WAIT", "1"); !v.IsError() {
+		t.Fatalf("WAIT arity: %s", v.String())
+	}
+}
+
+func TestWaitZeroReplicasImmediate(t *testing.T) {
+	w := newWorld(18)
+	master := w.server("m", 6379)
+	c := w.dial(t, master)
+	if v := c.do(t, "WAIT", "0", "0"); v.Type != resp.TypeInteger || v.Int != 0 {
+		t.Fatalf("WAIT 0 0: %s", v.String())
+	}
+}

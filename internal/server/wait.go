@@ -1,0 +1,108 @@
+package server
+
+import (
+	"strconv"
+
+	"skv/internal/resp"
+	"skv/internal/sim"
+)
+
+// WAIT numreplicas timeout-ms — block the issuing client until at least
+// numreplicas replicas have acknowledged all writes issued before WAIT, or
+// the timeout fires; reply with the number of replicas that did. The reply
+// is deferred (the server keeps serving other clients), matching Redis
+// semantics.
+//
+// The replica-progress source is pluggable: the baseline master reads its
+// slaves' REPLCONF ACK offsets; the SKV master reads the per-slave offsets
+// Nic-KV reports in its status frames (set via WaitOffsets).
+
+// waiter is one blocked WAIT.
+type waiter struct {
+	c      *client
+	target int64
+	need   int
+	timer  *sim.Event
+	done   bool
+}
+
+func (s *Server) cmdWait(c *client, argv [][]byte) {
+	if len(argv) != 3 {
+		s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'wait' command"))
+		return
+	}
+	need, err1 := strconv.Atoi(string(argv[1]))
+	timeoutMs, err2 := strconv.ParseInt(string(argv[2]), 10, 64)
+	if err1 != nil || err2 != nil || need < 0 || timeoutMs < 0 {
+		s.reply(c, resp.AppendError(nil, "ERR value is not an integer or out of range"))
+		return
+	}
+	if s.role == RoleSlave {
+		s.reply(c, resp.AppendError(nil, "ERR WAIT cannot be used with replica instances"))
+		return
+	}
+	w := &waiter{c: c, target: s.ReplOffset(), need: need}
+	if s.ackedReplicas(w.target) >= need {
+		s.reply(c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
+		return
+	}
+	s.waiters = append(s.waiters, w)
+	if timeoutMs > 0 {
+		w.timer = s.eng.After(sim.Duration(timeoutMs)*sim.Millisecond, func() {
+			if w.done || !s.alive {
+				return
+			}
+			s.finishWaiter(w)
+		})
+	}
+}
+
+// ackedReplicas counts replicas whose acknowledged offset covers target.
+func (s *Server) ackedReplicas(target int64) int {
+	var offs []int64
+	if s.WaitOffsets != nil {
+		offs = s.WaitOffsets()
+	} else {
+		offs = s.SlaveAckOffsets()
+	}
+	n := 0
+	for _, off := range offs {
+		if off >= target {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckWaiters re-evaluates blocked WAITs; called whenever replica progress
+// arrives (REPLCONF ACK on the baseline, Nic-KV status on SKV).
+func (s *Server) CheckWaiters() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	remaining := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.done {
+			continue
+		}
+		if s.ackedReplicas(w.target) >= w.need {
+			s.finishWaiter(w)
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	s.waiters = remaining
+}
+
+// finishWaiter replies with the current count and retires the waiter.
+func (s *Server) finishWaiter(w *waiter) {
+	if w.done {
+		return
+	}
+	w.done = true
+	if w.timer != nil {
+		w.timer.Cancel()
+	}
+	s.proc.Core.Charge(s.params.ReplyBuildCPU)
+	s.reply(w.c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
+}

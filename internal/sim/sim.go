@@ -1,0 +1,222 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives all SKV cluster experiments in virtual time: a binary
+// heap of timestamped events, a virtual clock, and CPU resources (Core) that
+// serialize work the way a single hardware thread does. Determinism is
+// guaranteed by tie-breaking simultaneous events on a monotone sequence
+// number and by giving every component its own seeded RNG.
+//
+// Virtual time is measured in integer nanoseconds (Time). All latency and
+// throughput numbers reported by the benchmark harness derive from this
+// clock, which makes experiment output bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros reports the duration in (possibly fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis reports the duration in (possibly fractional) milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// Seconds reports the duration in (possibly fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Add offsets a point in time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub reports the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", float64(t)/1e9)
+}
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+		e.fn = nil
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation kernel: a virtual clock plus an event queue.
+// It is not safe for concurrent use; the whole simulated world runs on the
+// calling goroutine, which is what makes runs deterministic.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed so far (for runaway detection and
+	// test assertions).
+	Processed uint64
+}
+
+// New creates an engine whose component RNGs derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root RNG. Components that need independent
+// streams should use NewRand.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand derives an independent, deterministic RNG stream for a component.
+func (e *Engine) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Ticker is a handle for a periodic schedule created by Every.
+type Ticker struct {
+	stopped bool
+	ev      *Event
+}
+
+// Stop halts the periodic series. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Every schedules fn to run every period, starting after the first period.
+func (e *Engine) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if !t.stopped {
+			t.ev = e.After(period, tick)
+		}
+	}
+	t.ev = e.After(period, tick)
+	return t
+}
+
+// Stop makes Run return after the event currently executing (if any).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue empties, the horizon passes, or Stop
+// is called. A horizon of 0 means "no horizon". It returns the virtual time
+// at which it stopped.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.Processed++
+		fn()
+	}
+	if horizon > 0 && e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet popped).
+func (e *Engine) Pending() int { return len(e.events) }

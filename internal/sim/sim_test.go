@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(100, func() { ran++ })
+	end := e.Run(50)
+	if ran != 1 {
+		t.Fatalf("ran %d events before horizon, want 1", ran)
+	}
+	if end != 50 {
+		t.Fatalf("stopped at %v, want 50", end)
+	}
+	e.Run(0)
+	if ran != 2 {
+		t.Fatalf("second Run did not resume; ran=%d", ran)
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.At(100, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 125 {
+		t.Fatalf("After fired at %v, want 125", at)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := New(1)
+	count := 0
+	var h *Ticker
+	h = e.Every(10, func() {
+		count++
+		if count == 3 {
+			h.Stop()
+		}
+	})
+	e.Run(1000)
+	if count != 3 {
+		t.Fatalf("periodic fired %d times, want 3", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.Run(0)
+	if ran != 1 {
+		t.Fatalf("Stop did not halt run; ran=%d", ran)
+	}
+}
+
+func TestCoreSerializes(t *testing.T) {
+	e := New(1)
+	c := NewCore(e, "host0", 1.0)
+	var done []Time
+	e.At(0, func() {
+		c.Exec(100, func() { done = append(done, e.Now()) })
+		c.Exec(50, func() { done = append(done, e.Now()) })
+	})
+	e.Run(0)
+	if len(done) != 2 || done[0] != 100 || done[1] != 150 {
+		t.Fatalf("core completions = %v, want [100 150]", done)
+	}
+}
+
+func TestCoreSpeedScaling(t *testing.T) {
+	e := New(1)
+	slow := NewCore(e, "arm0", 0.25)
+	var at Time
+	e.At(0, func() {
+		slow.Exec(100, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 400 {
+		t.Fatalf("0.25-speed core finished 100ns job at %v, want 400", at)
+	}
+}
+
+func TestCoreCharge(t *testing.T) {
+	e := New(1)
+	c := NewCore(e, "c", 1.0)
+	var depart Time
+	e.At(0, func() {
+		c.Exec(100, func() {
+			depart = c.Charge(30)
+		})
+		c.Exec(10, func() {
+			if e.Now() != 140 {
+				t.Errorf("second task finished at %v, want 140 (after charge)", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+	if depart != 130 {
+		t.Fatalf("Charge returned %v, want 130", depart)
+	}
+}
+
+func TestCoreUtilization(t *testing.T) {
+	e := New(1)
+	c := NewCore(e, "c", 1.0)
+	e.At(0, func() { c.Exec(50, func() {}) })
+	e.Run(100)
+	u := c.Utilization(100)
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestProcFIFOAndWakeup(t *testing.T) {
+	e := New(1)
+	c := NewCore(e, "c", 1.0)
+	p := NewProc(e, c, 10) // 10ns wakeup
+	var done []Time
+	e.At(0, func() {
+		p.Post(100, func() { done = append(done, e.Now()) })
+		p.Post(100, func() { done = append(done, e.Now()) })
+	})
+	e.Run(0)
+	// First task pays the wakeup (10) + 100; second is batched: no wakeup.
+	if len(done) != 2 || done[0] != 110 || done[1] != 210 {
+		t.Fatalf("proc completions = %v, want [110 210]", done)
+	}
+	if p.Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1 (batching)", p.Wakeups)
+	}
+}
+
+func TestProcIdleTransitionPaysWakeupAgain(t *testing.T) {
+	e := New(1)
+	c := NewCore(e, "c", 1.0)
+	p := NewProc(e, c, 10)
+	e.At(0, func() { p.Post(100, nil) })
+	e.At(500, func() { p.Post(100, nil) })
+	e.Run(0)
+	if p.Wakeups != 2 {
+		t.Fatalf("wakeups = %d, want 2", p.Wakeups)
+	}
+	if p.Handled != 2 {
+		t.Fatalf("handled = %d, want 2", p.Handled)
+	}
+}
+
+// Property: for any batch of task costs, a Proc finishes them in FIFO order
+// with total elapsed = wakeup + sum(costs), regardless of cost values.
+func TestProcBatchProperty(t *testing.T) {
+	f := func(costs []uint16) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		e := New(1)
+		c := NewCore(e, "c", 1.0)
+		p := NewProc(e, c, 7)
+		var last Time
+		sum := Duration(7)
+		e.At(0, func() {
+			for _, cost := range costs {
+				d := Duration(cost)
+				sum += d
+				p.Post(d, func() { last = e.Now() })
+			}
+		})
+		e.Run(0)
+		return last == Time(sum) && p.Wakeups == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: engine execution is deterministic — two engines fed the same
+// schedule process events at identical times.
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := New(seed)
+		var log []Time
+		var step func(depth int)
+		step = func(depth int) {
+			log = append(log, e.Now())
+			if depth <= 0 {
+				return
+			}
+			d := Duration(e.Rand().Intn(100) + 1)
+			e.After(d, func() { step(depth - 1) })
+			e.After(d*2, func() { step(depth - 2) })
+		}
+		e.At(0, func() { step(6) })
+		e.Run(0)
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if (1500 * Nanosecond).Micros() != 1.5 {
+		t.Error("Micros conversion wrong")
+	}
+	if (2500 * Microsecond).Millis() != 2.5 {
+		t.Error("Millis conversion wrong")
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Error("Seconds conversion wrong")
+	}
+	if Time(1000).Add(500) != Time(1500) {
+		t.Error("Time.Add wrong")
+	}
+	if Time(1500).Sub(Time(1000)) != 500 {
+		t.Error("Time.Sub wrong")
+	}
+}

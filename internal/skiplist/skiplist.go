@@ -1,0 +1,241 @@
+// Package skiplist implements the score-ordered skip list backing Redis
+// sorted sets (t_zset.c). SKV inherits it ("skip tables" in paper §IV) for
+// the ZADD command family.
+//
+// Ordering is by (score, member) with member as the lexicographic
+// tie-breaker, exactly like zslInsert. Rank queries are supported through
+// per-level span counters.
+package skiplist
+
+import "math/rand"
+
+const (
+	maxLevel = 32
+	// pBranch is the level promotion probability (ZSKIPLIST_P = 0.25).
+	pBranch = 0.25
+)
+
+type levelLink struct {
+	forward *node
+	span    int
+}
+
+type node struct {
+	member   string
+	score    float64
+	backward *node
+	level    []levelLink
+}
+
+// SkipList is a sorted collection of (member, score) pairs.
+type SkipList struct {
+	header *node
+	tail   *node
+	length int
+	level  int
+	rnd    *rand.Rand
+}
+
+// New creates an empty skip list with a deterministic level generator.
+func New(seed int64) *SkipList {
+	return &SkipList{
+		header: &node{level: make([]levelLink, maxLevel)},
+		level:  1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len reports the number of elements.
+func (sl *SkipList) Len() int { return sl.length }
+
+func (sl *SkipList) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && sl.rnd.Float64() < pBranch {
+		lvl++
+	}
+	return lvl
+}
+
+// less orders by score then member.
+func less(score float64, member string, n *node) bool {
+	if n.score != score {
+		return n.score < score
+	}
+	return n.member < member
+}
+
+// Insert adds a member with the given score. The caller must guarantee the
+// member is not already present (the zset object layer tracks members in a
+// dict, like Redis).
+func (sl *SkipList) Insert(member string, score float64) {
+	var update [maxLevel]*node
+	var rank [maxLevel]int
+	x := sl.header
+	for i := sl.level - 1; i >= 0; i-- {
+		if i == sl.level-1 {
+			rank[i] = 0
+		} else {
+			rank[i] = rank[i+1]
+		}
+		for x.level[i].forward != nil && less(score, member, x.level[i].forward) {
+			rank[i] += x.level[i].span
+			x = x.level[i].forward
+		}
+		update[i] = x
+	}
+	lvl := sl.randomLevel()
+	if lvl > sl.level {
+		for i := sl.level; i < lvl; i++ {
+			rank[i] = 0
+			update[i] = sl.header
+			update[i].level[i].span = sl.length
+		}
+		sl.level = lvl
+	}
+	n := &node{member: member, score: score, level: make([]levelLink, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.level[i].forward = update[i].level[i].forward
+		update[i].level[i].forward = n
+		n.level[i].span = update[i].level[i].span - (rank[0] - rank[i])
+		update[i].level[i].span = rank[0] - rank[i] + 1
+	}
+	for i := lvl; i < sl.level; i++ {
+		update[i].level[i].span++
+	}
+	if update[0] != sl.header {
+		n.backward = update[0]
+	}
+	if n.level[0].forward != nil {
+		n.level[0].forward.backward = n
+	} else {
+		sl.tail = n
+	}
+	sl.length++
+}
+
+// Delete removes a member with the given score, reporting success.
+func (sl *SkipList) Delete(member string, score float64) bool {
+	var update [maxLevel]*node
+	x := sl.header
+	for i := sl.level - 1; i >= 0; i-- {
+		for x.level[i].forward != nil && less(score, member, x.level[i].forward) {
+			x = x.level[i].forward
+		}
+		update[i] = x
+	}
+	x = x.level[0].forward
+	if x == nil || x.score != score || x.member != member {
+		return false
+	}
+	for i := 0; i < sl.level; i++ {
+		if update[i].level[i].forward == x {
+			update[i].level[i].span += x.level[i].span - 1
+			update[i].level[i].forward = x.level[i].forward
+		} else {
+			update[i].level[i].span--
+		}
+	}
+	if x.level[0].forward != nil {
+		x.level[0].forward.backward = x.backward
+	} else {
+		sl.tail = x.backward
+	}
+	for sl.level > 1 && sl.header.level[sl.level-1].forward == nil {
+		sl.level--
+	}
+	sl.length--
+	return true
+}
+
+// Rank reports the 0-based rank of a member with the given score; ok is
+// false when absent.
+func (sl *SkipList) Rank(member string, score float64) (int, bool) {
+	rank := 0
+	x := sl.header
+	for i := sl.level - 1; i >= 0; i-- {
+		for x.level[i].forward != nil && less(score, member, x.level[i].forward) {
+			rank += x.level[i].span
+			x = x.level[i].forward
+		}
+	}
+	x = x.level[0].forward
+	if x != nil && x.score == score && x.member == member {
+		return rank, true
+	}
+	return 0, false
+}
+
+// Element is one (member, score) pair returned by range queries.
+type Element struct {
+	Member string
+	Score  float64
+}
+
+// RangeByRank collects elements with 0-based ranks in [start, stop]
+// inclusive, with negative indices counting from the end (ZRANGE).
+func (sl *SkipList) RangeByRank(start, stop int) []Element {
+	n := sl.length
+	if start < 0 {
+		start = n + start
+		if start < 0 {
+			start = 0
+		}
+	}
+	if stop < 0 {
+		stop = n + stop
+	}
+	if start > stop || start >= n {
+		return nil
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	out := make([]Element, 0, stop-start+1)
+	x := sl.nodeAtRank(start)
+	for i := start; i <= stop && x != nil; i++ {
+		out = append(out, Element{Member: x.member, Score: x.score})
+		x = x.level[0].forward
+	}
+	return out
+}
+
+func (sl *SkipList) nodeAtRank(rank int) *node {
+	traversed := -1 // header is rank -1
+	x := sl.header
+	for i := sl.level - 1; i >= 0; i-- {
+		for x.level[i].forward != nil && traversed+x.level[i].span <= rank {
+			traversed += x.level[i].span
+			x = x.level[i].forward
+		}
+		if traversed == rank {
+			return x
+		}
+	}
+	return nil
+}
+
+// RangeByScore collects elements with score in [min, max] inclusive.
+func (sl *SkipList) RangeByScore(min, max float64) []Element {
+	var out []Element
+	x := sl.header
+	for i := sl.level - 1; i >= 0; i-- {
+		for x.level[i].forward != nil && x.level[i].forward.score < min {
+			x = x.level[i].forward
+		}
+	}
+	x = x.level[0].forward
+	for x != nil && x.score <= max {
+		out = append(out, Element{Member: x.member, Score: x.score})
+		x = x.level[0].forward
+	}
+	return out
+}
+
+// Each walks the list in order; returning false stops early.
+func (sl *SkipList) Each(fn func(member string, score float64) bool) {
+	for x := sl.header.level[0].forward; x != nil; x = x.level[0].forward {
+		if !fn(x.member, x.score) {
+			return
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndOrder(t *testing.T) {
+	sl := New(1)
+	sl.Insert("b", 2)
+	sl.Insert("a", 1)
+	sl.Insert("c", 3)
+	sl.Insert("aa", 1) // same score, member tie-break
+	var got []string
+	sl.Each(func(m string, s float64) bool {
+		got = append(got, m)
+		return true
+	})
+	want := []string{"a", "aa", "b", "c"}
+	if len(got) != 4 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	sl := New(1)
+	sl.Insert("a", 1)
+	sl.Insert("b", 2)
+	if !sl.Delete("a", 1) {
+		t.Fatal("delete existing failed")
+	}
+	if sl.Delete("a", 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if sl.Delete("b", 99) {
+		t.Fatal("delete with wrong score succeeded")
+	}
+	if sl.Len() != 1 {
+		t.Fatalf("len=%d", sl.Len())
+	}
+}
+
+func TestRank(t *testing.T) {
+	sl := New(1)
+	for i := 0; i < 100; i++ {
+		sl.Insert(fmt.Sprintf("m%03d", i), float64(i))
+	}
+	for i := 0; i < 100; i++ {
+		r, ok := sl.Rank(fmt.Sprintf("m%03d", i), float64(i))
+		if !ok || r != i {
+			t.Fatalf("Rank(m%03d)=%d,%v want %d", i, r, ok, i)
+		}
+	}
+	if _, ok := sl.Rank("missing", 5); ok {
+		t.Fatal("rank of missing member ok")
+	}
+}
+
+func TestRangeByRank(t *testing.T) {
+	sl := New(1)
+	for i := 0; i < 10; i++ {
+		sl.Insert(fmt.Sprintf("m%d", i), float64(i))
+	}
+	cases := []struct {
+		start, stop int
+		wantLen     int
+		first       string
+	}{
+		{0, 2, 3, "m0"},
+		{-3, -1, 3, "m7"},
+		{0, -1, 10, "m0"},
+		{8, 100, 2, "m8"},
+		{5, 2, 0, ""},
+	}
+	for _, c := range cases {
+		got := sl.RangeByRank(c.start, c.stop)
+		if len(got) != c.wantLen {
+			t.Errorf("RangeByRank(%d,%d) len=%d want %d", c.start, c.stop, len(got), c.wantLen)
+			continue
+		}
+		if c.wantLen > 0 && got[0].Member != c.first {
+			t.Errorf("RangeByRank(%d,%d)[0]=%s want %s", c.start, c.stop, got[0].Member, c.first)
+		}
+	}
+}
+
+func TestRangeByScore(t *testing.T) {
+	sl := New(1)
+	for i := 0; i < 20; i++ {
+		sl.Insert(fmt.Sprintf("m%02d", i), float64(i))
+	}
+	got := sl.RangeByScore(5, 8)
+	if len(got) != 4 || got[0].Member != "m05" || got[3].Member != "m08" {
+		t.Fatalf("RangeByScore(5,8) = %v", got)
+	}
+	if got := sl.RangeByScore(100, 200); got != nil {
+		t.Fatal("out-of-range scores should return nil")
+	}
+}
+
+// Property: skiplist iteration order equals sorting by (score, member), and
+// ranks equal positions, under arbitrary insert sequences.
+func TestOrderMatchesSortProperty(t *testing.T) {
+	f := func(scores []uint8) bool {
+		sl := New(99)
+		type el struct {
+			m string
+			s float64
+		}
+		var model []el
+		seen := map[string]bool{}
+		for i, sc := range scores {
+			m := fmt.Sprintf("m%d", i%32)
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			s := float64(sc % 16)
+			sl.Insert(m, s)
+			model = append(model, el{m, s})
+		}
+		sort.Slice(model, func(i, j int) bool {
+			if model[i].s != model[j].s {
+				return model[i].s < model[j].s
+			}
+			return model[i].m < model[j].m
+		})
+		i := 0
+		okOrder := true
+		sl.Each(func(m string, s float64) bool {
+			if i >= len(model) || model[i].m != m || model[i].s != s {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		if !okOrder || i != len(model) {
+			return false
+		}
+		for idx, e := range model {
+			r, ok := sl.Rank(e.m, e.s)
+			if !ok || r != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaved insert/delete keeps spans consistent (ranks
+// remain correct).
+func TestInsertDeleteSpansProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	sl := New(5)
+	live := map[string]float64{}
+	for i := 0; i < 3000; i++ {
+		if len(live) == 0 || rnd.Intn(3) != 0 {
+			m := fmt.Sprintf("k%d", rnd.Intn(500))
+			if _, exists := live[m]; exists {
+				continue
+			}
+			s := float64(rnd.Intn(50))
+			sl.Insert(m, s)
+			live[m] = s
+		} else {
+			for m, s := range live {
+				if !sl.Delete(m, s) {
+					t.Fatalf("delete of live member %s failed", m)
+				}
+				delete(live, m)
+				break
+			}
+		}
+	}
+	if sl.Len() != len(live) {
+		t.Fatalf("len=%d model=%d", sl.Len(), len(live))
+	}
+	// Every live member's rank must match a full ordered walk.
+	pos := 0
+	sl.Each(func(m string, s float64) bool {
+		r, ok := sl.Rank(m, s)
+		if !ok || r != pos {
+			t.Fatalf("rank of %s = %d,%v want %d", m, r, ok, pos)
+		}
+		pos++
+		return true
+	})
+}

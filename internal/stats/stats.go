@@ -1,0 +1,166 @@
+// Package stats provides the latency histogram and throughput time series
+// used by the benchmark harness: redis-benchmark-style average and tail
+// percentiles, and per-interval operation counts for availability plots
+// (paper Fig 14).
+package stats
+
+import (
+	"fmt"
+
+	"skv/internal/sim"
+)
+
+// Histogram records durations in variable-resolution buckets, HdrHistogram
+// style: 100ns resolution below 1ms, 10µs below 100ms, 1ms above, capped at
+// 10s. Memory is constant; percentiles are exact to bucket resolution.
+type Histogram struct {
+	lo   []uint64 // [0, 1ms) at 100ns
+	mid  []uint64 // [1ms, 100ms) at 10µs
+	hi   []uint64 // [100ms, 10s) at 1ms
+	over uint64   // ≥ 10s
+	n    uint64
+	sum  sim.Duration
+	max  sim.Duration
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		lo:  make([]uint64, 10_000),
+		mid: make([]uint64, 9_900),
+		hi:  make([]uint64, 9_900),
+	}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	switch {
+	case d < sim.Millisecond:
+		h.lo[d/100]++
+	case d < 100*sim.Millisecond:
+		h.mid[(d-sim.Millisecond)/(10*sim.Microsecond)]++
+	case d < 10*sim.Second:
+		idx := (d - 100*sim.Millisecond) / sim.Millisecond
+		if int(idx) >= len(h.hi) {
+			idx = sim.Duration(len(h.hi) - 1)
+		}
+		h.hi[idx]++
+	default:
+		h.over++
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean reports the average sample.
+func (h *Histogram) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.n)
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Percentile reports the p-th percentile (0 < p ≤ 100) to bucket
+// resolution.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.lo {
+		seen += c
+		if seen >= target {
+			return sim.Duration(i) * 100
+		}
+	}
+	for i, c := range h.mid {
+		seen += c
+		if seen >= target {
+			return sim.Millisecond + sim.Duration(i)*10*sim.Microsecond
+		}
+	}
+	for i, c := range h.hi {
+		seen += c
+		if seen >= target {
+			return 100*sim.Millisecond + sim.Duration(i)*sim.Millisecond
+		}
+	}
+	return 10 * sim.Second
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.lo {
+		h.lo[i] += c
+	}
+	for i, c := range other.mid {
+		h.mid[i] += c
+	}
+	for i, c := range other.hi {
+		h.hi[i] += c
+	}
+	h.over += other.over
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String renders count/mean/p50/p99 for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
+		h.n, h.Mean().Micros(), h.Percentile(50).Micros(), h.Percentile(99).Micros(), h.max.Micros())
+}
+
+// TimeSeries counts events in fixed virtual-time intervals.
+type TimeSeries struct {
+	interval sim.Duration
+	counts   []uint64
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(interval sim.Duration) *TimeSeries {
+	return &TimeSeries{interval: interval}
+}
+
+// Record counts one event at virtual time t.
+func (ts *TimeSeries) Record(t sim.Time) {
+	idx := int(sim.Duration(t) / ts.interval)
+	for len(ts.counts) <= idx {
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.counts[idx]++
+}
+
+// Interval reports the bucket width.
+func (ts *TimeSeries) Interval() sim.Duration { return ts.interval }
+
+// Buckets reports the raw per-interval counts.
+func (ts *TimeSeries) Buckets() []uint64 { return ts.counts }
+
+// Rates reports per-interval event rates in events/second.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.counts))
+	sec := ts.interval.Seconds()
+	for i, c := range ts.counts {
+		out[i] = float64(c) / sec
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"skv/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if m := h.Mean(); m < 50*sim.Microsecond || m > 51*sim.Microsecond {
+		t.Fatalf("mean=%v", m)
+	}
+	if p := h.Percentile(50); p < 49*sim.Microsecond || p > 51*sim.Microsecond {
+		t.Fatalf("p50=%v", p)
+	}
+	if p := h.Percentile(99); p < 98*sim.Microsecond || p > 100*sim.Microsecond {
+		t.Fatalf("p99=%v", p)
+	}
+	if h.Max() != 100*sim.Microsecond {
+		t.Fatalf("max=%v", h.Max())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram()
+	samples := []sim.Duration{
+		0,
+		sim.Millisecond - 100,
+		sim.Millisecond,
+		50 * sim.Millisecond,
+		100 * sim.Millisecond,
+		5 * sim.Second,
+		20 * sim.Second, // overflow bucket
+		-5,              // clamped to 0
+	}
+	for _, s := range samples {
+		h.Record(s)
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count=%d", h.Count())
+	}
+	// p100 must land in the top region.
+	if p := h.Percentile(100); p < 5*sim.Second {
+		t.Fatalf("p100=%v", p)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(10 * sim.Microsecond)
+		b.Record(30 * sim.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count=%d", a.Count())
+	}
+	if m := a.Mean(); m != 20*sim.Microsecond {
+		t.Fatalf("merged mean=%v", m)
+	}
+	if a.Max() != 30*sim.Microsecond {
+		t.Fatalf("merged max=%v", a.Max())
+	}
+}
+
+// Property: histogram percentiles track exact percentiles within bucket
+// resolution for sub-millisecond samples (100ns buckets).
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		var all []sim.Duration
+		for i := 0; i < 2000; i++ {
+			d := sim.Duration(rnd.Intn(1_000_000)) // < 1ms
+			h.Record(d)
+			all = append(all, d)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, p := range []float64{50, 90, 99} {
+			idx := int(p/100*float64(len(all))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := all[idx]
+			got := h.Percentile(p)
+			diff := got - exact
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 200 { // two buckets of slack
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * sim.Microsecond)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(100 * sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		ts.Record(sim.Time(50 * int64(sim.Millisecond))) // bucket 0
+	}
+	ts.Record(sim.Time(250 * int64(sim.Millisecond))) // bucket 2
+	buckets := ts.Buckets()
+	if len(buckets) != 3 || buckets[0] != 10 || buckets[1] != 0 || buckets[2] != 1 {
+		t.Fatalf("buckets=%v", buckets)
+	}
+	rates := ts.Rates()
+	if rates[0] != 100 { // 10 events / 0.1s
+		t.Fatalf("rate[0]=%v", rates[0])
+	}
+	if ts.Interval() != 100*sim.Millisecond {
+		t.Fatal("interval accessor")
+	}
+}

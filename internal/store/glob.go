@@ -1,0 +1,85 @@
+package store
+
+// GlobMatch implements Redis's stringmatchlen glob: '*' matches any
+// sequence, '?' any single character, '[a-c]' character classes with
+// optional '^' negation, and '\\' escapes the next character.
+func GlobMatch(pattern, str string) bool {
+	return globMatch(pattern, str)
+}
+
+func globMatch(p, s string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '*':
+			for len(p) > 1 && p[1] == '*' {
+				p = p[1:]
+			}
+			if len(p) == 1 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if globMatch(p[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			if len(s) == 0 {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		case '[':
+			if len(s) == 0 {
+				return false
+			}
+			p = p[1:]
+			neg := len(p) > 0 && p[0] == '^'
+			if neg {
+				p = p[1:]
+			}
+			matched := false
+			for len(p) > 0 && p[0] != ']' {
+				if p[0] == '\\' && len(p) > 1 {
+					if p[1] == s[0] {
+						matched = true
+					}
+					p = p[2:]
+				} else if len(p) > 2 && p[1] == '-' && p[2] != ']' {
+					lo, hi := p[0], p[2]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					if s[0] >= lo && s[0] <= hi {
+						matched = true
+					}
+					p = p[3:]
+				} else {
+					if p[0] == s[0] {
+						matched = true
+					}
+					p = p[1:]
+				}
+			}
+			if len(p) > 0 {
+				p = p[1:] // consume ']'
+			}
+			if matched == neg {
+				return false
+			}
+			s = s[1:]
+		case '\\':
+			if len(p) > 1 {
+				p = p[1:]
+			}
+			fallthrough
+		default:
+			if len(s) == 0 || p[0] != s[0] {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		}
+	}
+	return len(s) == 0
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestExpireAt(t *testing.T) {
+	s, now := testStore()
+	run(t, s, "SET k v")
+	deadline := (*now + 5000) / 1000 // seconds
+	wantInt(t, s, "EXPIREAT k "+itoa(deadline), 1)
+	ttl := run(t, s, "TTL k")
+	if ttl.Int <= 0 || ttl.Int > 5 {
+		t.Fatalf("TTL after EXPIREAT = %d", ttl.Int)
+	}
+	// Past deadline deletes immediately.
+	run(t, s, "SET k2 v")
+	wantInt(t, s, "EXPIREAT k2 1", 1)
+	wantNil(t, s, "GET k2")
+	wantInt(t, s, "EXPIREAT missing 99999999999", 0)
+}
+
+func TestPExpireAt(t *testing.T) {
+	s, now := testStore()
+	run(t, s, "SET k v")
+	wantInt(t, s, "PEXPIREAT k "+itoa(*now+250), 1)
+	*now += 200
+	wantStr(t, s, "GET k", "v")
+	*now += 100
+	wantNil(t, s, "GET k")
+}
+
+func TestGetDel(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET k v")
+	wantStr(t, s, "GETDEL k", "v")
+	wantNil(t, s, "GET k")
+	wantNil(t, s, "GETDEL k")
+	run(t, s, "LPUSH l a")
+	wantErrContains(t, s, "GETDEL l", "WRONGTYPE")
+}
+
+func TestIncrByFloat(t *testing.T) {
+	s, _ := testStore()
+	wantStr(t, s, "INCRBYFLOAT k 1.5", "1.5")
+	wantStr(t, s, "INCRBYFLOAT k 2.25", "3.75")
+	wantStr(t, s, "INCRBYFLOAT k -0.75", "3")
+	run(t, s, "SET str abc")
+	wantErrContains(t, s, "INCRBYFLOAT str 1", "not a valid float")
+	wantErrContains(t, s, "INCRBYFLOAT k abc", "not a valid float")
+}
+
+func TestZCount(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "ZADD z 1 a 2 b 3 c 4 d")
+	wantInt(t, s, "ZCOUNT z 2 3", 2)
+	wantInt(t, s, "ZCOUNT z -inf +inf", 4)
+	wantInt(t, s, "ZCOUNT z 10 20", 0)
+	wantInt(t, s, "ZCOUNT missing 0 1", 0)
+}
+
+func TestZRevRank(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "ZADD z 1 a 2 b 3 c")
+	wantInt(t, s, "ZREVRANK z c", 0)
+	wantInt(t, s, "ZREVRANK z a", 2)
+	wantNil(t, s, "ZREVRANK z missing")
+	wantNil(t, s, "ZREVRANK nosuch m")
+}
+
+func TestLTrim(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "RPUSH l a b c d e")
+	wantStr(t, s, "LTRIM l 1 3", "OK")
+	if v := run(t, s, "LRANGE l 0 -1"); v.String() != "[b c d]" {
+		t.Fatalf("after LTRIM: %s", v.String())
+	}
+	wantStr(t, s, "LTRIM l -2 -1", "OK")
+	if v := run(t, s, "LRANGE l 0 -1"); v.String() != "[c d]" {
+		t.Fatalf("after negative LTRIM: %s", v.String())
+	}
+	// Empty window deletes the key.
+	wantStr(t, s, "LTRIM l 5 10", "OK")
+	wantInt(t, s, "EXISTS l", 0)
+	wantStr(t, s, "LTRIM missing 0 1", "OK")
+}
+
+func TestSMove(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SADD src a b")
+	run(t, s, "SADD dst c")
+	wantInt(t, s, "SMOVE src dst a", 1)
+	wantInt(t, s, "SISMEMBER src a", 0)
+	wantInt(t, s, "SISMEMBER dst a", 1)
+	wantInt(t, s, "SMOVE src dst nothere", 0)
+	// Moving the last member deletes the source.
+	wantInt(t, s, "SMOVE src dst b", 1)
+	wantInt(t, s, "EXISTS src", 0)
+	// Destination created on demand.
+	run(t, s, "SADD s2 x")
+	wantInt(t, s, "SMOVE s2 fresh x", 1)
+	wantInt(t, s, "SISMEMBER fresh x", 1)
+}
+
+func TestHSetNX(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "HSETNX h f v1", 1)
+	wantInt(t, s, "HSETNX h f v2", 0)
+	wantStr(t, s, "HGET h f", "v1")
+}
+
+func TestSInterStore(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SADD a 1 2 3")
+	run(t, s, "SADD b 2 3 4")
+	wantInt(t, s, "SINTERSTORE dst a b", 2)
+	if v := run(t, s, "SMEMBERS dst"); v.String() != "[2 3]" {
+		t.Fatalf("SINTERSTORE result: %s", v.String())
+	}
+	// Empty intersection removes the destination.
+	run(t, s, "SADD c 9")
+	wantInt(t, s, "SINTERSTORE dst a c", 0)
+	wantInt(t, s, "EXISTS dst", 0)
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestObjectEncoding(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET num 42")
+	wantStr(t, s, "OBJECT ENCODING num", "int")
+	run(t, s, "SET str notanint")
+	wantStr(t, s, "OBJECT ENCODING str", "raw")
+	run(t, s, "HSET h f v")
+	wantStr(t, s, "OBJECT ENCODING h", "listpack")
+	run(t, s, "SADD si 1 2 3")
+	wantStr(t, s, "OBJECT ENCODING si", "intset")
+	run(t, s, "SADD ss abc")
+	wantStr(t, s, "OBJECT ENCODING ss", "hashtable")
+	run(t, s, "ZADD z 1 m")
+	wantStr(t, s, "OBJECT ENCODING z", "listpack")
+	run(t, s, "RPUSH l a")
+	wantStr(t, s, "OBJECT ENCODING l", "linkedlist")
+	wantInt(t, s, "OBJECT REFCOUNT l", 1)
+	wantErrContains(t, s, "OBJECT ENCODING missing", "no such key")
+	wantErrContains(t, s, "OBJECT FREQ l", "syntax")
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"strconv"
+	"strings"
+
+	"skv/internal/obj"
+	"skv/internal/resp"
+)
+
+// scanOptions parses the common [MATCH pattern] [COUNT n] tail.
+func scanOptions(argv [][]byte) (pattern string, count int, errReply []byte) {
+	pattern, count = "*", 10
+	for i := 0; i < len(argv); i++ {
+		switch strings.ToUpper(string(argv[i])) {
+		case "MATCH":
+			if i+1 >= len(argv) {
+				return "", 0, syntaxErr()
+			}
+			pattern = string(argv[i+1])
+			i++
+		case "COUNT":
+			if i+1 >= len(argv) {
+				return "", 0, syntaxErr()
+			}
+			n, err := strconv.Atoi(string(argv[i+1]))
+			if err != nil || n <= 0 {
+				return "", 0, syntaxErr()
+			}
+			count = n
+			i++
+		default:
+			return "", 0, syntaxErr()
+		}
+	}
+	return pattern, count, nil
+}
+
+func scanReply(cursor uint64, items [][]byte) []byte {
+	out := resp.AppendArrayHeader(nil, 2)
+	out = resp.AppendBulkString(out, strconv.FormatUint(cursor, 10))
+	out = resp.AppendArrayHeader(out, len(items))
+	for _, it := range items {
+		out = resp.AppendBulk(out, it)
+	}
+	return out
+}
+
+// cmdScan implements SCAN cursor [MATCH pattern] [COUNT n]: an incremental,
+// rehash-safe keyspace iteration with the same guarantees as Redis SCAN.
+func cmdScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	cursor, err := strconv.ParseUint(string(argv[1]), 10, 64)
+	if err != nil {
+		return resp.AppendError(nil, "ERR invalid cursor"), false
+	}
+	pattern, count, errReply := scanOptions(argv[2:])
+	if errReply != nil {
+		return errReply, false
+	}
+	db := s.db(dbi)
+	now := s.clock()
+	var keys [][]byte
+	for len(keys) < count {
+		cursor = db.dict.Scan(cursor, func(k string, _ any) {
+			if !db.expired(k, now) && GlobMatch(pattern, k) {
+				keys = append(keys, []byte(k))
+			}
+		})
+		if cursor == 0 {
+			break
+		}
+	}
+	return scanReply(cursor, keys), false
+}
+
+// objectScan factors HSCAN/SSCAN/ZSCAN: typed lookup plus cursor stepping.
+func objectScan(s *Store, dbi int, argv [][]byte, typ obj.Type) ([]byte, bool) {
+	o := s.lookup(dbi, string(argv[1]))
+	if o != nil && o.Type != typ {
+		return wrongType(), false
+	}
+	cursor, err := strconv.ParseUint(string(argv[2]), 10, 64)
+	if err != nil {
+		return resp.AppendError(nil, "ERR invalid cursor"), false
+	}
+	pattern, count, errReply := scanOptions(argv[3:])
+	if errReply != nil {
+		return errReply, false
+	}
+	if o == nil {
+		return scanReply(0, nil), false
+	}
+	var items [][]byte
+	for len(items) < count {
+		switch typ {
+		case obj.THash:
+			cursor = o.HashScan(cursor, func(f string, v []byte) {
+				if GlobMatch(pattern, f) {
+					items = append(items, []byte(f), v)
+				}
+			})
+		case obj.TSet:
+			cursor = o.SetScan(cursor, func(m string) {
+				if GlobMatch(pattern, m) {
+					items = append(items, []byte(m))
+				}
+			})
+		case obj.TZSet:
+			cursor = o.ZSetScan(cursor, func(m string, score float64) {
+				if GlobMatch(pattern, m) {
+					items = append(items, []byte(m), []byte(obj.FormatScore(score)))
+				}
+			})
+		}
+		if cursor == 0 {
+			break
+		}
+	}
+	return scanReply(cursor, items), false
+}
+
+func cmdHScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	return objectScan(s, dbi, argv, obj.THash)
+}
+
+func cmdSScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	return objectScan(s, dbi, argv, obj.TSet)
+}
+
+func cmdZScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	return objectScan(s, dbi, argv, obj.TZSet)
+}
+
+func init() {
+	for name, cmd := range map[string]command{
+		"scan":  {cmdScan, -2, false},
+		"hscan": {cmdHScan, -3, false},
+		"sscan": {cmdSScan, -3, false},
+		"zscan": {cmdZScan, -3, false},
+	} {
+		commandTable[name] = cmd
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"skv/internal/resp"
+)
+
+// scanAll drives SCAN to completion, returning all keys seen.
+func scanAll(t *testing.T, s *Store, match string) map[string]bool {
+	t.Helper()
+	seen := map[string]bool{}
+	cursor := "0"
+	for i := 0; ; i++ {
+		args := [][]byte{[]byte("SCAN"), []byte(cursor)}
+		if match != "" {
+			args = append(args, []byte("MATCH"), []byte(match))
+		}
+		args = append(args, []byte("COUNT"), []byte("17"))
+		reply, _ := s.Exec(0, args)
+		var r resp.Reader
+		r.Feed(reply)
+		v, ok, err := r.ReadValue()
+		if err != nil || !ok || len(v.Array) != 2 {
+			t.Fatalf("bad SCAN reply: %q", reply)
+		}
+		for _, k := range v.Array[1].Array {
+			seen[string(k.Str)] = true
+		}
+		cursor = string(v.Array[0].Str)
+		if cursor == "0" || i > 1<<16 {
+			break
+		}
+	}
+	return seen
+}
+
+func TestScanKeyspaceComplete(t *testing.T) {
+	s, _ := testStore()
+	for i := 0; i < 500; i++ {
+		run(t, s, fmt.Sprintf("SET key:%d v", i))
+	}
+	seen := scanAll(t, s, "")
+	if len(seen) < 500 {
+		t.Fatalf("SCAN covered %d/500 keys", len(seen))
+	}
+	for i := 0; i < 500; i++ {
+		if !seen[fmt.Sprintf("key:%d", i)] {
+			t.Fatalf("key:%d missed by SCAN", i)
+		}
+	}
+}
+
+func TestScanMatchFilter(t *testing.T) {
+	s, _ := testStore()
+	for i := 0; i < 50; i++ {
+		run(t, s, fmt.Sprintf("SET user:%d v", i))
+		run(t, s, fmt.Sprintf("SET session:%d v", i))
+	}
+	seen := scanAll(t, s, "user:*")
+	if len(seen) != 50 {
+		t.Fatalf("MATCH user:* returned %d keys", len(seen))
+	}
+	for k := range seen {
+		if k[:5] != "user:" {
+			t.Fatalf("MATCH leaked %q", k)
+		}
+	}
+}
+
+func TestScanSkipsExpired(t *testing.T) {
+	s, now := testStore()
+	run(t, s, "SET live v")
+	run(t, s, "SET dead v")
+	run(t, s, "PEXPIRE dead 10")
+	*now += 20
+	seen := scanAll(t, s, "")
+	if seen["dead"] {
+		t.Fatal("SCAN returned an expired key")
+	}
+	if !seen["live"] {
+		t.Fatal("SCAN missed a live key")
+	}
+}
+
+func TestScanBadArgs(t *testing.T) {
+	s, _ := testStore()
+	wantErrContains(t, s, "SCAN notanumber", "invalid cursor")
+	wantErrContains(t, s, "SCAN 0 MATCH", "syntax")
+	wantErrContains(t, s, "SCAN 0 COUNT 0", "syntax")
+	wantErrContains(t, s, "SCAN 0 BOGUS x", "syntax")
+}
+
+func hscanAll(t *testing.T, s *Store, key string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	cursor := uint64(0)
+	for i := 0; ; i++ {
+		reply, _ := s.Exec(0, [][]byte{[]byte("HSCAN"), []byte(key),
+			[]byte(strconv.FormatUint(cursor, 10)), []byte("COUNT"), []byte("13")})
+		var r resp.Reader
+		r.Feed(reply)
+		v, _, _ := r.ReadValue()
+		items := v.Array[1].Array
+		for j := 0; j+1 < len(items); j += 2 {
+			out[string(items[j].Str)] = string(items[j+1].Str)
+		}
+		c, _ := strconv.ParseUint(string(v.Array[0].Str), 10, 64)
+		cursor = c
+		if cursor == 0 || i > 1<<16 {
+			break
+		}
+	}
+	return out
+}
+
+func TestHScanBothEncodings(t *testing.T) {
+	s, _ := testStore()
+	// Listpack-encoded hash.
+	run(t, s, "HSET small f1 v1 f2 v2")
+	got := hscanAll(t, s, "small")
+	if len(got) != 2 || got["f1"] != "v1" {
+		t.Fatalf("HSCAN listpack: %v", got)
+	}
+	// Force hashtable encoding.
+	for i := 0; i < 200; i++ {
+		run(t, s, fmt.Sprintf("HSET big f%d v%d", i, i))
+	}
+	wantStr(t, s, "OBJECT ENCODING big", "hashtable")
+	got = hscanAll(t, s, "big")
+	if len(got) != 200 {
+		t.Fatalf("HSCAN ht covered %d/200 fields", len(got))
+	}
+	if got["f123"] != "v123" {
+		t.Fatalf("HSCAN value mismatch: %q", got["f123"])
+	}
+}
+
+func TestSScanAndZScan(t *testing.T) {
+	s, _ := testStore()
+	for i := 0; i < 600; i++ {
+		run(t, s, fmt.Sprintf("SADD s member-%d", i)) // strings → hashtable
+		run(t, s, fmt.Sprintf("ZADD z %d member-%d", i, i))
+	}
+	// SSCAN.
+	seen := map[string]bool{}
+	cursor := uint64(0)
+	for {
+		reply, _ := s.Exec(0, [][]byte{[]byte("SSCAN"), []byte("s"),
+			[]byte(strconv.FormatUint(cursor, 10)), []byte("COUNT"), []byte("50")})
+		var r resp.Reader
+		r.Feed(reply)
+		v, _, _ := r.ReadValue()
+		for _, it := range v.Array[1].Array {
+			seen[string(it.Str)] = true
+		}
+		c, _ := strconv.ParseUint(string(v.Array[0].Str), 10, 64)
+		cursor = c
+		if cursor == 0 {
+			break
+		}
+	}
+	if len(seen) != 600 {
+		t.Fatalf("SSCAN covered %d/600", len(seen))
+	}
+	// ZSCAN (skiplist-encoded by now) returns member/score pairs.
+	reply, _ := s.Exec(0, [][]byte{[]byte("ZSCAN"), []byte("z"), []byte("0"), []byte("COUNT"), []byte("1000000")})
+	var r resp.Reader
+	r.Feed(reply)
+	v, _, _ := r.ReadValue()
+	if len(v.Array[1].Array)%2 != 0 || len(v.Array[1].Array) == 0 {
+		t.Fatalf("ZSCAN items: %d", len(v.Array[1].Array))
+	}
+}
+
+func TestScanMissingKeyAndWrongType(t *testing.T) {
+	s, _ := testStore()
+	reply, _ := s.Exec(0, [][]byte{[]byte("HSCAN"), []byte("nope"), []byte("0")})
+	var r resp.Reader
+	r.Feed(reply)
+	v, _, _ := r.ReadValue()
+	if string(v.Array[0].Str) != "0" || len(v.Array[1].Array) != 0 {
+		t.Fatalf("HSCAN on missing key: %s", v.String())
+	}
+	run(t, s, "SET str v")
+	wantErrContains(t, s, "HSCAN str 0", "WRONGTYPE")
+	wantErrContains(t, s, "SSCAN str 0", "WRONGTYPE")
+	wantErrContains(t, s, "ZSCAN str 0", "WRONGTYPE")
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"fmt"
+
+	"skv/internal/resp"
+)
+
+func cmdPing(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	if len(argv) == 2 {
+		return resp.AppendBulk(nil, argv[1]), false
+	}
+	return resp.AppendSimple(nil, "PONG"), false
+}
+
+func cmdEcho(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	return resp.AppendBulk(nil, argv[1]), false
+}
+
+func cmdInfo(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	body := "# Keyspace\r\n"
+	for i := range s.dbs {
+		if n := s.DBSize(i); n > 0 {
+			body += fmt.Sprintf("db%d:keys=%d\r\n", i, n)
+		}
+	}
+	body += fmt.Sprintf("# Stats\r\ndirty:%d\r\n", s.Dirty)
+	return resp.AppendBulkString(nil, body), false
+}
+
+// commandTable maps lowercase command names to their implementations.
+// Arity follows Redis: positive = exact argc, negative = minimum argc.
+var commandTable = map[string]command{
+	// Strings.
+	"set":      {cmdSet, -3, true},
+	"setnx":    {cmdSetNX, 3, true},
+	"setex":    {cmdSetEX, 4, true},
+	"psetex":   {cmdPSetEX, 4, true},
+	"get":      {cmdGet, 2, false},
+	"getset":   {cmdGetSet, 3, true},
+	"mset":     {cmdMSet, -3, true},
+	"mget":     {cmdMGet, -2, false},
+	"append":   {cmdAppend, 3, true},
+	"strlen":   {cmdStrlen, 2, false},
+	"getrange": {cmdGetRange, 4, false},
+	"setrange": {cmdSetRange, 4, true},
+	"incr":     {cmdIncr, 2, true},
+	"decr":     {cmdDecr, 2, true},
+	"incrby":   {cmdIncrBy, 3, true},
+	"decrby":   {cmdDecrBy, 3, true},
+
+	// Keyspace.
+	"del":       {cmdDel, -2, true},
+	"exists":    {cmdExists, -2, false},
+	"expire":    {cmdExpire, 3, true},
+	"pexpire":   {cmdPExpire, 3, true},
+	"ttl":       {cmdTTL, 2, false},
+	"pttl":      {cmdPTTL, 2, false},
+	"persist":   {cmdPersist, 2, true},
+	"type":      {cmdType, 2, false},
+	"keys":      {cmdKeys, 2, false},
+	"randomkey": {cmdRandomKey, 1, false},
+	"rename":    {cmdRename, 3, true},
+	"dbsize":    {cmdDBSize, 1, false},
+	"flushdb":   {cmdFlushDB, 1, true},
+	"flushall":  {cmdFlushAll, 1, true},
+
+	// Lists.
+	"lpush":     {cmdLPush, -3, true},
+	"rpush":     {cmdRPush, -3, true},
+	"lpop":      {cmdLPop, 2, true},
+	"rpop":      {cmdRPop, 2, true},
+	"llen":      {cmdLLen, 2, false},
+	"lrange":    {cmdLRange, 4, false},
+	"lindex":    {cmdLIndex, 3, false},
+	"lset":      {cmdLSet, 4, true},
+	"lrem":      {cmdLRem, 4, true},
+	"rpoplpush": {cmdRPopLPush, 3, true},
+
+	// Hashes.
+	"hset":    {cmdHSet, -4, true},
+	"hmset":   {cmdHMSetCompat, -4, true},
+	"hget":    {cmdHGet, 3, false},
+	"hmget":   {cmdHMGet, -3, false},
+	"hdel":    {cmdHDel, -3, true},
+	"hexists": {cmdHExists, 3, false},
+	"hlen":    {cmdHLen, 2, false},
+	"hgetall": {cmdHGetAll, 2, false},
+	"hkeys":   {cmdHKeys, 2, false},
+	"hvals":   {cmdHVals, 2, false},
+	"hincrby": {cmdHIncrBy, 4, true},
+
+	// Sets.
+	"sadd":        {cmdSAdd, -3, true},
+	"srem":        {cmdSRem, -3, true},
+	"sismember":   {cmdSIsMember, 3, false},
+	"scard":       {cmdSCard, 2, false},
+	"smembers":    {cmdSMembers, 2, false},
+	"spop":        {cmdSPop, 2, true},
+	"srandmember": {cmdSRandMember, 2, false},
+	"sinter":      {cmdSInter, -2, false},
+	"sunion":      {cmdSUnion, -2, false},
+	"sdiff":       {cmdSDiff, -2, false},
+
+	// Sorted sets.
+	"zadd":          {cmdZAdd, -4, true},
+	"zrem":          {cmdZRem, -3, true},
+	"zscore":        {cmdZScore, 3, false},
+	"zcard":         {cmdZCard, 2, false},
+	"zrank":         {cmdZRank, 3, false},
+	"zincrby":       {cmdZIncrBy, 4, true},
+	"zrange":        {cmdZRange, -4, false},
+	"zrevrange":     {cmdZRevRange, -4, false},
+	"zrangebyscore": {cmdZRangeByScore, -4, false},
+
+	// Server.
+	"ping": {cmdPing, -1, false},
+	"echo": {cmdEcho, 2, false},
+	"info": {cmdInfo, -1, false},
+}
+
+// cmdHMSetCompat implements the legacy HMSET (same as HSET, replies +OK).
+func cmdHMSetCompat(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
+	reply, dirty := cmdHSet(s, dbi, argv)
+	if len(reply) > 0 && reply[0] == resp.TypeError {
+		return reply, dirty
+	}
+	return ok(), dirty
+}

@@ -1,0 +1,272 @@
+// Package store implements the SKV/Redis keyspace: numbered databases
+// mapping keys to typed objects, key expiration (lazy plus an active
+// sampling cycle), and the command table covering the string, key, list,
+// hash, set, sorted-set and server command families.
+//
+// The store is transport-agnostic and time-agnostic: the embedding server
+// injects a millisecond clock (virtual time inside the simulation, wall
+// time in cmd/skv-server), and commands return RESP-encoded replies plus a
+// dirty flag that drives replication (paper §III-C: "Host-KV first checks
+// whether the command can change the value of the data in the storage").
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"skv/internal/dict"
+	"skv/internal/obj"
+	"skv/internal/resp"
+)
+
+// Clock supplies the current time in milliseconds since an arbitrary epoch.
+type Clock func() int64
+
+// DB is one numbered keyspace.
+type DB struct {
+	dict    *dict.Dict // key -> *obj.Object
+	expires *dict.Dict // key -> expireAt (ms)
+}
+
+// Store is the full multi-database keyspace plus the command dispatcher.
+type Store struct {
+	dbs   []*DB
+	clock Clock
+	rnd   *rand.Rand
+
+	// Dirty counts dataset modifications since startup (Redis server.dirty);
+	// the server layer uses deltas to decide propagation.
+	Dirty int64
+}
+
+// New creates a store with n databases. All internal randomized structures
+// derive from seed.
+func New(n int, seed int64, clock Clock) *Store {
+	if n <= 0 {
+		n = 1
+	}
+	s := &Store{clock: clock, rnd: rand.New(rand.NewSource(seed))}
+	s.dbs = make([]*DB, n)
+	for i := range s.dbs {
+		s.dbs[i] = &DB{dict: dict.New(s.rnd.Int63()), expires: dict.New(s.rnd.Int63())}
+	}
+	return s
+}
+
+// NumDBs reports the database count.
+func (s *Store) NumDBs() int { return len(s.dbs) }
+
+// Seed returns a fresh deterministic seed for nested structures.
+func (s *Store) seed() int64 { return s.rnd.Int63() }
+
+// NewSeed hands out a deterministic seed for object construction outside
+// the package (the RDB loader needs one per container object).
+func (s *Store) NewSeed() int64 { return s.seed() }
+
+// db panics on out-of-range index; the server validates SELECT.
+func (s *Store) db(i int) *DB { return s.dbs[i] }
+
+// newDictPair allocates a dict seeded from the store's RNG.
+func newDictPair(s *Store) *dict.Dict { return dict.New(s.seed()) }
+
+// expired reports whether key is past its TTL.
+func (db *DB) expired(key string, now int64) bool {
+	v, ok := db.expires.Get(key)
+	if !ok {
+		return false
+	}
+	return now >= v.(int64)
+}
+
+// lookup returns the live object for key, applying lazy expiration.
+func (s *Store) lookup(dbi int, key string) *obj.Object {
+	db := s.db(dbi)
+	if db.expired(key, s.clock()) {
+		db.dict.Delete(key)
+		db.expires.Delete(key)
+		s.Dirty++
+		return nil
+	}
+	v, ok := db.dict.Get(key)
+	if !ok {
+		return nil
+	}
+	return v.(*obj.Object)
+}
+
+// setKey stores an object and clears any previous TTL (SET semantics).
+func (s *Store) setKey(dbi int, key string, o *obj.Object) {
+	db := s.db(dbi)
+	db.dict.Set(key, o)
+	db.expires.Delete(key)
+	s.Dirty++
+}
+
+// deleteKey removes a key and its TTL; reports whether it existed.
+func (s *Store) deleteKey(dbi int, key string) bool {
+	db := s.db(dbi)
+	if s.lookup(dbi, key) == nil {
+		return false
+	}
+	db.dict.Delete(key)
+	db.expires.Delete(key)
+	s.Dirty++
+	return true
+}
+
+// setExpire sets the absolute expiry (ms) for an existing key.
+func (s *Store) setExpire(dbi int, key string, at int64) {
+	s.db(dbi).expires.Set(key, at)
+	s.Dirty++
+}
+
+// ttlMillis reports the remaining TTL in ms: -2 missing key, -1 no TTL.
+func (s *Store) ttlMillis(dbi int, key string) int64 {
+	if s.lookup(dbi, key) == nil {
+		return -2
+	}
+	v, ok := s.db(dbi).expires.Get(key)
+	if !ok {
+		return -1
+	}
+	rem := v.(int64) - s.clock()
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// ActiveExpireCycle samples up to sample volatile keys per database and
+// deletes the expired ones (the serverCron job the paper's Fig 4 time
+// events include). Returns the number of keys expired.
+func (s *Store) ActiveExpireCycle(sample int) int {
+	now := s.clock()
+	total := 0
+	for dbi, db := range s.dbs {
+		for i := 0; i < sample; i++ {
+			key, ok := db.expires.RandomKey()
+			if !ok {
+				break
+			}
+			if db.expired(key, now) {
+				s.deleteKey(dbi, key)
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// RehashStep donates incremental-rehash work to every database's tables
+// (called from the server cron).
+func (s *Store) RehashStep(n int) {
+	for _, db := range s.dbs {
+		db.dict.RehashStep(n)
+		db.expires.RehashStep(n)
+	}
+}
+
+// DBSize reports the key count of a database.
+func (s *Store) DBSize(dbi int) int { return s.db(dbi).dict.Len() }
+
+// EachEntry iterates every live key of every database (for RDB dumps):
+// expireAt is 0 when the key has no TTL.
+func (s *Store) EachEntry(fn func(dbi int, key string, o *obj.Object, expireAt int64) bool) {
+	for dbi, db := range s.dbs {
+		stop := false
+		db.dict.Each(func(k string, v any) bool {
+			var exp int64
+			if e, ok := db.expires.Get(k); ok {
+				exp = e.(int64)
+			}
+			if !fn(dbi, k, v.(*obj.Object), exp) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// SetRaw installs an object directly (RDB load path), with optional expiry
+// (0 = none). Does not count as dirty.
+func (s *Store) SetRaw(dbi int, key string, o *obj.Object, expireAt int64) {
+	db := s.db(dbi)
+	db.dict.Set(key, o)
+	if expireAt > 0 {
+		db.expires.Set(key, expireAt)
+	} else {
+		db.expires.Delete(key)
+	}
+}
+
+// FlushAll erases every database.
+func (s *Store) FlushAll() {
+	for i := range s.dbs {
+		s.dbs[i] = &DB{dict: dict.New(s.seed()), expires: dict.New(s.seed())}
+	}
+	s.Dirty++
+}
+
+// ---- Command dispatch ----
+
+// command describes one entry of the command table.
+type command struct {
+	handler func(s *Store, dbi int, argv [][]byte) ([]byte, bool)
+	// arity as in Redis: positive = exact argc, negative = minimum argc.
+	arity int
+	// write marks commands that may modify the dataset.
+	write bool
+}
+
+// Exec runs one command against database dbi. It returns the RESP-encoded
+// reply and whether the dataset was modified (the replication trigger).
+func (s *Store) Exec(dbi int, argv [][]byte) (reply []byte, dirty bool) {
+	if len(argv) == 0 {
+		return resp.AppendError(nil, "ERR empty command"), false
+	}
+	name := strings.ToLower(string(argv[0]))
+	cmd, ok := commandTable[name]
+	if !ok {
+		return resp.AppendError(nil, fmt.Sprintf("ERR unknown command '%s'", name)), false
+	}
+	if (cmd.arity > 0 && len(argv) != cmd.arity) || (cmd.arity < 0 && len(argv) < -cmd.arity) {
+		return resp.AppendError(nil, fmt.Sprintf("ERR wrong number of arguments for '%s' command", name)), false
+	}
+	if dbi < 0 || dbi >= len(s.dbs) {
+		return resp.AppendError(nil, "ERR invalid DB index"), false
+	}
+	return cmd.handler(s, dbi, argv)
+}
+
+// IsWriteCommand reports whether the named command may modify the dataset
+// (the Host-KV check from §III-C, made before involving the SmartNIC).
+func IsWriteCommand(name string) bool {
+	cmd, ok := commandTable[strings.ToLower(name)]
+	return ok && cmd.write
+}
+
+// KnownCommand reports whether the command exists.
+func KnownCommand(name string) bool {
+	_, ok := commandTable[strings.ToLower(name)]
+	return ok
+}
+
+// Common reply fragments.
+var (
+	replyOK        = resp.AppendSimple(nil, "OK")
+	replyWrongType = resp.AppendError(nil, "WRONGTYPE Operation against a key holding the wrong kind of value")
+	replyNotInt    = resp.AppendError(nil, "ERR value is not an integer or out of range")
+	replyNotFloat  = resp.AppendError(nil, "ERR value is not a valid float")
+	replySyntax    = resp.AppendError(nil, "ERR syntax error")
+)
+
+func ok() []byte        { return append([]byte(nil), replyOK...) }
+func wrongType() []byte { return append([]byte(nil), replyWrongType...) }
+func notInt() []byte    { return append([]byte(nil), replyNotInt...) }
+func notFloat() []byte  { return append([]byte(nil), replyNotFloat...) }
+func syntaxErr() []byte { return append([]byte(nil), replySyntax...) }

@@ -1,0 +1,536 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"skv/internal/resp"
+)
+
+// testStore builds a store with a controllable millisecond clock.
+func testStore() (*Store, *int64) {
+	now := int64(1_000_000)
+	s := New(16, 42, func() int64 { return now })
+	return s, &now
+}
+
+// run executes a command built from space-separated words (no binary args).
+func run(t *testing.T, s *Store, line string) resp.Value {
+	t.Helper()
+	words := strings.Split(line, " ")
+	argv := make([][]byte, len(words))
+	for i, w := range words {
+		argv[i] = []byte(w)
+	}
+	reply, _ := s.Exec(0, argv)
+	var r resp.Reader
+	r.Feed(reply)
+	v, ok, err := r.ReadValue()
+	if err != nil || !ok {
+		t.Fatalf("command %q produced unparsable reply %q: %v", line, reply, err)
+	}
+	return v
+}
+
+func wantStr(t *testing.T, s *Store, cmd, want string) {
+	t.Helper()
+	if got := run(t, s, cmd).String(); got != want {
+		t.Fatalf("%q = %q, want %q", cmd, got, want)
+	}
+}
+
+func wantInt(t *testing.T, s *Store, cmd string, want int64) {
+	t.Helper()
+	v := run(t, s, cmd)
+	if v.Type != resp.TypeInteger || v.Int != want {
+		t.Fatalf("%q = %s, want :%d", cmd, v.String(), want)
+	}
+}
+
+func wantNil(t *testing.T, s *Store, cmd string) {
+	t.Helper()
+	if v := run(t, s, cmd); !v.Null {
+		t.Fatalf("%q = %s, want nil", cmd, v.String())
+	}
+}
+
+func wantErrContains(t *testing.T, s *Store, cmd, frag string) {
+	t.Helper()
+	v := run(t, s, cmd)
+	if !v.IsError() || !strings.Contains(v.String(), frag) {
+		t.Fatalf("%q = %s, want error containing %q", cmd, v.String(), frag)
+	}
+}
+
+func TestSetGetDelExists(t *testing.T) {
+	s, _ := testStore()
+	wantStr(t, s, "SET k hello", "OK")
+	wantStr(t, s, "GET k", "hello")
+	wantInt(t, s, "EXISTS k", 1)
+	wantInt(t, s, "DEL k", 1)
+	wantNil(t, s, "GET k")
+	wantInt(t, s, "EXISTS k", 0)
+	wantInt(t, s, "DEL k", 0)
+}
+
+func TestSetNXXXOptions(t *testing.T) {
+	s, _ := testStore()
+	wantStr(t, s, "SET k v1 NX", "OK")
+	wantNil(t, s, "SET k v2 NX")
+	wantStr(t, s, "GET k", "v1")
+	wantStr(t, s, "SET k v3 XX", "OK")
+	wantStr(t, s, "GET k", "v3")
+	wantNil(t, s, "SET missing v XX")
+	wantInt(t, s, "SETNX k zzz", 0)
+	wantInt(t, s, "SETNX fresh yes", 1)
+}
+
+func TestSetWithExpiry(t *testing.T) {
+	s, now := testStore()
+	wantStr(t, s, "SET k v EX 10", "OK")
+	wantInt(t, s, "TTL k", 10)
+	*now += 5_000
+	wantInt(t, s, "TTL k", 5)
+	*now += 6_000
+	wantNil(t, s, "GET k")
+	wantInt(t, s, "TTL k", -2)
+}
+
+func TestSetEXPSetEX(t *testing.T) {
+	s, now := testStore()
+	wantStr(t, s, "SETEX k 2 v", "OK")
+	wantStr(t, s, "PSETEX k2 1500 v2", "OK")
+	pttl := run(t, s, "PTTL k2")
+	if pttl.Int <= 0 || pttl.Int > 1500 {
+		t.Fatalf("PTTL = %d", pttl.Int)
+	}
+	*now += 2_100
+	wantNil(t, s, "GET k")
+	wantNil(t, s, "GET k2")
+	wantErrContains(t, s, "SETEX k 0 v", "invalid expire")
+}
+
+func TestExpirePersist(t *testing.T) {
+	s, now := testStore()
+	run(t, s, "SET k v")
+	wantInt(t, s, "EXPIRE k 100", 1)
+	wantInt(t, s, "PERSIST k", 1)
+	wantInt(t, s, "TTL k", -1)
+	wantInt(t, s, "PERSIST k", 0)
+	wantInt(t, s, "EXPIRE missing 100", 0)
+	// Non-positive expire deletes immediately.
+	wantInt(t, s, "EXPIRE k -1", 1)
+	wantNil(t, s, "GET k")
+	_ = now
+}
+
+func TestIncrDecrFamily(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "INCR c", 1)
+	wantInt(t, s, "INCR c", 2)
+	wantInt(t, s, "INCRBY c 10", 12)
+	wantInt(t, s, "DECR c", 11)
+	wantInt(t, s, "DECRBY c 11", 0)
+	run(t, s, "SET str notanumber")
+	wantErrContains(t, s, "INCR str", "not an integer")
+	// INCR result stays int-encoded and GET-able.
+	wantStr(t, s, "GET c", "0")
+}
+
+func TestAppendStrlenGetRangeSetRange(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "APPEND k Hello", 5)
+	wantInt(t, s, "APPEND k .World", 11)
+	wantInt(t, s, "STRLEN k", 11)
+	wantStr(t, s, "GETRANGE k 0 4", "Hello")
+	wantStr(t, s, "GETRANGE k -5 -1", "World")
+	wantInt(t, s, "SETRANGE k 6 Redis", 11)
+	wantStr(t, s, "GET k", "Hello.Redis")
+	wantInt(t, s, "STRLEN missing", 0)
+}
+
+func TestMSetMGet(t *testing.T) {
+	s, _ := testStore()
+	wantStr(t, s, "MSET a 1 b 2 c 3", "OK")
+	v := run(t, s, "MGET a b missing c")
+	if len(v.Array) != 4 || v.Array[0].String() != "1" || !v.Array[2].Null || v.Array[3].String() != "3" {
+		t.Fatalf("MGET = %s", v.String())
+	}
+	wantErrContains(t, s, "MSET a 1 b", "wrong number")
+}
+
+func TestGetSet(t *testing.T) {
+	s, _ := testStore()
+	wantNil(t, s, "GETSET k v1")
+	wantStr(t, s, "GETSET k v2", "v1")
+	wantStr(t, s, "GET k", "v2")
+}
+
+func TestTypeAndWrongType(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET str v")
+	run(t, s, "LPUSH list a")
+	run(t, s, "HSET hash f v")
+	run(t, s, "SADD set m")
+	run(t, s, "ZADD zset 1 m")
+	wantStr(t, s, "TYPE str", "string")
+	wantStr(t, s, "TYPE list", "list")
+	wantStr(t, s, "TYPE hash", "hash")
+	wantStr(t, s, "TYPE set", "set")
+	wantStr(t, s, "TYPE zset", "zset")
+	wantStr(t, s, "TYPE missing", "none")
+	wantErrContains(t, s, "GET list", "WRONGTYPE")
+	wantErrContains(t, s, "LPUSH str x", "WRONGTYPE")
+	wantErrContains(t, s, "HGET list f", "WRONGTYPE")
+	wantErrContains(t, s, "SADD zset m", "WRONGTYPE")
+	wantErrContains(t, s, "ZADD set 1 m", "WRONGTYPE")
+	wantErrContains(t, s, "INCR hash", "WRONGTYPE")
+}
+
+func TestListCommands(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "RPUSH l a b c", 3)
+	wantInt(t, s, "LPUSH l z", 4)
+	wantInt(t, s, "LLEN l", 4)
+	wantStr(t, s, "LINDEX l 0", "z")
+	wantStr(t, s, "LINDEX l -1", "c")
+	v := run(t, s, "LRANGE l 0 -1")
+	if v.String() != "[z a b c]" {
+		t.Fatalf("LRANGE = %s", v.String())
+	}
+	wantStr(t, s, "LPOP l", "z")
+	wantStr(t, s, "RPOP l", "c")
+	wantStr(t, s, "LSET l 0 A", "OK")
+	wantStr(t, s, "LINDEX l 0", "A")
+	wantErrContains(t, s, "LSET l 9 x", "index out of range")
+	wantErrContains(t, s, "LSET missing 0 x", "no such key")
+	// Popping everything removes the key.
+	run(t, s, "LPOP l")
+	run(t, s, "LPOP l")
+	wantInt(t, s, "EXISTS l", 0)
+	wantNil(t, s, "LPOP l")
+}
+
+func TestLRem(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "RPUSH l a b a c a")
+	wantInt(t, s, "LREM l 2 a", 2)
+	if v := run(t, s, "LRANGE l 0 -1"); v.String() != "[b c a]" {
+		t.Fatalf("after LREM: %s", v.String())
+	}
+	run(t, s, "RPUSH l b")
+	wantInt(t, s, "LREM l -1 b", 1)
+	if v := run(t, s, "LRANGE l 0 -1"); v.String() != "[b c a]" {
+		t.Fatalf("after LREM tail: %s", v.String())
+	}
+	wantInt(t, s, "LREM l 0 zzz", 0)
+}
+
+func TestRPopLPush(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "RPUSH src a b c")
+	wantStr(t, s, "RPOPLPUSH src dst", "c")
+	wantStr(t, s, "RPOPLPUSH src dst", "b")
+	if v := run(t, s, "LRANGE dst 0 -1"); v.String() != "[b c]" {
+		t.Fatalf("dst = %s", v.String())
+	}
+	wantNil(t, s, "RPOPLPUSH missing dst")
+}
+
+func TestHashCommands(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "HSET h f1 v1 f2 v2", 2)
+	wantInt(t, s, "HSET h f1 v1b", 0)
+	wantStr(t, s, "HGET h f1", "v1b")
+	wantNil(t, s, "HGET h missing")
+	wantNil(t, s, "HGET nosuchhash f")
+	wantInt(t, s, "HLEN h", 2)
+	wantInt(t, s, "HEXISTS h f2", 1)
+	wantInt(t, s, "HEXISTS h zz", 0)
+	v := run(t, s, "HMGET h f1 zz f2")
+	if len(v.Array) != 3 || !v.Array[1].Null {
+		t.Fatalf("HMGET = %s", v.String())
+	}
+	wantInt(t, s, "HDEL h f1 zz", 1)
+	wantInt(t, s, "HLEN h", 1)
+	wantInt(t, s, "HINCRBY h counter 5", 5)
+	wantInt(t, s, "HINCRBY h counter -2", 3)
+	wantStr(t, s, "HMSET h2 a 1 b 2", "OK")
+	wantInt(t, s, "HLEN h2", 2)
+	// Deleting all fields removes the key.
+	run(t, s, "HDEL h2 a b")
+	run(t, s, "HDEL h f2 counter")
+	wantInt(t, s, "EXISTS h", 0)
+}
+
+func TestHashGetAllKeysVals(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "HSET h a 1 b 2")
+	all := run(t, s, "HGETALL h")
+	if len(all.Array) != 4 {
+		t.Fatalf("HGETALL len=%d", len(all.Array))
+	}
+	if v := run(t, s, "HKEYS h"); len(v.Array) != 2 {
+		t.Fatalf("HKEYS = %s", v.String())
+	}
+	if v := run(t, s, "HVALS h"); len(v.Array) != 2 {
+		t.Fatalf("HVALS = %s", v.String())
+	}
+	if v := run(t, s, "HGETALL missing"); len(v.Array) != 0 {
+		t.Fatalf("HGETALL missing = %s", v.String())
+	}
+}
+
+func TestSetCommands(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "SADD s a b c", 3)
+	wantInt(t, s, "SADD s a", 0)
+	wantInt(t, s, "SCARD s", 3)
+	wantInt(t, s, "SISMEMBER s a", 1)
+	wantInt(t, s, "SISMEMBER s z", 0)
+	wantInt(t, s, "SREM s a z", 1)
+	wantInt(t, s, "SCARD s", 2)
+	if v := run(t, s, "SMEMBERS s"); len(v.Array) != 2 {
+		t.Fatalf("SMEMBERS = %s", v.String())
+	}
+	// SPOP until empty deletes the key.
+	run(t, s, "SPOP s")
+	run(t, s, "SPOP s")
+	wantInt(t, s, "EXISTS s", 0)
+	wantNil(t, s, "SPOP s")
+	wantNil(t, s, "SRANDMEMBER s")
+}
+
+func TestSetOperations(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SADD a 1 2 3 4")
+	run(t, s, "SADD b 3 4 5")
+	if v := run(t, s, "SINTER a b"); v.String() != "[3 4]" {
+		t.Fatalf("SINTER = %s", v.String())
+	}
+	if v := run(t, s, "SUNION a b"); v.String() != "[1 2 3 4 5]" {
+		t.Fatalf("SUNION = %s", v.String())
+	}
+	if v := run(t, s, "SDIFF a b"); v.String() != "[1 2]" {
+		t.Fatalf("SDIFF = %s", v.String())
+	}
+	if v := run(t, s, "SINTER a missing"); len(v.Array) != 0 {
+		t.Fatalf("SINTER with missing = %s", v.String())
+	}
+}
+
+func TestZSetCommands(t *testing.T) {
+	s, _ := testStore()
+	wantInt(t, s, "ZADD z 1 a 2 b 3 c", 3)
+	wantInt(t, s, "ZADD z 10 a", 0)
+	wantInt(t, s, "ZCARD z", 3)
+	wantStr(t, s, "ZSCORE z a", "10")
+	wantNil(t, s, "ZSCORE z missing")
+	wantInt(t, s, "ZRANK z b", 0)
+	wantInt(t, s, "ZRANK z a", 2)
+	if v := run(t, s, "ZRANGE z 0 -1"); v.String() != "[b c a]" {
+		t.Fatalf("ZRANGE = %s", v.String())
+	}
+	if v := run(t, s, "ZREVRANGE z 0 0"); v.String() != "[a]" {
+		t.Fatalf("ZREVRANGE = %s", v.String())
+	}
+	if v := run(t, s, "ZRANGE z 0 -1 WITHSCORES"); len(v.Array) != 6 {
+		t.Fatalf("WITHSCORES = %s", v.String())
+	}
+	if v := run(t, s, "ZRANGEBYSCORE z 2 10"); v.String() != "[b c a]" {
+		t.Fatalf("ZRANGEBYSCORE = %s", v.String())
+	}
+	wantStr(t, s, "ZINCRBY z 5 b", "7")
+	wantInt(t, s, "ZREM z a b", 2)
+	wantInt(t, s, "ZCARD z", 1)
+	run(t, s, "ZREM z c")
+	wantInt(t, s, "EXISTS z", 0)
+	wantErrContains(t, s, "ZADD z notafloat m", "not a valid float")
+}
+
+func TestKeysPatternAndRandomKey(t *testing.T) {
+	s, _ := testStore()
+	for i := 0; i < 5; i++ {
+		run(t, s, fmt.Sprintf("SET user:%d x", i))
+	}
+	run(t, s, "SET other y")
+	if v := run(t, s, "KEYS user:*"); len(v.Array) != 5 {
+		t.Fatalf("KEYS user:* = %s", v.String())
+	}
+	if v := run(t, s, "KEYS *"); len(v.Array) != 6 {
+		t.Fatalf("KEYS * = %s", v.String())
+	}
+	if v := run(t, s, "KEYS user:?"); len(v.Array) != 5 {
+		t.Fatalf("KEYS user:? = %s", v.String())
+	}
+	if v := run(t, s, "RANDOMKEY"); v.Null {
+		t.Fatal("RANDOMKEY on non-empty returned nil")
+	}
+}
+
+func TestRename(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET a v")
+	run(t, s, "EXPIRE a 100")
+	wantStr(t, s, "RENAME a b", "OK")
+	wantNil(t, s, "GET a")
+	wantStr(t, s, "GET b", "v")
+	if ttl := run(t, s, "TTL b"); ttl.Int <= 0 {
+		t.Fatalf("TTL not carried by RENAME: %d", ttl.Int)
+	}
+	wantErrContains(t, s, "RENAME missing x", "no such key")
+}
+
+func TestDBSizeFlush(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET a 1")
+	run(t, s, "SET b 2")
+	wantInt(t, s, "DBSIZE", 2)
+	wantStr(t, s, "FLUSHDB", "OK")
+	wantInt(t, s, "DBSIZE", 0)
+	run(t, s, "SET c 3")
+	wantStr(t, s, "FLUSHALL", "OK")
+	wantInt(t, s, "DBSIZE", 0)
+}
+
+func TestPingEchoInfo(t *testing.T) {
+	s, _ := testStore()
+	wantStr(t, s, "PING", "PONG")
+	wantStr(t, s, "PING hello", "hello")
+	wantStr(t, s, "ECHO boomerang", "boomerang")
+	v := run(t, s, "INFO")
+	if v.Type != resp.TypeBulk || !strings.Contains(v.String(), "dirty") {
+		t.Fatalf("INFO = %s", v.String())
+	}
+}
+
+func TestUnknownCommandAndArity(t *testing.T) {
+	s, _ := testStore()
+	wantErrContains(t, s, "NOSUCHCMD a b", "unknown command")
+	wantErrContains(t, s, "GET", "wrong number of arguments")
+	wantErrContains(t, s, "SET onlykey", "wrong number of arguments")
+	reply, dirty := s.Exec(0, nil)
+	if dirty || !strings.Contains(string(reply), "empty") {
+		t.Fatal("empty argv handling")
+	}
+}
+
+func TestDirtyFlagDrivesReplication(t *testing.T) {
+	s, _ := testStore()
+	checks := []struct {
+		cmd   string
+		dirty bool
+	}{
+		{"SET k v", true},
+		{"GET k", false},
+		{"DEL k", true},
+		{"DEL k", false}, // deleting nothing is clean
+		{"EXISTS k", false},
+		{"LPUSH l a", true},
+		{"LRANGE l 0 -1", false},
+		{"SADD s m", true},
+		{"SADD s m", false}, // no-op add is clean
+		{"PING", false},
+	}
+	for _, c := range checks {
+		words := strings.Split(c.cmd, " ")
+		argv := make([][]byte, len(words))
+		for i, w := range words {
+			argv[i] = []byte(w)
+		}
+		_, dirty := s.Exec(0, argv)
+		if dirty != c.dirty {
+			t.Errorf("%q dirty=%v, want %v", c.cmd, dirty, c.dirty)
+		}
+	}
+}
+
+func TestIsWriteCommand(t *testing.T) {
+	for _, w := range []string{"set", "SET", "del", "lpush", "hset", "zadd", "expire", "flushall"} {
+		if !IsWriteCommand(w) {
+			t.Errorf("%s should be a write command", w)
+		}
+	}
+	for _, r := range []string{"get", "GET", "mget", "lrange", "ping", "keys", "nosuch"} {
+		if IsWriteCommand(r) {
+			t.Errorf("%s should not be a write command", r)
+		}
+	}
+	if !KnownCommand("get") || KnownCommand("bogus") {
+		t.Error("KnownCommand wrong")
+	}
+}
+
+func TestMultipleDatabases(t *testing.T) {
+	s, _ := testStore()
+	s.Exec(0, [][]byte{[]byte("SET"), []byte("k"), []byte("db0")})
+	s.Exec(1, [][]byte{[]byte("SET"), []byte("k"), []byte("db1")})
+	r0, _ := s.Exec(0, [][]byte{[]byte("GET"), []byte("k")})
+	r1, _ := s.Exec(1, [][]byte{[]byte("GET"), []byte("k")})
+	if string(r0) == string(r1) {
+		t.Fatal("databases not isolated")
+	}
+	if s.NumDBs() != 16 {
+		t.Fatalf("NumDBs=%d", s.NumDBs())
+	}
+}
+
+func TestActiveExpireCycle(t *testing.T) {
+	s, now := testStore()
+	for i := 0; i < 100; i++ {
+		run(t, s, fmt.Sprintf("SET k%d v", i))
+		run(t, s, fmt.Sprintf("PEXPIRE k%d 100", i))
+	}
+	*now += 200
+	expired := 0
+	for i := 0; i < 100; i++ {
+		expired += s.ActiveExpireCycle(20)
+	}
+	if expired < 90 {
+		t.Fatalf("active cycle expired only %d/100", expired)
+	}
+	wantInt(t, s, "DBSIZE", int64(100-expired))
+}
+
+func TestLazyExpirationOnLookup(t *testing.T) {
+	s, now := testStore()
+	run(t, s, "SET k v")
+	run(t, s, "PEXPIRE k 50")
+	*now += 49
+	wantStr(t, s, "GET k", "v")
+	*now += 2
+	wantNil(t, s, "GET k")
+	wantInt(t, s, "DBSIZE", 0) // lazy deletion actually removed it
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		p, s string
+		want bool
+	}{
+		{"*", "anything", true},
+		{"user:*", "user:17", true},
+		{"user:*", "session:17", false},
+		{"h?llo", "hello", true},
+		{"h?llo", "hllo", false},
+		{"h[ae]llo", "hallo", true},
+		{"h[ae]llo", "hillo", false},
+		{"h[^e]llo", "hallo", true},
+		{"h[^e]llo", "hello", false},
+		{"h[a-c]llo", "hbllo", true},
+		{"h[a-c]llo", "hdllo", false},
+		{"", "", true},
+		{"", "x", false},
+		{"ab\\*", "ab*", true},
+		{"ab\\*", "abc", false},
+		{"**", "abc", true},
+		{"a*c", "abbbc", true},
+		{"a*c", "abbbd", false},
+	}
+	for _, c := range cases {
+		if GlobMatch(c.p, c.s) != c.want {
+			t.Errorf("GlobMatch(%q,%q) != %v", c.p, c.s, c.want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package tcpsim models the kernel TCP/IP path Redis uses by default. It is
+// deliberately unflattering in exactly the ways the paper describes (§III-B):
+// every message pays syscall + protocol-processing + copy CPU on both
+// endpoints, plus kernel-stack traversal latency, and the receiving process
+// pays an epoll wakeup on every idle→busy transition.
+//
+// The resulting single-core service time (~7–8µs per small SET) caps the
+// original-Redis baseline near the paper's measured ≈130 kops/s (Fig 10a)
+// while leaving unloaded round-trip latency in the tens of microseconds.
+package tcpsim
+
+import (
+	"fmt"
+
+	"skv/internal/fabric"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+// Stack is a TCP endpoint instance bound to one fabric endpoint and one
+// single-threaded process.
+type Stack struct {
+	net  *fabric.Network
+	ep   *fabric.Endpoint
+	proc *sim.Proc
+
+	listeners map[int]func(transport.Conn)
+	conns     map[uint64]*conn
+	nextID    uint64
+	dials     map[uint64]func(transport.Conn, error)
+}
+
+type segKind int
+
+const (
+	segSYN segKind = iota
+	segSYNACK
+	segRST
+	segDATA
+	segFIN
+)
+
+// segment is the fabric payload for the TCP model.
+type segment struct {
+	kind    segKind
+	port    int
+	srcConn uint64
+	dstConn uint64
+	data    []byte
+}
+
+// New creates a TCP stack on the endpoint, delivering to proc. The stack
+// takes ownership of the endpoint's receive handler.
+func New(net *fabric.Network, ep *fabric.Endpoint, proc *sim.Proc) *Stack {
+	s := &Stack{
+		net:       net,
+		ep:        ep,
+		proc:      proc,
+		listeners: make(map[int]func(transport.Conn)),
+		conns:     make(map[uint64]*conn),
+		dials:     make(map[uint64]func(transport.Conn, error)),
+	}
+	ep.Handle(s.recv)
+	return s
+}
+
+// Endpoint reports the bound fabric endpoint.
+func (s *Stack) Endpoint() *fabric.Endpoint { return s.ep }
+
+// Transport reports "tcp".
+func (s *Stack) Transport() string { return "tcp" }
+
+// Listen registers an accept callback on port.
+func (s *Stack) Listen(port int, accept func(transport.Conn)) {
+	if _, dup := s.listeners[port]; dup {
+		panic(fmt.Sprintf("tcpsim: %s already listening on %d", s.ep.Name(), port))
+	}
+	s.listeners[port] = accept
+}
+
+// Dial opens a connection to remote:port. The callback fires after the
+// handshake (or with an error on RST).
+func (s *Stack) Dial(remote *fabric.Endpoint, port int, cb func(transport.Conn, error)) {
+	s.nextID++
+	id := s.nextID
+	c := &conn{stack: s, id: id, peerEP: remote}
+	s.conns[id] = c
+	s.dials[id] = cb
+	s.sendSeg(remote, 64, segment{kind: segSYN, port: port, srcConn: id})
+}
+
+// sendSeg pushes a segment with kernel-stack latency on both sides.
+func (s *Stack) sendSeg(dst *fabric.Endpoint, size int, seg segment) {
+	p := s.net.Params()
+	s.net.Send(s.ep, dst, size, seg, 2*p.TCPStackLatency)
+}
+
+// recv is the endpoint-level delivery path. Control segments are handled by
+// the stack; data is charged to the owning process.
+func (s *Stack) recv(m fabric.Message) {
+	seg, ok := m.Payload.(segment)
+	if !ok {
+		return
+	}
+	p := s.net.Params()
+	switch seg.kind {
+	case segSYN:
+		accept, listening := s.listeners[seg.port]
+		if !listening {
+			s.sendSeg(m.Src, 64, segment{kind: segRST, dstConn: seg.srcConn})
+			return
+		}
+		s.nextID++
+		c := &conn{stack: s, id: s.nextID, peerEP: m.Src, peerConn: seg.srcConn, established: true}
+		s.conns[c.id] = c
+		s.sendSeg(m.Src, 64, segment{kind: segSYNACK, srcConn: c.id, dstConn: seg.srcConn})
+		// Accept runs on the process (accept handler callback in Redis).
+		s.proc.Post(p.TCPRxCPU, func() { accept(c) })
+	case segSYNACK:
+		c := s.conns[seg.dstConn]
+		cb := s.dials[seg.dstConn]
+		delete(s.dials, seg.dstConn)
+		if c == nil || cb == nil {
+			return
+		}
+		c.peerConn = seg.srcConn
+		c.established = true
+		s.proc.Post(p.TCPRxCPU, func() { cb(c, nil) })
+	case segRST:
+		cb := s.dials[seg.dstConn]
+		delete(s.dials, seg.dstConn)
+		delete(s.conns, seg.dstConn)
+		if cb != nil {
+			s.proc.Post(p.TCPRxCPU, func() { cb(nil, fmt.Errorf("tcpsim: connection refused by %s", m.Src.Name())) })
+		}
+	case segDATA:
+		c := s.conns[seg.dstConn]
+		if c == nil || c.closed {
+			return
+		}
+		cost := p.TCPMsgCPURx(len(seg.data))
+		s.proc.Post(cost, func() {
+			if c.handler != nil && !c.closed {
+				c.handler(seg.data)
+			}
+		})
+	case segFIN:
+		c := s.conns[seg.dstConn]
+		if c == nil || c.closed {
+			return
+		}
+		// Queue behind in-flight data so the close cannot overtake bytes
+		// already delivered to the process.
+		s.proc.Post(p.TCPRxCPU, func() {
+			if c.closed {
+				return
+			}
+			c.closed = true
+			delete(s.conns, c.id)
+			if c.onClose != nil {
+				c.onClose()
+			}
+		})
+	}
+}
+
+// conn is one TCP connection endpoint.
+type conn struct {
+	stack       *Stack
+	id          uint64
+	peerEP      *fabric.Endpoint
+	peerConn    uint64
+	established bool
+	closed      bool
+	handler     func([]byte)
+	onClose     func()
+}
+
+var _ transport.Conn = (*conn)(nil)
+
+// Send transmits one message: charges the kernel transmit cost on the
+// owner's core; the segment departs when the core finishes its current work.
+func (c *conn) Send(payload []byte) {
+	if c.closed || !c.established {
+		return
+	}
+	s := c.stack
+	p := s.net.Params()
+	core := s.proc.Core
+	core.Charge(p.TCPMsgCPUTx(len(payload)))
+	depart := core.BusyUntil().Sub(s.net.Engine().Now())
+	if depart < 0 {
+		depart = 0
+	}
+	data := append([]byte(nil), payload...)
+	s.net.Send(s.ep, c.peerEP, len(data),
+		segment{kind: segDATA, srcConn: c.id, dstConn: c.peerConn, data: data},
+		depart+2*p.TCPStackLatency)
+}
+
+func (c *conn) SetHandler(fn func([]byte)) { c.handler = fn }
+func (c *conn) SetCloseHandler(fn func())  { c.onClose = fn }
+
+// Close tears down the connection and notifies the peer with a FIN.
+func (c *conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.stack.conns, c.id)
+	c.stack.sendSeg(c.peerEP, 64, segment{kind: segFIN, dstConn: c.peerConn})
+}
+
+func (c *conn) Closed() bool      { return c.closed }
+func (c *conn) LocalAddr() string { return fmt.Sprintf("%s:#%d", c.stack.ep.Name(), c.id) }
+func (c *conn) RemoteAddr() string {
+	return fmt.Sprintf("%s:#%d", c.peerEP.Name(), c.peerConn)
+}
+func (c *conn) Transport() string { return "tcp" }

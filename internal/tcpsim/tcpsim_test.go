@@ -1,0 +1,172 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+type world struct {
+	eng *sim.Engine
+	net *fabric.Network
+	p   *model.Params
+}
+
+func newWorld() *world {
+	eng := sim.New(3)
+	p := model.Default()
+	return &world{eng: eng, net: fabric.New(eng, &p), p: &p}
+}
+
+func (w *world) stack(name string) (*Stack, *sim.Proc) {
+	m := w.net.NewMachine(name, false)
+	core := sim.NewCore(w.eng, name+"0", 1.0)
+	proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+	return New(w.net, m.Host, proc), proc
+}
+
+func dialPair(t *testing.T, w *world) (transport.Conn, transport.Conn) {
+	t.Helper()
+	sa, _ := w.stack("a")
+	sb, _ := w.stack("b")
+	var cliConn, srvConn transport.Conn
+	sb.Listen(6379, func(c transport.Conn) { srvConn = c })
+	w.eng.At(0, func() {
+		sa.Dial(sb.Endpoint(), 6379, func(c transport.Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			cliConn = c
+		})
+	})
+	w.eng.Run(0)
+	if cliConn == nil || srvConn == nil {
+		t.Fatal("handshake incomplete")
+	}
+	return cliConn, srvConn
+}
+
+func TestDialAndEcho(t *testing.T) {
+	w := newWorld()
+	cli, srv := dialPair(t, w)
+	srv.SetHandler(func(b []byte) { srv.Send(append([]byte("echo:"), b...)) })
+	var got string
+	cli.SetHandler(func(b []byte) { got = string(b) })
+	w.eng.After(0, func() { cli.Send([]byte("ping")) })
+	w.eng.Run(0)
+	if got != "echo:ping" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	w := newWorld()
+	sa, _ := w.stack("a")
+	sb, _ := w.stack("b")
+	var gotErr error
+	called := false
+	w.eng.At(0, func() {
+		sa.Dial(sb.Endpoint(), 9999, func(c transport.Conn, err error) {
+			called, gotErr = true, err
+		})
+	})
+	w.eng.Run(0)
+	if !called || gotErr == nil {
+		t.Fatalf("want refusal, called=%v err=%v", called, gotErr)
+	}
+}
+
+func TestMessagesChargeServerCPU(t *testing.T) {
+	w := newWorld()
+	cli, srv := dialPair(t, w)
+	proc := srv.(*conn).stack.proc
+	before := proc.Core.BusyTime()
+	count := 0
+	srv.SetHandler(func(b []byte) { count++ })
+	w.eng.After(0, func() {
+		for i := 0; i < 100; i++ {
+			cli.Send(make([]byte, 64))
+		}
+	})
+	w.eng.Run(0)
+	if count != 100 {
+		t.Fatalf("delivered %d, want 100", count)
+	}
+	perMsg := (proc.Core.BusyTime() - before) / 100
+	// Kernel RX path should cost on the order of TCPRxCPU (plus copies).
+	if perMsg < w.p.TCPRxCPU || perMsg > w.p.TCPRxCPU*2 {
+		t.Fatalf("per-message RX CPU = %v, want ≈%v", perMsg, w.p.TCPRxCPU)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	w := newWorld()
+	cli, srv := dialPair(t, w)
+	var got []byte
+	srv.SetHandler(func(b []byte) { got = append(got, b[0]) })
+	w.eng.After(0, func() {
+		// Mixed sizes: a large message first must not be overtaken.
+		cli.Send(append([]byte{1}, make([]byte, 60000)...))
+		cli.Send([]byte{2})
+		cli.Send([]byte{3})
+	})
+	w.eng.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("out of order: %v", got)
+	}
+}
+
+func TestCloseNotifiesPeer(t *testing.T) {
+	w := newWorld()
+	cli, srv := dialPair(t, w)
+	closed := false
+	srv.SetCloseHandler(func() { closed = true })
+	w.eng.After(0, func() { cli.Close() })
+	w.eng.Run(0)
+	if !closed {
+		t.Fatal("peer not notified of close")
+	}
+	if !cli.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	// Sends after close are dropped, not delivered.
+	n := 0
+	srv.SetHandler(func([]byte) { n++ })
+	w.eng.After(0, func() { cli.Send([]byte("x")) })
+	w.eng.Run(0)
+	if n != 0 {
+		t.Fatal("send after close delivered")
+	}
+}
+
+func TestUnloadedRTTIsTensOfMicroseconds(t *testing.T) {
+	w := newWorld()
+	cli, srv := dialPair(t, w)
+	srv.SetHandler(func(b []byte) { srv.Send(b) })
+	var rtt sim.Duration
+	var sent sim.Time
+	cli.SetHandler(func([]byte) { rtt = w.eng.Now().Sub(sent) })
+	w.eng.After(0, func() {
+		sent = w.eng.Now()
+		cli.Send([]byte("hello"))
+	})
+	w.eng.Run(0)
+	if rtt < 10*sim.Microsecond || rtt > 200*sim.Microsecond {
+		t.Fatalf("unloaded TCP RTT = %v, want tens of µs", rtt)
+	}
+}
+
+func TestTransportNames(t *testing.T) {
+	w := newWorld()
+	cli, _ := dialPair(t, w)
+	if cli.Transport() != "tcp" {
+		t.Fatal("transport name")
+	}
+	if cli.LocalAddr() == "" || cli.RemoteAddr() == "" {
+		t.Fatal("addrs empty")
+	}
+}

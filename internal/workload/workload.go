@@ -1,0 +1,191 @@
+// Package workload implements the benchmark load generators: the
+// redis-benchmark-equivalent closed-loop clients the paper's evaluation
+// uses ("each client issues queries as quickly as possible"), plus key and
+// value generators with uniform or Zipfian key popularity.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/stats"
+	"skv/internal/transport"
+)
+
+// Op is the command a generator emits.
+type Op int
+
+// Operation kinds.
+const (
+	OpSet Op = iota
+	OpGet
+)
+
+// Generator produces commands for one client.
+type Generator struct {
+	rnd *rand.Rand
+	// KeySpace is the number of distinct keys.
+	KeySpace int
+	// ValueSize is the SET payload size in bytes.
+	ValueSize int
+	// SetRatio is the fraction of SETs (1.0 = pure SET, 0.0 = pure GET).
+	SetRatio float64
+	// Zipf enables a Zipfian key distribution (s=1.1) instead of uniform.
+	Zipf bool
+
+	zipf  *rand.Zipf
+	value []byte
+}
+
+// NewGenerator creates a generator with deterministic randomness.
+func NewGenerator(seed int64, keySpace, valueSize int, setRatio float64, zipfian bool) *Generator {
+	rnd := rand.New(rand.NewSource(seed))
+	g := &Generator{
+		rnd:       rnd,
+		KeySpace:  keySpace,
+		ValueSize: valueSize,
+		SetRatio:  setRatio,
+		Zipf:      zipfian,
+	}
+	if zipfian {
+		g.zipf = rand.NewZipf(rnd, 1.1, 1, uint64(keySpace-1))
+	}
+	g.value = make([]byte, valueSize)
+	for i := range g.value {
+		g.value[i] = 'a' + byte(i%26)
+	}
+	return g
+}
+
+func (g *Generator) key() string {
+	var k uint64
+	if g.Zipf {
+		k = g.zipf.Uint64()
+	} else {
+		k = uint64(g.rnd.Intn(g.KeySpace))
+	}
+	return fmt.Sprintf("key:%010d", k)
+}
+
+// Next produces the next encoded command and its kind.
+func (g *Generator) Next() ([]byte, Op) {
+	if g.rnd.Float64() < g.SetRatio {
+		return resp.EncodeCommandBytes([]byte("SET"), []byte(g.key()), g.value), OpSet
+	}
+	return resp.EncodeCommandBytes([]byte("GET"), []byte(g.key())), OpGet
+}
+
+// Client is one closed-loop benchmark connection: send a command, wait for
+// the reply, record the latency, immediately send the next.
+type Client struct {
+	Name string
+
+	eng    *sim.Engine
+	params *model.Params
+	proc   *sim.Proc
+	stack  transport.Stack
+	gen    *Generator
+
+	conn    transport.Conn
+	reader  resp.Reader
+	sentAt  []sim.Time // FIFO of in-flight send times (pipelining)
+	running bool
+
+	// Pipeline is the number of requests kept in flight (redis-benchmark
+	// -P). 1 = classic closed loop.
+	Pipeline int
+
+	// WarmupUntil discards samples recorded before this virtual time.
+	WarmupUntil sim.Time
+	// Hist records request latencies (after warm-up).
+	Hist *stats.Histogram
+	// Series, when non-nil, counts completions over time (Fig 14).
+	Series *stats.TimeSeries
+
+	// Sent and Done count all requests, ErrReplies the error replies
+	// (min-slaves violations surface here).
+	Sent       uint64
+	Done       uint64
+	ErrReplies uint64
+}
+
+// NewClient builds a closed-loop client on its own core. makeStack
+// abstracts the transport choice (TCP vs RDMA).
+func NewClient(name string, eng *sim.Engine, params *model.Params, ep *fabric.Endpoint,
+	makeStack func(*fabric.Endpoint, *sim.Proc) transport.Stack, gen *Generator, wakeup sim.Duration) *Client {
+	core := sim.NewCore(eng, name+"-core", params.HostCoreSpeed)
+	proc := sim.NewProc(eng, core, wakeup)
+	return &Client{
+		Name:   name,
+		eng:    eng,
+		params: params,
+		proc:   proc,
+		stack:  makeStack(ep, proc),
+		gen:    gen,
+		Hist:   stats.NewHistogram(),
+	}
+}
+
+// Connect dials the server and starts the closed loop once connected.
+func (c *Client) Connect(server *fabric.Endpoint, port int) {
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	c.stack.Dial(server, port, func(conn transport.Conn, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("workload: client %s dial failed: %v", c.Name, err))
+		}
+		c.conn = conn
+		conn.SetHandler(func(data []byte) { c.onReply(data) })
+		c.running = true
+		for i := 0; i < c.Pipeline; i++ {
+			c.sendNext()
+		}
+	})
+}
+
+// Stop ends the loop after the in-flight request completes.
+func (c *Client) Stop() { c.running = false }
+
+func (c *Client) sendNext() {
+	if !c.running {
+		return
+	}
+	cmd, _ := c.gen.Next()
+	c.proc.Core.Charge(c.params.ClientThinkCPU)
+	c.sentAt = append(c.sentAt, c.eng.Now())
+	c.Sent++
+	c.conn.Send(cmd)
+}
+
+func (c *Client) onReply(data []byte) {
+	c.reader.Feed(data)
+	for {
+		v, ok, err := c.reader.ReadValue()
+		if err != nil {
+			panic(fmt.Sprintf("workload: client %s got protocol garbage: %v", c.Name, err))
+		}
+		if !ok {
+			return
+		}
+		now := c.eng.Now()
+		c.Done++
+		if v.IsError() {
+			c.ErrReplies++
+		}
+		if len(c.sentAt) > 0 {
+			if now >= c.WarmupUntil {
+				c.Hist.Record(now.Sub(c.sentAt[0]))
+				if c.Series != nil {
+					c.Series.Record(now)
+				}
+			}
+			c.sentAt = c.sentAt[1:]
+		}
+		c.sendNext()
+	}
+}

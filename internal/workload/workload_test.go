@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/tcpsim"
+	"skv/internal/transport"
+)
+
+func TestGeneratorPureSet(t *testing.T) {
+	g := NewGenerator(1, 1000, 64, 1.0, false)
+	for i := 0; i < 100; i++ {
+		cmd, op := g.Next()
+		if op != OpSet {
+			t.Fatal("pure-SET generator emitted a GET")
+		}
+		var r resp.Reader
+		r.Feed(cmd)
+		argv, ok, err := r.ReadCommand()
+		if err != nil || !ok || len(argv) != 3 {
+			t.Fatalf("bad command: %q", cmd)
+		}
+		if string(argv[0]) != "SET" || len(argv[2]) != 64 {
+			t.Fatalf("argv %q value len %d", argv[0], len(argv[2]))
+		}
+		if !strings.HasPrefix(string(argv[1]), "key:") {
+			t.Fatalf("key %q", argv[1])
+		}
+	}
+}
+
+func TestGeneratorPureGet(t *testing.T) {
+	g := NewGenerator(2, 1000, 64, 0.0, false)
+	for i := 0; i < 100; i++ {
+		cmd, op := g.Next()
+		if op != OpGet {
+			t.Fatal("pure-GET generator emitted a SET")
+		}
+		if !bytes.Contains(cmd, []byte("GET")) {
+			t.Fatalf("command %q", cmd)
+		}
+	}
+}
+
+func TestGeneratorMixedRatio(t *testing.T) {
+	g := NewGenerator(3, 1000, 8, 0.3, false)
+	sets := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, op := g.Next(); op == OpSet {
+			sets++
+		}
+	}
+	ratio := float64(sets) / n
+	if ratio < 0.27 || ratio > 0.33 {
+		t.Fatalf("SET ratio %.3f, want ≈0.30", ratio)
+	}
+}
+
+func TestGeneratorKeySpaceBounded(t *testing.T) {
+	g := NewGenerator(4, 10, 8, 1.0, false)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		cmd, _ := g.Next()
+		var r resp.Reader
+		r.Feed(cmd)
+		argv, _, _ := r.ReadCommand()
+		seen[string(argv[1])] = true
+	}
+	if len(seen) > 10 {
+		t.Fatalf("keyspace 10 produced %d distinct keys", len(seen))
+	}
+	if len(seen) < 8 {
+		t.Fatalf("uniform generator covered only %d/10 keys", len(seen))
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	g := NewGenerator(5, 10_000, 8, 1.0, true)
+	counts := map[string]int{}
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		cmd, _ := g.Next()
+		var r resp.Reader
+		r.Feed(cmd)
+		argv, _, _ := r.ReadCommand()
+		counts[string(argv[1])]++
+	}
+	// Zipf: the hottest key should take a large share; uniform would give
+	// each key ≈2 hits.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/20 {
+		t.Fatalf("hottest key hit %d/%d times; not Zipfian", max, n)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(7, 100, 16, 0.5, true)
+	b := NewGenerator(7, 100, 16, 0.5, true)
+	for i := 0; i < 200; i++ {
+		ca, oa := a.Next()
+		cb, ob := b.Next()
+		if oa != ob || !bytes.Equal(ca, cb) {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+// TestClientClosedLoop runs a client against a scripted echo server in the
+// simulation and checks the closed-loop accounting.
+func TestClientClosedLoop(t *testing.T) {
+	eng := sim.New(9)
+	p := model.Default()
+	net := fabric.New(eng, &p)
+	srvM := net.NewMachine("srv", false)
+	cliM := net.NewMachine("cli", false)
+
+	// A trivial server replying +OK to every command.
+	srvCore := sim.NewCore(eng, "srv", 1.0)
+	srvProc := sim.NewProc(eng, srvCore, p.TCPWakeup)
+	srvStack := tcpsim.New(net, srvM.Host, srvProc)
+	srvStack.Listen(6379, func(conn transport.Conn) {
+		var r resp.Reader
+		conn.SetHandler(func(data []byte) {
+			r.Feed(data)
+			for {
+				_, ok, err := r.ReadCommand()
+				if err != nil || !ok {
+					return
+				}
+				conn.Send(resp.AppendSimple(nil, "OK"))
+			}
+		})
+	})
+
+	gen := NewGenerator(11, 100, 32, 1.0, false)
+	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
+		return tcpsim.New(net, ep, proc)
+	}
+	cl := NewClient("c0", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
+	cl.Connect(srvM.Host, 6379)
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	cl.Stop()
+	eng.Run(sim.Time(110 * sim.Millisecond))
+
+	if cl.Done < 1000 {
+		t.Fatalf("closed loop completed only %d ops in 100ms", cl.Done)
+	}
+	if cl.Sent != cl.Done && cl.Sent != cl.Done+1 {
+		t.Fatalf("closed-loop accounting: sent=%d done=%d", cl.Sent, cl.Done)
+	}
+	if cl.Hist.Count() == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if cl.ErrReplies != 0 {
+		t.Fatalf("unexpected error replies: %d", cl.ErrReplies)
+	}
+	if mean := cl.Hist.Mean(); mean <= 0 || mean > sim.Duration(sim.Millisecond) {
+		t.Fatalf("implausible mean latency %v", mean)
+	}
+}
+
+func TestClientWarmupDiscardsSamples(t *testing.T) {
+	eng := sim.New(10)
+	p := model.Default()
+	net := fabric.New(eng, &p)
+	srvM := net.NewMachine("srv", false)
+	cliM := net.NewMachine("cli", false)
+	srvProc := sim.NewProc(eng, sim.NewCore(eng, "srv", 1.0), p.TCPWakeup)
+	srvStack := tcpsim.New(net, srvM.Host, srvProc)
+	srvStack.Listen(6379, func(conn transport.Conn) {
+		conn.SetHandler(func(data []byte) { conn.Send(resp.AppendSimple(nil, "OK")) })
+	})
+	gen := NewGenerator(11, 100, 8, 1.0, false)
+	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
+		return tcpsim.New(net, ep, proc)
+	}
+	cl := NewClient("c0", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
+	cl.WarmupUntil = sim.Time(50 * sim.Millisecond)
+	cl.Connect(srvM.Host, 6379)
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if cl.Hist.Count() >= cl.Done {
+		t.Fatalf("warm-up did not discard: hist=%d done=%d", cl.Hist.Count(), cl.Done)
+	}
+	if cl.Hist.Count() == 0 {
+		t.Fatal("no post-warmup samples")
+	}
+}
+
+func TestClientPipelining(t *testing.T) {
+	eng := sim.New(12)
+	p := model.Default()
+	net := fabric.New(eng, &p)
+	srvM := net.NewMachine("srv", false)
+	cliM := net.NewMachine("cli", false)
+	srvProc := sim.NewProc(eng, sim.NewCore(eng, "srv", 1.0), p.TCPWakeup)
+	srvStack := tcpsim.New(net, srvM.Host, srvProc)
+	srvStack.Listen(6379, func(conn transport.Conn) {
+		var r resp.Reader
+		conn.SetHandler(func(data []byte) {
+			r.Feed(data)
+			for {
+				_, ok, err := r.ReadCommand()
+				if err != nil || !ok {
+					return
+				}
+				conn.Send(resp.AppendSimple(nil, "OK"))
+			}
+		})
+	})
+	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
+		return tcpsim.New(net, ep, proc)
+	}
+	run := func(depth int) uint64 {
+		gen := NewGenerator(13, 100, 16, 1.0, false)
+		cl := NewClient("p", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
+		cl.Pipeline = depth
+		cl.Connect(srvM.Host, 6379)
+		start := eng.Now()
+		eng.Run(start.Add(50 * sim.Millisecond))
+		cl.Stop()
+		eng.Run(eng.Now().Add(10 * sim.Millisecond))
+		return cl.Done
+	}
+	// Separate machines per run would be cleaner but one sequential reuse
+	// is fine: measure depth-1 then depth-8 on fresh clients.
+	d1 := run(1)
+	cliM2 := net.NewMachine("cli2", false)
+	mk2 := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
+		return tcpsim.New(net, ep, proc)
+	}
+	gen := NewGenerator(14, 100, 16, 1.0, false)
+	cl := NewClient("p8", eng, &p, cliM2.Host, mk2, gen, p.ClientWakeup)
+	cl.Pipeline = 8
+	cl.Connect(srvM.Host, 6379)
+	start := eng.Now()
+	eng.Run(start.Add(50 * sim.Millisecond))
+	cl.Stop()
+	eng.Run(eng.Now().Add(10 * sim.Millisecond))
+	d8 := cl.Done
+	if d8 <= d1 {
+		t.Fatalf("pipelining did not help: depth1=%d depth8=%d", d1, d8)
+	}
+	if cl.Hist.Count() == 0 {
+		t.Fatal("no latencies recorded under pipelining")
+	}
+}

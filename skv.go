@@ -1,0 +1,96 @@
+// Package skv is a from-scratch Go reproduction of "SKV: A
+// SmartNIC-Offloaded Distributed Key-Value Store" (IEEE CLUSTER 2022): a
+// Redis-like storage engine plus a deterministic simulation of the paper's
+// cluster substrate — RDMA verbs, kernel-TCP baseline, and an off-path
+// BlueField-class SmartNIC — faithful enough to regenerate every figure of
+// the paper's evaluation.
+//
+// The package root re-exports the library's main entry points; the
+// implementation lives in the internal packages (see DESIGN.md for the full
+// inventory):
+//
+//   - Storage engine: incremental-rehash dict, SDS strings, skiplists,
+//     RESP protocol, RDB snapshots (internal/store and friends). Usable
+//     standalone — NewStore — or over real TCP — NewNetServer (RESP
+//     compatible for the implemented command set).
+//   - Simulation: BuildCluster assembles original-Redis, RDMA-Redis, or SKV
+//     deployments in virtual time; Experiments regenerates the paper's
+//     figures (also available via cmd/skv-bench).
+package skv
+
+import (
+	"skv/internal/bench"
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/netserver"
+	"skv/internal/store"
+)
+
+// Store is the key-value engine: numbered databases, the Redis command
+// set implemented here (strings, keys, lists, hashes, sets, sorted sets),
+// and TTL expiration.
+type Store = store.Store
+
+// NewStore creates an engine with n databases. clock supplies milliseconds
+// (wall time for real deployments, virtual time inside simulations); seed
+// drives internal randomization deterministically.
+func NewStore(n int, seed int64, clock func() int64) *Store {
+	return store.New(n, seed, clock)
+}
+
+// NetServer serves a Store over real TCP with the RESP protocol.
+type NetServer = netserver.Server
+
+// NetServerOptions configures a NetServer.
+type NetServerOptions = netserver.Options
+
+// NewNetServer creates a TCP RESP server (see cmd/skv-server).
+func NewNetServer(opts NetServerOptions) (*NetServer, error) {
+	return netserver.New(opts)
+}
+
+// Cluster is a simulated deployment (master, slaves, clients, fabric).
+type Cluster = cluster.Cluster
+
+// ClusterConfig describes a simulated deployment.
+type ClusterConfig = cluster.Config
+
+// Systems under test for BuildCluster.
+const (
+	// KindTCP is original Redis over the kernel TCP stack.
+	KindTCP = cluster.KindTCP
+	// KindRDMA is RDMA-Redis (the paper's baseline).
+	KindRDMA = cluster.KindRDMA
+	// KindSKV is the SmartNIC-offloaded system.
+	KindSKV = cluster.KindSKV
+)
+
+// SKVConfig carries the paper's SKV tunables (min-slaves, waiting-time via
+// Params, thread-num).
+type SKVConfig = core.Config
+
+// DefaultSKVConfig mirrors the paper's default deployment.
+func DefaultSKVConfig() SKVConfig { return core.DefaultConfig() }
+
+// Params is the calibration parameter set of the simulation.
+type Params = model.Params
+
+// DefaultParams returns the paper-anchored calibration.
+func DefaultParams() Params { return model.Default() }
+
+// BuildCluster assembles a simulated deployment.
+func BuildCluster(cfg ClusterConfig) *Cluster { return cluster.Build(cfg) }
+
+// Experiment is one reproduced figure of the paper.
+type Experiment = bench.Experiment
+
+// Experiments regenerates every figure and ablation in paper order.
+func Experiments() []*Experiment { return bench.All() }
+
+// RunExperiment regenerates a single figure by id (bench.IDs lists them);
+// nil for unknown ids.
+func RunExperiment(id string) *Experiment { return bench.ByID(id) }
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return bench.IDs() }

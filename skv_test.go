@@ -1,0 +1,81 @@
+package skv_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"skv"
+	"skv/internal/resp"
+	"skv/internal/sim"
+)
+
+// TestPublicStoreAPI exercises the embedded-engine entry point.
+func TestPublicStoreAPI(t *testing.T) {
+	st := skv.NewStore(2, 1, func() int64 { return time.Now().UnixMilli() })
+	reply, dirty := st.Exec(0, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+	if string(reply) != "+OK\r\n" || !dirty {
+		t.Fatalf("SET via facade: %q dirty=%v", reply, dirty)
+	}
+	reply, _ = st.Exec(0, [][]byte{[]byte("GET"), []byte("k")})
+	if string(reply) != "$1\r\nv\r\n" {
+		t.Fatalf("GET via facade: %q", reply)
+	}
+}
+
+// TestPublicNetServerAPI boots a real TCP server through the facade.
+func TestPublicNetServerAPI(t *testing.T) {
+	s, err := skv.NewNetServer(skv.NetServerOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(resp.EncodeCommand("PING")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "+PONG\r\n" {
+		t.Fatalf("PING over facade server: %q %v", buf[:n], err)
+	}
+}
+
+// TestPublicClusterAPI builds and measures a small SKV deployment.
+func TestPublicClusterAPI(t *testing.T) {
+	c := skv.BuildCluster(skv.ClusterConfig{
+		Kind: skv.KindSKV, Slaves: 2, Clients: 2, Seed: 3,
+		SKV: skv.DefaultSKVConfig(),
+	})
+	if !c.AwaitReplication(2 * sim.Second) {
+		t.Fatal("replication did not converge")
+	}
+	res := c.Measure(10*sim.Millisecond, 50*sim.Millisecond)
+	if res.Ops == 0 {
+		t.Fatal("no ops through facade cluster")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(skv.ExperimentIDs()) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	if skv.RunExperiment("bogus") != nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+	p := skv.DefaultParams()
+	if p.NICCoreSpeed >= 1 {
+		t.Fatal("params facade broken")
+	}
+}
