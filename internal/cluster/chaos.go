@@ -1,0 +1,393 @@
+// Chaos harness: scripted failure scenarios driven through the fabric fault
+// plane (internal/fabric: partitions, loss, flapping endpoints) and the
+// process crash/restart helpers below, with a deterministic timestamped
+// trace. Every scenario ends with CheckConvergence, which asserts the SKV
+// invariants §III-D is supposed to restore after any failure: exactly one
+// master, no leftover promotion, every alive slave valid, synced, and at the
+// master's replication offset.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/server"
+	"skv/internal/sim"
+)
+
+// TraceEntry is one recorded chaos event with a state snapshot taken right
+// after it ran. Two runs of the same scenario with the same seed must
+// produce identical traces (the harness's determinism contract).
+type TraceEntry struct {
+	At    sim.Time
+	Label string
+	State string
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%10.3fms  %-24s %s",
+		float64(e.At)/float64(sim.Millisecond), e.Label, e.State)
+}
+
+// Chaos schedules scripted failures over a built cluster and records the
+// trace. All At offsets are relative to the moment NewChaos was called
+// (normally: right after initial replication completed).
+type Chaos struct {
+	C     *Cluster
+	Trace []TraceEntry
+	base  sim.Time
+}
+
+// NewChaos wraps a built cluster for scenario scripting.
+func NewChaos(c *Cluster) *Chaos { return &Chaos{C: c, base: c.Eng.Now()} }
+
+// Note appends a trace entry with the current state, without an action.
+func (h *Chaos) Note(label string) {
+	h.Trace = append(h.Trace, TraceEntry{At: h.C.Eng.Now(), Label: label, State: h.snapshot()})
+}
+
+// At schedules do at base+d and records it in the trace when it runs.
+func (h *Chaos) At(d sim.Duration, label string, do func(c *Cluster)) {
+	h.C.Eng.At(h.base.Add(d), func() {
+		if do != nil {
+			do(h.C)
+		}
+		h.Note(label)
+	})
+}
+
+// TraceString renders the whole trace, one entry per line.
+func (h *Chaos) TraceString() string {
+	var b strings.Builder
+	for _, e := range h.Trace {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// snapshot captures the failure-detector and replication state in one line:
+// master validity, promotion, valid-slave count, failover/restore counters,
+// roles (M=master role, s=slave role, x=crashed), and offsets.
+func (h *Chaos) snapshot() string {
+	c := h.C
+	var b strings.Builder
+	if c.NicKV != nil {
+		fmt.Fprintf(&b, "mv=%t prom=%q vs=%d fo=%d rst=%d ",
+			c.NicKV.MasterValid(), c.NicKV.PromotedID(), c.NicKV.ValidSlaves(),
+			c.NicKV.Failovers, c.NicKV.MasterRestores)
+	}
+	role := func(s *server.Server) byte {
+		if !s.Alive() {
+			return 'x'
+		}
+		if s.Role() == server.RoleMaster {
+			return 'M'
+		}
+		return 's'
+	}
+	roles := []byte{role(c.Master)}
+	for _, s := range c.Slaves {
+		roles = append(roles, role(s))
+	}
+	fmt.Fprintf(&b, "roles=%s moff=%d", roles, c.Master.ReplOffset())
+	if len(c.SlaveAgents) > 0 {
+		b.WriteString(" offs=[")
+		for i, a := range c.SlaveAgents {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", a.Offset())
+			if !a.Synced() {
+				b.WriteByte('*') // not in steady state
+			}
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// ---- scheduling helpers -------------------------------------------------
+
+// CrashMaster wedges the master process at base+d (endpoints stay up; peers
+// observe silence — the failure mode §III-D's probes detect).
+func (h *Chaos) CrashMaster(d sim.Duration) {
+	h.At(d, "crash master", func(c *Cluster) { c.Master.Crash() })
+}
+
+// RestartMaster restarts the master process at base+d: its old connections
+// die with it and Host-KV re-dials Nic-KV with a fresh master hello.
+func (h *Chaos) RestartMaster(d sim.Duration) {
+	h.At(d, "restart master", func(c *Cluster) { c.RestartMaster() })
+}
+
+// CrashSlave wedges slave i's process at base+d.
+func (h *Chaos) CrashSlave(d sim.Duration, i int) {
+	h.At(d, fmt.Sprintf("crash slave%d", i), func(c *Cluster) { c.Slaves[i].Crash() })
+}
+
+// RecoverSlave restarts slave i's process at base+d and resynchronizes.
+func (h *Chaos) RecoverSlave(d sim.Duration, i int) {
+	h.At(d, fmt.Sprintf("recover slave%d", i), func(c *Cluster) { c.RecoverSlave(i) })
+}
+
+// PartitionNicSlave cuts both directions between the SmartNIC and slave i's
+// host at base+d.
+func (h *Chaos) PartitionNicSlave(d sim.Duration, i int) {
+	h.At(d, fmt.Sprintf("partition nic<->slave%d", i), func(c *Cluster) {
+		c.Net.Faults().PartitionBoth(c.MasterMachine.NIC, c.SlaveMachines[i].Host)
+	})
+}
+
+// HealNicSlave heals both directions between the SmartNIC and slave i's
+// host at base+d; parked traffic flushes in order.
+func (h *Chaos) HealNicSlave(d sim.Duration, i int) {
+	h.At(d, fmt.Sprintf("heal nic<->slave%d", i), func(c *Cluster) {
+		c.Net.Faults().HealBoth(c.MasterMachine.NIC, c.SlaveMachines[i].Host)
+	})
+}
+
+// FlapSlave starts down/up cycles of slave i's host endpoint at base+d.
+func (h *Chaos) FlapSlave(d sim.Duration, i int, downFor, upFor sim.Duration, cycles int) {
+	h.At(d, fmt.Sprintf("flap slave%d", i), func(c *Cluster) {
+		c.Net.Faults().FlapEndpoint(c.SlaveMachines[i].Host, downFor, upFor, cycles)
+	})
+}
+
+// ---- cluster-level crash/restart helpers --------------------------------
+
+// RecoverSlave restarts a crashed slave process. For SKV the agent forces a
+// fresh synchronization (Fig 14's recovered node re-replicating from its
+// offset); for the baselines Server.Recover re-runs SLAVEOF itself.
+func (c *Cluster) RecoverSlave(i int) {
+	c.Slaves[i].Recover()
+	if c.Cfg.Kind == KindSKV && i < len(c.SlaveAgents) {
+		c.SlaveAgents[i].Resync()
+	}
+}
+
+// RestartMaster models a full master process restart, as opposed to
+// Server.Recover alone (which models an un-wedged process whose connections
+// survived): the dead process's Nic-KV control and payload connections are
+// severed, the server restarts, and Host-KV re-announces itself to Nic-KV
+// on a brand-new connection (msgMasterHello). This is the §III-D restore
+// path — and the one that used to split-brain when a slave was promoted.
+func (c *Cluster) RestartMaster() {
+	if c.HostKV != nil {
+		c.HostKV.SeverConnections()
+	}
+	c.Master.Recover()
+	if c.HostKV != nil {
+		c.HostKV.ReconnectNic()
+	}
+}
+
+// CheckConvergence verifies the deployment settled back into the healthy
+// SKV steady state. It returns nil when every invariant holds, or an error
+// listing each violation.
+func (c *Cluster) CheckConvergence() error {
+	var errs []string
+	add := func(format string, a ...any) { errs = append(errs, fmt.Sprintf(format, a...)) }
+
+	masters := 0
+	if c.Master.Alive() && c.Master.Role() == server.RoleMaster {
+		masters++
+	}
+	for i, s := range c.Slaves {
+		if s.Alive() && s.Role() == server.RoleMaster {
+			masters++
+			add("slave%d is still in the master role", i)
+		}
+	}
+	if masters != 1 {
+		add("%d alive masters, want exactly 1", masters)
+	}
+
+	if c.NicKV != nil {
+		if !c.NicKV.MasterValid() {
+			add("Nic-KV considers the master invalid")
+		}
+		if p := c.NicKV.PromotedID(); p != "" {
+			add("Nic-KV still has %q promoted", p)
+		}
+		alive := 0
+		for _, s := range c.Slaves {
+			if s.Alive() {
+				alive++
+			}
+		}
+		if v := c.NicKV.ValidSlaves(); v != alive {
+			add("Nic-KV sees %d valid slaves, want %d", v, alive)
+		}
+	}
+
+	off := c.Master.ReplOffset()
+	for i, a := range c.SlaveAgents {
+		if !c.Slaves[i].Alive() {
+			continue
+		}
+		if !a.Synced() {
+			add("slave%d is not in steady state", i)
+			continue
+		}
+		if a.Offset() != off {
+			add("slave%d offset %d != master offset %d", i, a.Offset(), off)
+		}
+	}
+
+	want := c.Master.Store().DBSize(0)
+	for i, s := range c.Slaves {
+		if !s.Alive() {
+			continue
+		}
+		if got := s.Store().DBSize(0); got != want {
+			add("slave%d holds %d keys, master holds %d", i, got, want)
+		}
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("not converged: %s", strings.Join(errs, "; "))
+}
+
+// ---- scenarios ----------------------------------------------------------
+
+// Scenario is one scripted failure sequence over a fresh SKV cluster.
+type Scenario struct {
+	Name    string
+	Slaves  int
+	Clients int
+	Seed    int64
+	// Retry is the RC/TCP retransmission-timeout budget before a connection
+	// errors out. 0 means 10s: links park traffic but never die (pure
+	// probe-timeout scenarios). Short values force connection teardown and
+	// re-establishment (flap scenarios).
+	Retry  sim.Duration
+	Script func(h *Chaos)
+	// RunFor is the scripted horizon under client load; Settle is the quiet
+	// period after load stops, before the convergence check.
+	RunFor sim.Duration
+	Settle sim.Duration
+}
+
+// ChaosParams compresses the failure-detection timescales (probe every
+// 100ms, waiting-time 200ms — the cluster tests' fast profile) and installs
+// the scenario's retry budget.
+func ChaosParams(retry sim.Duration) *model.Params {
+	p := model.Default()
+	p.ProbePeriod = 100 * sim.Millisecond
+	p.WaitingTime = 200 * sim.Millisecond
+	if retry <= 0 {
+		retry = 10 * sim.Second
+	}
+	p.RCRetryTimeout = retry
+	p.TCPRetryTimeout = retry
+	return &p
+}
+
+// RunScenario builds a fresh SKV cluster for the scenario, waits for
+// initial replication, starts client load, runs the script, stops the load,
+// settles, and checks convergence. The returned Chaos holds the trace.
+func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
+	c := Build(Config{
+		Kind:    KindSKV,
+		Slaves:  s.Slaves,
+		Clients: s.Clients,
+		Seed:    s.Seed,
+		Params:  ChaosParams(s.Retry),
+		SKV:     core.Config{ProgressInterval: 50 * sim.Millisecond},
+	})
+	if !c.AwaitReplication(2 * sim.Second) {
+		return c, nil, fmt.Errorf("%s: initial replication did not complete", s.Name)
+	}
+	h := NewChaos(c)
+	h.Note("replication ready")
+	c.StartClients()
+	if s.Script != nil {
+		s.Script(h)
+	}
+	c.Eng.RunFor(s.RunFor)
+	for _, cl := range c.Clients {
+		cl.Stop()
+	}
+	h.Note("load stopped")
+	c.Eng.RunFor(s.Settle)
+	h.Note("settled")
+	return c, h, c.CheckConvergence()
+}
+
+// ChaosScenarios returns the canned failure scenarios the chaos tests (and
+// examples/chaos) run. Each exercises a different §III-D path.
+func ChaosScenarios() []Scenario {
+	return []Scenario{
+		// Master crash → probe timeout → failover; then a full master
+		// restart: the recovered master reappears on a new connection and
+		// the promoted slave must be demoted (the split-brain fix).
+		{
+			Name: "master-restart-split-brain", Slaves: 3, Clients: 1, Seed: 7,
+			RunFor: 2 * sim.Second, Settle: 1500 * sim.Millisecond,
+			Script: func(h *Chaos) {
+				h.CrashMaster(200 * sim.Millisecond)
+				h.RestartMaster(900 * sim.Millisecond)
+			},
+		},
+		// Slave process crash → invalid flag → recovery → resync across the
+		// missed stream (Fig 14's recovered-node path).
+		{
+			Name: "slave-crash-recover", Slaves: 3, Clients: 1, Seed: 11,
+			RunFor: 2 * sim.Second, Settle: 1 * sim.Second,
+			Script: func(h *Chaos) {
+				h.CrashSlave(200*sim.Millisecond, 1)
+				h.RecoverSlave(900*sim.Millisecond, 1)
+			},
+		},
+		// Slave endpoint flaps: each down window outlasts both the
+		// waiting-time (→ invalid) and the retry budget (→ connections
+		// error out), so recovery exercises full re-dial + resync.
+		{
+			Name: "slave-flap-resync", Slaves: 3, Clients: 1, Seed: 13,
+			Retry:  150 * sim.Millisecond,
+			RunFor: 2500 * sim.Millisecond, Settle: 2 * sim.Second,
+			Script: func(h *Chaos) {
+				h.FlapSlave(200*sim.Millisecond, 1, 400*sim.Millisecond, 600*sim.Millisecond, 2)
+			},
+		},
+		// NIC↔slave partition shorter than the retry budget: connections
+		// survive, probes time out (invalid), the heal flushes parked
+		// traffic in order and the probe-ack revalidates the slave.
+		{
+			Name: "nic-partition-probe-timeout", Slaves: 3, Clients: 1, Seed: 17,
+			RunFor: 2 * sim.Second, Settle: 1500 * sim.Millisecond,
+			Script: func(h *Chaos) {
+				h.PartitionNicSlave(300*sim.Millisecond, 2)
+				h.HealNicSlave(1100*sim.Millisecond, 2)
+			},
+		},
+		// Lossy, spiky links under load: retransmission delay only — the
+		// failure detector must NOT trip (no failovers), and replication
+		// still converges.
+		{
+			Name: "lossy-links-under-load", Slaves: 3, Clients: 1, Seed: 23,
+			RunFor: 1500 * sim.Millisecond, Settle: 1 * sim.Second,
+			Script: func(h *Chaos) {
+				h.At(100*sim.Millisecond, "loss 5% on slave links", func(c *Cluster) {
+					f := c.Net.Faults()
+					for _, m := range c.SlaveMachines {
+						f.SetLossBoth(c.MasterMachine.NIC, m.Host, 0.05, 200*sim.Microsecond)
+						f.SetDelay(c.MasterMachine.NIC, m.Host, 0, 0.02, 1*sim.Millisecond)
+					}
+				})
+				h.At(1200*sim.Millisecond, "links clean again", func(c *Cluster) {
+					f := c.Net.Faults()
+					for _, m := range c.SlaveMachines {
+						f.Clear(c.MasterMachine.NIC, m.Host)
+						f.Clear(m.Host, c.MasterMachine.NIC)
+					}
+				})
+			},
+		},
+	}
+}

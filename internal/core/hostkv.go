@@ -17,6 +17,7 @@ type HostKV struct {
 	cfg Config
 	net *fabric.Network
 
+	nicEP   *fabric.Endpoint
 	nicConn transport.Conn
 
 	// Latest Nic-KV status report.
@@ -44,6 +45,7 @@ func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoin
 		Srv:          srv,
 		cfg:          cfg,
 		net:          net,
+		nicEP:        nicEP,
 		payloadConns: make(map[string]transport.Conn),
 		pendingSends: make(map[string][][]byte),
 	}
@@ -59,6 +61,41 @@ func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoin
 		conn.Send([]byte{msgMasterHello})
 	})
 	return h
+}
+
+// SeverConnections simulates the master process dying together with its
+// links: the Nic-KV control connection and the direct payload connections
+// are closed (a dead process's QPs flush with errors; peers see the close).
+func (h *HostKV) SeverConnections() {
+	if h.nicConn != nil {
+		h.nicConn.Close()
+		h.nicConn = nil
+	}
+	for id, conn := range h.payloadConns {
+		conn.Close()
+		delete(h.payloadConns, id)
+	}
+	h.pendingSends = make(map[string][][]byte)
+	h.statusSeen = false
+}
+
+// ReconnectNic re-establishes the Nic-KV control connection after a master
+// process restart and re-announces the master with msgMasterHello, retrying
+// until Nic-KV is reachable. This is the path §III-D's restore handles: a
+// recovered master reappearing on a brand-new connection.
+func (h *HostKV) ReconnectNic() {
+	if !h.Srv.Alive() {
+		return
+	}
+	h.Srv.Stack().Dial(h.nicEP, NicPort, func(conn transport.Conn, err error) {
+		if err != nil {
+			h.Srv.Engine().After(500*sim.Millisecond, h.ReconnectNic)
+			return
+		}
+		h.nicConn = conn
+		conn.SetHandler(h.onNicMessage)
+		conn.Send([]byte{msgMasterHello})
+	})
 }
 
 // ValidSlaves reports the latest slave availability Nic-KV announced.
@@ -119,7 +156,7 @@ func (h *HostKV) onNicMessage(data []byte) {
 		h.serveNewSlave(id, replID, off)
 	case msgStatus:
 		count := int(r.u64())
-		h.minSlaveOffset = r.i64()
+		minOff := r.i64()
 		offs := make([]int64, 0, count)
 		for i := 0; i < count; i++ {
 			offs = append(offs, r.i64())
@@ -127,6 +164,10 @@ func (h *HostKV) onNicMessage(data []byte) {
 		if r.bad {
 			return
 		}
+		if count == 0 || minOff < 0 {
+			minOff = 0 // defensive: a frame from an older Nic-KV build
+		}
+		h.minSlaveOffset = minOff
 		h.validSlaves = count
 		h.slaveOffsets = offs
 		h.statusSeen = true

@@ -127,8 +127,20 @@ func (n *NicKV) accept(conn transport.Conn) {
 	conn.SetCloseHandler(func() {
 		if nd := n.byConn[conn]; nd != nil {
 			nd.valid = false
+			// Drop the dead connection so probeTick and fanOut stop feeding
+			// it; the slave re-registers on a fresh connection.
+			nd.conn = nil
 		}
 		delete(n.byConn, conn)
+		if conn == n.masterConn {
+			n.masterConn = nil
+			if n.masterValid {
+				// The master's control connection died while it was still
+				// considered healthy: treat it like a probe timeout.
+				n.masterValid = false
+				n.failover()
+			}
+		}
 	})
 }
 
@@ -141,9 +153,19 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 	r := &frameReader{b: data, pos: 1}
 	switch data[0] {
 	case msgMasterHello:
+		// The master announced itself. On a plain boot this just arms the
+		// detector — but a hello while a slave is promoted is the original
+		// master RETURNING after a failover (§III-D): it must go through
+		// restoreMaster so the promoted slave is demoted, or both nodes
+		// keep the master role (split-brain).
 		n.masterConn = conn
-		n.masterValid = true
 		n.masterLastAck = n.eng.Now()
+		n.masterProbeAt = 0 // fresh connection: restart the probe cycle
+		if n.promotedID != "" {
+			n.restoreMaster()
+		} else {
+			n.masterValid = true
+		}
 	case msgInitSync:
 		id := r.str()
 		replID := r.str()
@@ -296,29 +318,45 @@ func (n *NicKV) probeTick() {
 		// and WAIT consume this).
 		if n.masterConn != nil && n.masterValid {
 			var offs []int64
-			minOff := int64(-1)
 			for _, nd := range n.nodes {
 				if nd.valid && nd.id != n.promotedID {
 					offs = append(offs, nd.offset)
-					if minOff < 0 || nd.offset < minOff {
-						minOff = nd.offset
-					}
 				}
 			}
-			frame := []byte{msgStatus}
-			frame = appendU64(frame, uint64(len(offs)))
-			frame = appendU64(frame, uint64(minOff))
-			for _, off := range offs {
-				frame = appendU64(frame, uint64(off))
-			}
-			n.masterConn.Send(frame)
+			n.masterConn.Send(statusFrame(offs))
 		}
 	})
+}
+
+// statusFrame encodes the status report to the master: valid-slave count,
+// slowest offset, then each valid slave's offset. With zero valid slaves the
+// slowest offset is encoded as 0 — not the -1 sentinel, which as uint64
+// would decode to 2^63-ish garbage and poison the master's lag gate.
+func statusFrame(offs []int64) []byte {
+	minOff := int64(-1)
+	for _, off := range offs {
+		if minOff < 0 || off < minOff {
+			minOff = off
+		}
+	}
+	if minOff < 0 {
+		minOff = 0
+	}
+	frame := []byte{msgStatus}
+	frame = appendU64(frame, uint64(len(offs)))
+	frame = appendU64(frame, uint64(minOff))
+	for _, off := range offs {
+		frame = appendU64(frame, uint64(off))
+	}
+	return frame
 }
 
 // failover promotes the first available slave when the master is declared
 // crashed (§III-D).
 func (n *NicKV) failover() {
+	if n.promotedID != "" {
+		return // a promotion is already in effect; never stack a second one
+	}
 	for _, nd := range n.nodes {
 		if nd.valid && nd.conn != nil {
 			n.Failovers++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 
@@ -24,6 +25,12 @@ type SlaveAgent struct {
 	nicEP   *fabric.Endpoint
 	nicConn transport.Conn
 	id      string
+	// dialGen invalidates stale dial callbacks/timeouts when a newer
+	// connection attempt supersedes them (reconnect after a link failure).
+	dialGen uint64
+	// everConnected distinguishes the initial attach from reconnects (which
+	// count as resynchronizations).
+	everConnected bool
 
 	masterReplID string
 	offset       int64
@@ -78,16 +85,62 @@ func (a *SlaveAgent) Offset() int64 { return a.offset }
 // Synced reports whether the slave is in the steady-state phase.
 func (a *SlaveAgent) Synced() bool { return a.synced }
 
+// nicReconnectDelay is the slave's re-check interval when Nic-KV is
+// unreachable (the paper's slave re-checks master info periodically), and
+// nicDialTimeout bounds a dial whose handshake segments were swallowed by a
+// partition or a downed endpoint (no RST ever comes back).
+const (
+	nicReconnectDelay = 500 * sim.Millisecond
+	nicDialTimeout    = 1 * sim.Second
+)
+
 func (a *SlaveAgent) connectToNic() {
+	a.dialGen++
+	gen := a.dialGen
+	if !a.Srv.Alive() {
+		a.Srv.Engine().After(nicReconnectDelay, func() {
+			if gen == a.dialGen {
+				a.connectToNic()
+			}
+		})
+		return
+	}
+	a.Srv.Engine().After(nicDialTimeout, func() {
+		if gen == a.dialGen && a.nicConn == nil {
+			a.connectToNic()
+		}
+	})
 	a.Srv.Stack().Dial(a.nicEP, NicPort, func(conn transport.Conn, err error) {
+		if gen != a.dialGen {
+			if err == nil {
+				conn.Close() // superseded by a newer attempt
+			}
+			return
+		}
 		if err != nil {
-			// Nic-KV not up yet: the paper's slave re-checks master info at
-			// an interval.
-			a.Srv.Engine().After(500*sim.Millisecond, a.connectToNic)
+			a.Srv.Engine().After(nicReconnectDelay, func() {
+				if gen == a.dialGen {
+					a.connectToNic()
+				}
+			})
 			return
 		}
 		a.nicConn = conn
+		if a.everConnected {
+			a.Resyncs++
+		}
+		a.everConnected = true
 		conn.SetHandler(a.onNicMessage)
+		conn.SetCloseHandler(func() {
+			if a.nicConn != conn {
+				return
+			}
+			// Lost the Nic-KV control connection (link failure or Nic-KV
+			// restart): fall out of steady state and re-establish.
+			a.nicConn = nil
+			a.synced = false
+			a.Srv.Engine().After(nicReconnectDelay, a.connectToNic)
+		})
 		a.sendInitSync()
 	})
 }
@@ -119,6 +172,9 @@ func (a *SlaveAgent) onNicMessage(data []byte) {
 	r := &frameReader{b: data, pos: 1}
 	switch data[0] {
 	case msgProbe:
+		if a.nicConn == nil {
+			return // probe raced a connection teardown
+		}
 		a.Srv.Proc().Core.Charge(a.Srv.Params().ProbeCPU)
 		a.nicConn.Send([]byte{msgProbeAck})
 	case msgCmdStream:
@@ -236,18 +292,38 @@ func (a *SlaveAgent) onPayload(data []byte) {
 	}
 }
 
-// enterSteadyState drains buffered stream chunks (deduplicating by offset)
-// and switches to live application.
+// enterSteadyState drains buffered stream chunks and switches to live
+// application. The buffer holds frames in ARRIVAL order, which is not
+// offset order once a resync raced the live stream (chunks buffered before
+// and after the gap interleave): draining as-is would apply commands out of
+// order or re-trigger spurious gap resyncs, so order and deduplicate first.
 func (a *SlaveAgent) enterSteadyState() {
 	a.synced = true
-	buf := a.buffered
+	buf := orderChunks(a.buffered)
 	a.buffered = nil
-	for _, ch := range buf {
+	for i, ch := range buf {
 		if !a.synced {
-			return // a gap in the buffer re-triggered resync
+			// A genuine gap re-triggered resync mid-drain: keep the rest
+			// buffered for the next payload instead of dropping it.
+			a.buffered = append(a.buffered, buf[i:]...)
+			return
 		}
 		a.onStream(ch.off, ch.data)
 	}
+}
+
+// orderChunks sorts buffered stream chunks by offset and drops duplicate
+// offsets (the same frame can be buffered twice across a resync).
+func orderChunks(buf []streamChunk) []streamChunk {
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].off < buf[j].off })
+	out := buf[:0]
+	for i, ch := range buf {
+		if i > 0 && ch.off == buf[i-1].off {
+			continue
+		}
+		out = append(out, ch)
+	}
+	return out
 }
 
 // reportProgress sends the replication offset to Nic-KV (§III-C step ③).

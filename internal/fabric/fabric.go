@@ -44,12 +44,22 @@ type Endpoint struct {
 	machine *Machine
 	kind    Kind
 	name    string
+	net     *Network
 
 	// down simulates a powered-off or unreachable endpoint: messages to it
-	// are silently dropped (an RDMA peer would see timeouts).
+	// are silently dropped (an RDMA peer would see timeouts). With a fault
+	// plane installed (Network.Faults), traffic is parked and flushed on
+	// recovery instead, the way a reliable transport's retransmission
+	// behaves.
 	down bool
 
 	deliver func(Message)
+
+	// sendOutcome, when set, observes the fate of every message sent from
+	// this endpoint: acked=false for drops, parked (blocked-link) sends,
+	// and deliveries whose reverse path is partitioned (the ack cannot
+	// return). Transports use it to time out dead connections.
+	sendOutcome func(Message, bool)
 }
 
 // Name reports the endpoint's unique fabric address.
@@ -62,7 +72,14 @@ func (e *Endpoint) Kind() Kind { return e.kind }
 func (e *Endpoint) Machine() *Machine { return e.machine }
 
 // SetDown marks the endpoint unreachable (true) or reachable (false).
-func (e *Endpoint) SetDown(down bool) { e.down = down }
+// Bringing an endpoint back up flushes traffic parked by the fault plane.
+func (e *Endpoint) SetDown(down bool) {
+	wasDown := e.down
+	e.down = down
+	if wasDown && !down && e.net != nil && e.net.faults != nil {
+		e.net.faults.flushEndpoint(e)
+	}
+}
 
 // Down reports whether the endpoint is unreachable.
 func (e *Endpoint) Down() bool { return e.down }
@@ -70,6 +87,19 @@ func (e *Endpoint) Down() bool { return e.down }
 // Handle registers the receive function invoked for each delivered message.
 // Exactly one receiver (the RDMA device or TCP stack) owns an endpoint.
 func (e *Endpoint) Handle(fn func(Message)) { e.deliver = fn }
+
+// OnSendOutcome registers fn to observe the fate of messages sent from this
+// endpoint: acked=true when the message was delivered and its transport-
+// level ack can return, false otherwise. The transport layers use the
+// unacked streak to fail connections the way RC retry-exhaustion / TCP RTO
+// would.
+func (e *Endpoint) OnSendOutcome(fn func(Message, bool)) { e.sendOutcome = fn }
+
+func notifyOutcome(src *Endpoint, m Message, acked bool) {
+	if src != nil && src.sendOutcome != nil {
+		src.sendOutcome(m, acked)
+	}
+}
 
 // Machine is one server chassis: a host endpoint and, if a SmartNIC is
 // installed, a NIC endpoint sharing the same physical port.
@@ -102,6 +132,11 @@ type Network struct {
 	Delivered uint64
 	// Dropped counts messages dropped due to a down endpoint.
 	Dropped uint64
+	// Parked counts messages held on blocked links by the fault plane.
+	Parked uint64
+
+	// faults is the fault-injection plane, nil until Faults() installs it.
+	faults *Faults
 }
 
 // New creates an empty network on the engine with the given parameters.
@@ -127,9 +162,9 @@ func (n *Network) NewMachine(name string, smartNIC bool) *Machine {
 		panic(fmt.Sprintf("fabric: duplicate machine %q", name))
 	}
 	m := &Machine{Name: name}
-	m.Host = &Endpoint{machine: m, kind: KindHost, name: name + "/host"}
+	m.Host = &Endpoint{machine: m, kind: KindHost, name: name + "/host", net: n}
 	if smartNIC {
-		m.NIC = &Endpoint{machine: m, kind: KindNIC, name: name + "/nic"}
+		m.NIC = &Endpoint{machine: m, kind: KindNIC, name: name + "/nic", net: n}
 	}
 	n.machines[name] = m
 	return m
@@ -196,12 +231,24 @@ func (n *Network) PathLatency(src, dst *Endpoint) sim.Duration {
 
 // Send schedules delivery of a message. extra is additional latency the
 // caller wants included (e.g. sender/receiver NIC processing from the RDMA
-// model, or kernel-stack latency from the TCP model).
+// model, or kernel-stack latency from the TCP model). With a fault plane
+// installed the message is first routed through it (partition parking,
+// loss→retransmit delay, delay spikes).
 func (n *Network) Send(src, dst *Endpoint, size int, payload any, extra sim.Duration) {
 	if dst == nil {
 		panic("fabric: Send to nil endpoint")
 	}
 	lat := n.PathLatency(src, dst) + n.params.TransferTime(size) + extra
+	if n.faults != nil {
+		n.faults.send(src, dst, size, payload, lat)
+		return
+	}
+	n.deliverAfter(src, dst, size, payload, lat)
+}
+
+// deliverAfter schedules actual delivery lat from now, preserving per-link
+// FIFO ordering (a reliable-connected transport's guarantee).
+func (n *Network) deliverAfter(src, dst *Endpoint, size int, payload any, lat sim.Duration) {
 	key := [2]*Endpoint{src, dst}
 	arrive := n.eng.Now().Add(lat)
 	if last := n.lastArrival[key]; arrive < last {
@@ -210,11 +257,17 @@ func (n *Network) Send(src, dst *Endpoint, size int, payload any, extra sim.Dura
 	n.lastArrival[key] = arrive
 	lat = arrive.Sub(n.eng.Now())
 	n.eng.After(lat, func() {
+		m := Message{Src: src, Dst: dst, Size: size, Payload: payload}
 		if dst.down || dst.deliver == nil {
 			n.Dropped++
+			notifyOutcome(src, m, false)
 			return
 		}
 		n.Delivered++
-		dst.deliver(Message{Src: src, Dst: dst, Size: size, Payload: payload})
+		// The ack for this delivery travels dst→src; a partitioned reverse
+		// path starves the sender of acks even though the data landed.
+		acked := n.faults == nil || !n.faults.Partitioned(dst, src)
+		dst.deliver(m)
+		notifyOutcome(src, m, acked)
 	})
 }

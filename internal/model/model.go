@@ -158,6 +158,14 @@ type Params struct {
 	WaitingTime sim.Duration
 	// ProbeCPU is the cost of sending/answering one probe.
 	ProbeCPU sim.Duration
+	// RCRetryTimeout is how long an RDMA QP tolerates a streak of unacked
+	// sends (drops, partitions, down peers) before transitioning to the
+	// error state and tearing the connection down — the retry_cnt ×
+	// retransmission-timeout exhaustion window of a real RC QP.
+	RCRetryTimeout sim.Duration
+	// TCPRetryTimeout is the same window for the kernel TCP model (RTO
+	// escalation until the connection errors out).
+	TCPRetryTimeout sim.Duration
 	// MinSlaves is the min-slaves parameter: if fewer slaves are available,
 	// writes fail (paper parameter min-slaves).
 	MinSlaves int
@@ -217,10 +225,12 @@ func Default() Params {
 		CronCPU:         60 * sim.Microsecond,
 		ExecJitterSigma: 0.25,
 
-		ProbePeriod: 1 * sim.Second,
-		WaitingTime: 2 * sim.Second,
-		ProbeCPU:    1 * sim.Microsecond,
-		MinSlaves:   0,
+		ProbePeriod:     1 * sim.Second,
+		WaitingTime:     2 * sim.Second,
+		ProbeCPU:        1 * sim.Microsecond,
+		RCRetryTimeout:  3 * sim.Second,
+		TCPRetryTimeout: 3 * sim.Second,
+		MinSlaves:       0,
 
 		ClientThinkCPU: 300 * sim.Nanosecond,
 		ClientWakeup:   1500 * sim.Nanosecond,

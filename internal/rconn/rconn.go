@@ -152,6 +152,10 @@ var _ transport.Conn = (*conn)(nil)
 func (s *Stack) newConn(qp *rdma.QP) *conn {
 	c := &conn{stack: s, qp: qp}
 	qp.Context = c
+	// Retry exhaustion on a dead link (partition, down peer) errors the QP:
+	// tear the conn down locally. No ctrlClose — the peer is unreachable and
+	// discovers the death through its own retry window or probe timeouts.
+	qp.OnFail(func() { c.teardown() })
 	qp.RecvCQ.OnNotify(func() {
 		// Completion event channel: hand the batch to the process. The
 		// proc charges its wakeup (comp-channel wake) only when idle.
@@ -301,7 +305,7 @@ func (c *conn) flushPending() {
 	if !c.ready || c.closed {
 		return
 	}
-	for len(c.pending) > 0 && c.msgCredit > 0 && !c.ringWait {
+	for len(c.pending) > 0 && c.msgCredit > 0 && !c.ringWait && !c.closed {
 		frame := c.pending[0]
 		if c.writeOff+len(frame) > c.remoteSize {
 			// Paper §III-B: receive buffer full → ask the peer to

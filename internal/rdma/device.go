@@ -38,7 +38,35 @@ func NewDevice(net *fabric.Network, ep *fabric.Endpoint, core *sim.Core) *Device
 		pending:   make(map[uint64]func(*QP, error)),
 	}
 	ep.Handle(d.recv)
+	ep.OnSendOutcome(d.sendOutcome)
 	return d
+}
+
+// sendOutcome observes the fate of every packet this device pushed onto the
+// fabric. A streak of unacked sends (partition, down peer) spanning the
+// RC retry window transitions the QP to the error state, exactly what
+// retry-exhaustion does to a real reliable-connected QP.
+func (d *Device) sendOutcome(m fabric.Message, acked bool) {
+	p, ok := m.Payload.(packet)
+	if !ok {
+		return
+	}
+	qp := d.qps[p.srcQPN]
+	if qp == nil || qp.closed {
+		return
+	}
+	if acked {
+		qp.unackedSince = -1
+		return
+	}
+	now := d.net.Engine().Now()
+	if qp.unackedSince < 0 {
+		qp.unackedSince = now
+		return
+	}
+	if now.Sub(qp.unackedSince) >= d.net.Params().RCRetryTimeout {
+		qp.fail()
+	}
 }
 
 // Endpoint reports the fabric endpoint the device is attached to.
@@ -82,6 +110,31 @@ type QP struct {
 	// PostedSends counts PostSend calls (CPU-accounting assertions in
 	// tests and the WR-count ablation read this).
 	PostedSends uint64
+
+	// unackedSince is when the current streak of unacked sends began
+	// (-1 when the last send was acked). Maintained by Device.sendOutcome.
+	unackedSince sim.Time
+	// onFail is invoked once when retry exhaustion fails the QP.
+	onFail func()
+	// Failed reports that the QP died of retry exhaustion.
+	Failed bool
+}
+
+// OnFail registers fn to run when the QP transitions to the error state
+// (retry exhaustion on a dead link). The QP is already closed when fn runs.
+func (qp *QP) OnFail(fn func()) { qp.onFail = fn }
+
+// fail moves the QP to the error state: close it and notify the owner.
+func (qp *QP) fail() {
+	if qp.closed {
+		return
+	}
+	qp.Failed = true
+	fn := qp.onFail
+	qp.Close()
+	if fn != nil {
+		fn()
+	}
 }
 
 // QPN reports the queue pair number.
@@ -95,7 +148,7 @@ func (qp *QP) Closed() bool { return qp.closed }
 
 func (d *Device) newQP(sendCQ, recvCQ *CQ) *QP {
 	d.nextQPN++
-	qp := &QP{dev: d, qpn: d.nextQPN, SendCQ: sendCQ, RecvCQ: recvCQ}
+	qp := &QP{dev: d, qpn: d.nextQPN, SendCQ: sendCQ, RecvCQ: recvCQ, unackedSince: -1}
 	d.qps[qp.qpn] = qp
 	return qp
 }

@@ -217,6 +217,10 @@ func (e *Engine) Run(horizon Time) Time {
 	return e.now
 }
 
+// RunFor advances the simulation by d from the current time (scenario
+// scripts read better with relative horizons).
+func (e *Engine) RunFor(d Duration) Time { return e.Run(e.now.Add(d)) }
+
 // Pending reports the number of events still queued (including cancelled
 // events not yet popped).
 func (e *Engine) Pending() int { return len(e.events) }

@@ -61,7 +61,40 @@ func New(net *fabric.Network, ep *fabric.Endpoint, proc *sim.Proc) *Stack {
 		dials:     make(map[uint64]func(transport.Conn, error)),
 	}
 	ep.Handle(s.recv)
+	ep.OnSendOutcome(s.sendOutcome)
 	return s
+}
+
+// sendOutcome watches the fate of this stack's segments on the fabric. A
+// streak of unacked sends (partitioned or down peer) spanning the TCP retry
+// window errors the connection out locally, like RTO escalation ending in
+// ETIMEDOUT.
+func (s *Stack) sendOutcome(m fabric.Message, acked bool) {
+	seg, ok := m.Payload.(segment)
+	if !ok || seg.srcConn == 0 {
+		return
+	}
+	c := s.conns[seg.srcConn]
+	if c == nil || c.closed {
+		return
+	}
+	if acked {
+		c.unackedSince = -1
+		return
+	}
+	now := s.net.Engine().Now()
+	if c.unackedSince < 0 {
+		c.unackedSince = now
+		return
+	}
+	if now.Sub(c.unackedSince) >= s.net.Params().TCPRetryTimeout {
+		c.closed = true
+		delete(s.conns, c.id)
+		delete(s.dials, c.id)
+		if c.onClose != nil {
+			s.proc.Post(s.net.Params().TCPRxCPU, c.onClose)
+		}
+	}
 }
 
 // Endpoint reports the bound fabric endpoint.
@@ -83,7 +116,7 @@ func (s *Stack) Listen(port int, accept func(transport.Conn)) {
 func (s *Stack) Dial(remote *fabric.Endpoint, port int, cb func(transport.Conn, error)) {
 	s.nextID++
 	id := s.nextID
-	c := &conn{stack: s, id: id, peerEP: remote}
+	c := &conn{stack: s, id: id, peerEP: remote, unackedSince: -1}
 	s.conns[id] = c
 	s.dials[id] = cb
 	s.sendSeg(remote, 64, segment{kind: segSYN, port: port, srcConn: id})
@@ -111,7 +144,7 @@ func (s *Stack) recv(m fabric.Message) {
 			return
 		}
 		s.nextID++
-		c := &conn{stack: s, id: s.nextID, peerEP: m.Src, peerConn: seg.srcConn, established: true}
+		c := &conn{stack: s, id: s.nextID, peerEP: m.Src, peerConn: seg.srcConn, established: true, unackedSince: -1}
 		s.conns[c.id] = c
 		s.sendSeg(m.Src, 64, segment{kind: segSYNACK, srcConn: c.id, dstConn: seg.srcConn})
 		// Accept runs on the process (accept handler callback in Redis).
@@ -174,6 +207,10 @@ type conn struct {
 	closed      bool
 	handler     func([]byte)
 	onClose     func()
+
+	// unackedSince tracks the current streak of unacked segments
+	// (-1 = last segment acked). See Stack.sendOutcome.
+	unackedSince sim.Time
 }
 
 var _ transport.Conn = (*conn)(nil)
