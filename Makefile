@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The cluster suite runs minutes of virtual time per scenario; race
+# instrumentation pushes it past the default 10m package timeout.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+# Full pre-merge gate: everything CI runs.
+verify: build test vet race
+
+# Regenerate the paper-figure experiments (virtual-time, deterministic).
+bench:
+	$(GO) run ./cmd/skv-bench
+
+clean:
+	$(GO) clean ./...

@@ -46,6 +46,7 @@ func BenchmarkAblateNicThreadNum(b *testing.B)   { runExperiment(b, bench.Ablate
 func BenchmarkAblateNICCache(b *testing.B)       { runExperiment(b, bench.AblateNICCache) }
 func BenchmarkAblateCPUPerOp(b *testing.B)       { runExperiment(b, bench.AblateCPU) }
 func BenchmarkExtPipeline(b *testing.B)          { runExperiment(b, bench.ExtPipeline) }
+func BenchmarkExtBatchedRepl(b *testing.B)       { runExperiment(b, bench.ExtBatch) }
 
 // ---- Engine microbenchmarks (real CPU time, not virtual) ----
 

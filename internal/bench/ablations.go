@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(),
 	}
 }
 
@@ -150,6 +150,8 @@ func ByID(id string) *Experiment {
 		return AblateCPU()
 	case "ext-pipeline":
 		return ExtPipeline()
+	case "ext-batch":
+		return ExtBatch()
 	}
 	return nil
 }
@@ -157,7 +159,8 @@ func ByID(id string) *Experiment {
 // IDs lists the available experiment identifiers.
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
-		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline"}
+		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
+		"ext-batch"}
 }
 
 // unused placeholder to keep sim imported if windows change.

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/sim"
+)
+
+// ExtBatch is an extension experiment beyond the paper: replication-stream
+// batching (ReplBatchMaxCmds). Writes arriving within one event-loop busy
+// period coalesce into a single batch, so the master posts one replication
+// work request for many writes instead of one each. The wrs/write column is
+// HostKV.ReplReqsSent / Server.WritesPropagated — 1.0 unbatched, dropping
+// toward 1/batch as the budget grows; the equivalent rdma-redis ratio is
+// ReplStream batches per write (each batch still costs one send per slave).
+func ExtBatch() *Experiment {
+	e := &Experiment{
+		ID:    "ext-batch",
+		Title: "Replication batching (SET, 8 clients ×8 deep, 3 slaves) — extension",
+		Header: []string{"batch", "skv kops/s", "skv p99 µs", "skv wrs/write",
+			"rdma kops/s", "rdma batches/write"},
+		Notes: []string{
+			"extension beyond the paper: batch=1 reproduces the unbatched stream bit-for-bit; larger budgets amortize the per-write WR post (SKV) and the per-write slave feed (rdma-redis)",
+		},
+	}
+	for _, batch := range []int{1, 4, 16, 64} {
+		p := model.Default()
+		p.ReplBatchMaxCmds = batch
+		cfg := cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 8,
+			Pipeline: 8, Seed: 64, Params: &p, SKV: core.DefaultConfig()}
+		c := cluster.Build(cfg)
+		if !c.AwaitReplication(5 * sim.Second) {
+			panic("ext-batch: skv sync failed")
+		}
+		rs := c.Measure(warmup, measure)
+		wrsPerWrite := 1.0
+		if w := c.Master.WritesPropagated; w > 0 {
+			wrsPerWrite = float64(c.HostKV.ReplReqsSent) / float64(w)
+		}
+
+		pr := model.Default()
+		pr.ReplBatchMaxCmds = batch
+		cr := cluster.Build(cluster.Config{Kind: cluster.KindRDMA, Slaves: 3,
+			Clients: 8, Pipeline: 8, Seed: 64, Params: &pr})
+		if !cr.AwaitReplication(5 * sim.Second) {
+			panic("ext-batch: rdma sync failed")
+		}
+		rr := cr.Measure(warmup, measure)
+		batchesPerWrite := 1.0
+		if w := cr.Master.WritesPropagated; w > 0 {
+			batchesPerWrite = float64(cr.Master.ReplStream().BatchesFlushed) / float64(w)
+		}
+
+		e.Rows = append(e.Rows, []string{
+			fmt.Sprint(batch),
+			kops(rs.Throughput), f1(rs.P99.Micros()), fmt.Sprintf("%.3f", wrsPerWrite),
+			kops(rr.Throughput), fmt.Sprintf("%.3f", batchesPerWrite),
+		})
+		e.metric(fmt.Sprintf("skv_kops_batch%d", batch), rs.Throughput/1000)
+		e.metric(fmt.Sprintf("skv_p99_us_batch%d", batch), rs.P99.Micros())
+		e.metric(fmt.Sprintf("skv_wrs_per_write_batch%d", batch), wrsPerWrite)
+		e.metric(fmt.Sprintf("rdma_kops_batch%d", batch), rr.Throughput/1000)
+		e.metric(fmt.Sprintf("rdma_batches_per_write_batch%d", batch), batchesPerWrite)
+	}
+	return e
+}

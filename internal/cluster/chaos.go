@@ -271,6 +271,9 @@ type Scenario struct {
 	// period after load stops, before the convergence check.
 	RunFor sim.Duration
 	Settle sim.Duration
+	// Batch overrides Params.ReplBatchMaxCmds when > 0 (0 keeps the default
+	// unbatched stream), so every scenario can also run batched.
+	Batch int
 }
 
 // ChaosParams compresses the failure-detection timescales (probe every
@@ -292,12 +295,16 @@ func ChaosParams(retry sim.Duration) *model.Params {
 // initial replication, starts client load, runs the script, stops the load,
 // settles, and checks convergence. The returned Chaos holds the trace.
 func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
+	p := ChaosParams(s.Retry)
+	if s.Batch > 0 {
+		p.ReplBatchMaxCmds = s.Batch
+	}
 	c := Build(Config{
 		Kind:    KindSKV,
 		Slaves:  s.Slaves,
 		Clients: s.Clients,
 		Seed:    s.Seed,
-		Params:  ChaosParams(s.Retry),
+		Params:  p,
 		SKV:     core.Config{ProgressInterval: 50 * sim.Millisecond},
 	})
 	if !c.AwaitReplication(2 * sim.Second) {

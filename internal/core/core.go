@@ -44,7 +44,8 @@ const (
 	msgInitSync       = 'I' // slave → NIC: id, last master replID, offset
 	msgNewSlave       = 'N' // NIC → master: id, replID, offset
 	msgReplReq        = 'R' // master → NIC: startOff, encoded command
-	msgCmdStream      = 'C' // NIC → slave: startOff, encoded command
+	msgReplReqBatch   = 'Q' // master → NIC: startOff, cmd count, concatenated commands
+	msgCmdStream      = 'C' // NIC → slave: startOff, encoded command(s)
 	msgProbe          = 'P' // NIC → any node
 	msgProbeAck       = 'A' // node → NIC
 	msgPayloadRDB     = 'Y' // master → slave: replID, baseOff, RDB bytes

@@ -3,6 +3,7 @@ package core
 import (
 	"skv/internal/fabric"
 	"skv/internal/rdb"
+	"skv/internal/replstream"
 	"skv/internal/server"
 	"skv/internal/sim"
 	"skv/internal/transport"
@@ -34,7 +35,11 @@ type HostKV struct {
 	// Stats.
 	FullSyncs    uint64
 	PartialSyncs uint64
-	ReplReqsSent uint64
+	// ReplReqsSent counts frames (work requests) posted to Nic-KV;
+	// CmdsOffloaded counts the commands they carried. The ratio
+	// ReplReqsSent/CmdsOffloaded is the WR amortization batching buys.
+	ReplReqsSent  uint64
+	CmdsOffloaded uint64
 }
 
 // AttachMaster wires an SKV master: connects to Nic-KV, redirects the
@@ -102,20 +107,30 @@ func (h *HostKV) ReconnectNic() {
 func (h *HostKV) ValidSlaves() int { return h.validSlaves }
 
 // propagate replaces feedSlaves: one replication request to the SmartNIC
-// per write, regardless of the slave count. The entire steady-state
+// per flushed batch, regardless of the slave count. The entire steady-state
 // replication then happens in the background on the NIC while the master
 // returns to its clients ("the host CPU only needs to post one WR for the
-// replication of each SET command", §V-C).
-func (h *HostKV) propagate(cmd []byte) {
+// replication of each SET command", §V-C). With ReplBatchMaxCmds > 1 the
+// batch carries several commands, so one WR covers N writes. Single-command
+// batches use the legacy msgReplReq frame so the batch=1 wire format (and
+// timing) is byte-identical to the unbatched path.
+func (h *HostKV) propagate(b replstream.Batch) {
 	if h.nicConn == nil {
 		return // NIC connection still handshaking; backlog covers the gap
 	}
 	h.Srv.Proc().Core.Charge(h.Srv.Params().ReplOffloadReqCPU)
-	start := h.Srv.ReplOffset() - int64(len(cmd))
-	frame := []byte{msgReplReq}
-	frame = appendU64(frame, uint64(start))
-	frame = append(frame, cmd...)
+	var frame []byte
+	if b.Cmds == 1 {
+		frame = []byte{msgReplReq}
+		frame = appendU64(frame, uint64(b.Start))
+	} else {
+		frame = []byte{msgReplReqBatch}
+		frame = appendU64(frame, uint64(b.Start))
+		frame = appendU64(frame, uint64(b.Cmds))
+	}
+	frame = append(frame, b.Data...)
 	h.ReplReqsSent++
+	h.CmdsOffloaded += uint64(b.Cmds)
 	h.nicConn.Send(frame)
 }
 

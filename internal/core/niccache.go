@@ -1,8 +1,7 @@
 package core
 
 import (
-	"strings"
-
+	"skv/internal/replstream"
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/store"
@@ -36,30 +35,25 @@ func (n *NicKV) initReadServing() {
 	n.replica = store.New(16, 0x51CA, func() int64 {
 		return int64(n.eng.Now() / sim.Time(sim.Millisecond))
 	})
+	n.replApplier = replstream.NewApplier(func(_ int, argv [][]byte) {
+		// Single-db ablation: SELECT context is consumed by the Applier and
+		// everything lands in db 0.
+		n.proc.Core.Charge(n.params.SlaveApplyCPU)
+		n.replica.Exec(0, argv)
+	})
 	n.Stack.Listen(ClientPort, func(conn transport.Conn) {
 		c := &nicClient{conn: conn}
 		conn.SetHandler(func(data []byte) { n.onClientData(c, data) })
 	})
 }
 
-// applyToReplica mirrors one replicated command into the shadow store,
-// consuming ARM-core cycles like any other apply.
+// applyToReplica mirrors replicated command bytes (possibly a whole batch)
+// into the shadow store, consuming ARM-core cycles like any other apply.
 func (n *NicKV) applyToReplica(cmd []byte) {
 	if n.replica == nil {
 		return
 	}
-	n.replReader.Feed(cmd)
-	for {
-		argv, okCmd, err := n.replReader.ReadCommand()
-		if err != nil || !okCmd {
-			return
-		}
-		if strings.EqualFold(string(argv[0]), "select") && len(argv) == 2 {
-			continue // single-db ablation; SELECTs don't apply
-		}
-		n.proc.Core.Charge(n.params.SlaveApplyCPU)
-		n.replica.Exec(0, argv)
-	}
+	n.replApplier.Feed(cmd)
 }
 
 // PreloadReplica installs a key directly in the shadow store (the ablation
@@ -104,8 +98,7 @@ func (n *NicKV) serveClientCommand(c *nicClient, argv [][]byte) {
 	}
 	// Everything here runs on the (slow) ARM core: parse, execute, reply.
 	n.proc.Core.Charge(n.params.ParseCost(size))
-	name := strings.ToLower(string(argv[0]))
-	if store.IsWriteCommand(name) {
+	if cmd := store.LookupCommand(argv[0]); cmd != nil && cmd.Write {
 		n.proc.Core.Charge(n.params.ReplyBuildCPU)
 		c.conn.Send(resp.AppendError(nil, "MOVED write commands go to the master host"))
 		return

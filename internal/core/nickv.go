@@ -6,7 +6,7 @@ import (
 	"skv/internal/fabric"
 	"skv/internal/model"
 	"skv/internal/rconn"
-	"skv/internal/resp"
+	"skv/internal/replstream"
 	"skv/internal/sim"
 	"skv/internal/store"
 	"skv/internal/transport"
@@ -58,11 +58,14 @@ type NicKV struct {
 	probeTicker *sim.Ticker
 
 	// Shadow replica for the §IV-A ablation (nil unless enabled).
-	replica    *store.Store
-	replReader resp.Reader
+	replica     *store.Store
+	replApplier *replstream.Applier
 
-	// Stats for tests and ablations.
+	// Stats for tests and ablations. ReplRequests counts frames from the
+	// master, ReplCmds the commands they carried (equal unless batching);
+	// StreamSent counts frames pushed to slaves.
 	ReplRequests   uint64
+	ReplCmds       uint64
 	StreamSent     uint64
 	Failovers      uint64
 	MasterRestores uint64
@@ -110,15 +113,23 @@ func (n *NicKV) Proc() *sim.Proc { return n.proc }
 // NodeCount reports the node-list length.
 func (n *NicKV) NodeCount() int { return len(n.nodes) }
 
+// eachValidSlave visits every node that currently counts as a valid slave:
+// not flagged by the failure detector and not promoted to master. The one
+// definition of "valid slave" shared by availability reporting, status
+// frames, and replication fan-out.
+func (n *NicKV) eachValidSlave(fn func(*nodeEntry)) {
+	for _, nd := range n.nodes {
+		if nd.valid && nd.id != n.promotedID {
+			fn(nd)
+		}
+	}
+}
+
 // ValidSlaves reports the slaves currently marked valid (excluding a
 // promoted node).
 func (n *NicKV) ValidSlaves() int {
 	c := 0
-	for _, nd := range n.nodes {
-		if nd.valid && nd.id != n.promotedID {
-			c++
-		}
-	}
+	n.eachValidSlave(func(*nodeEntry) { c++ })
 	return c
 }
 
@@ -182,7 +193,17 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		if r.bad {
 			return
 		}
-		n.fanOut(off, cmd)
+		n.fanOut(off, cmd, 1)
+	case msgReplReqBatch:
+		n.ReplRequests++
+		n.proc.Core.Charge(n.params.NicParseReqCPU)
+		off := r.i64()
+		cnt := int(r.u64())
+		cmds := r.rest()
+		if r.bad || cnt < 1 {
+			return
+		}
+		n.fanOut(off, cmds, cnt)
 	case msgProgress:
 		if nd := n.byConn[conn]; nd != nil {
 			nd.offset = r.i64()
@@ -252,18 +273,23 @@ func (n *NicKV) findNode(id string) *nodeEntry {
 }
 
 // fanOut is the steady-state replication phase (§III-C, Fig 9): the command
-// is written to the send buffer of every valid slave and pushed with
-// WRITE_WITH_IMM. With thread-num > 1, slaves are spread evenly across the
-// ARM cores; the default single-threaded mode does everything on the main
-// core.
-func (n *NicKV) fanOut(off int64, cmd []byte) {
+// bytes are written to the send buffer of every valid slave and pushed with
+// WRITE_WITH_IMM. A batched request fans out as ONE msgCmdStream frame per
+// slave — one CPU charge and one send cover all cmds commands, which is
+// where batching amortizes the per-slave feed cost. RESP commands
+// self-frame, so the concatenated payload needs no inner lengths and the
+// slave's offset-based dedup works unchanged. With thread-num > 1, slaves
+// are spread evenly across the ARM cores; the default single-threaded mode
+// does everything on the main core.
+func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
+	n.ReplCmds += uint64(cmds)
 	n.applyToReplica(cmd)
 	frame := []byte{msgCmdStream}
 	frame = appendU64(frame, uint64(off))
 	frame = append(frame, cmd...)
-	for _, nd := range n.nodes {
-		if !nd.valid || nd.conn == nil || nd.id == n.promotedID {
-			continue
+	n.eachValidSlave(func(nd *nodeEntry) {
+		if nd.conn == nil {
+			return
 		}
 		n.StreamSent++
 		if len(n.threads) > 0 {
@@ -275,7 +301,7 @@ func (n *NicKV) fanOut(off int64, cmd []byte) {
 			n.proc.Core.Charge(n.params.NicFeedSlaveCPU)
 			nd.conn.Send(frame)
 		}
-	}
+	})
 }
 
 // probeTick fires every ProbePeriod on the NIC: check for overdue replies
@@ -318,11 +344,7 @@ func (n *NicKV) probeTick() {
 		// and WAIT consume this).
 		if n.masterConn != nil && n.masterValid {
 			var offs []int64
-			for _, nd := range n.nodes {
-				if nd.valid && nd.id != n.promotedID {
-					offs = append(offs, nd.offset)
-				}
-			}
+			n.eachValidSlave(func(nd *nodeEntry) { offs = append(offs, nd.offset) })
 			n.masterConn.Send(statusFrame(offs))
 		}
 	})

@@ -2,12 +2,10 @@ package core
 
 import (
 	"sort"
-	"strconv"
-	"strings"
 
 	"skv/internal/fabric"
 	"skv/internal/rdb"
-	"skv/internal/resp"
+	"skv/internal/replstream"
 	"skv/internal/server"
 	"skv/internal/sim"
 	"skv/internal/transport"
@@ -39,8 +37,9 @@ type SlaveAgent struct {
 	// (or across a detected gap); offsets deduplicate on drain.
 	buffered []streamChunk
 
-	reader resp.Reader
-	db     int
+	// applier decodes the replication stream (command framing + SELECT
+	// context), shared with the baseline masterLink consumer.
+	applier *replstream.Applier
 
 	progress *sim.Ticker
 
@@ -67,6 +66,11 @@ func AttachSlave(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoint
 		nicEP: nicEP,
 		id:    srv.Stack().Endpoint().Name(),
 	}
+	a.applier = replstream.NewApplier(func(db int, argv [][]byte) {
+		a.Srv.Proc().Core.Charge(a.Srv.Params().SlaveApplyCPU)
+		a.Srv.Store().Exec(db, argv)
+		a.Applied++
+	})
 	srv.SetRole(server.RoleSlave)
 	// Accept the direct payload connection from the master.
 	srv.Stack().Listen(ReplPort, func(conn transport.Conn) {
@@ -224,25 +228,10 @@ func (a *SlaveAgent) onStream(off int64, cmd []byte) {
 
 // apply executes replicated command bytes immediately (§III-C: "Every time
 // the slave node receives a new command, it executes the command
-// immediately").
+// immediately"). Decoding — command framing and SELECT context — lives in
+// the shared replstream Applier.
 func (a *SlaveAgent) apply(data []byte) {
-	a.reader.Feed(data)
-	for {
-		argv, parsed, err := a.reader.ReadCommand()
-		if err != nil || !parsed {
-			return
-		}
-		name := strings.ToLower(string(argv[0]))
-		if name == "select" && len(argv) == 2 {
-			if n, convErr := strconv.Atoi(string(argv[1])); convErr == nil {
-				a.db = n
-			}
-			continue
-		}
-		a.Srv.Proc().Core.Charge(a.Srv.Params().SlaveApplyCPU)
-		a.Srv.Store().Exec(a.db, argv)
-		a.Applied++
-	}
+	a.applier.Feed(data)
 }
 
 // onPayload handles the initial-sync payload from the master (§III-C step

@@ -131,6 +131,16 @@ type Params struct {
 	NicFeedSlaveCPU sim.Duration
 	// SlaveApplyCPU is the slave-side cost of executing one replicated write.
 	SlaveApplyCPU sim.Duration
+	// ReplBatchMaxCmds is the replication-stream batching budget in
+	// commands: the master coalesces up to this many writes into one
+	// replication send (one WR instead of one per write — the doorbell
+	// amortization off-path SmartNIC studies report). 1 disables batching
+	// and reproduces the unbatched data path bit-for-bit. Partial batches
+	// flush when the producing core quiesces (end of the event-loop tick).
+	ReplBatchMaxCmds int
+	// ReplBatchMaxBytes caps a replication batch in bytes so large values
+	// do not defer the flush unboundedly. 0 means 64KB.
+	ReplBatchMaxBytes int
 	// RDBPerByte is the serialize/load cost per byte of RDB payload during
 	// initial synchronization.
 	RDBPerByte float64 // ns per byte
@@ -218,6 +228,8 @@ func Default() Params {
 		NicParseReqCPU:    200 * sim.Nanosecond,
 		NicFeedSlaveCPU:   200 * sim.Nanosecond,
 		SlaveApplyCPU:     900 * sim.Nanosecond,
+		ReplBatchMaxCmds:  1,
+		ReplBatchMaxBytes: 1 << 16,
 		RDBPerByte:        0.6,
 		ForkCPU:           2 * sim.Millisecond,
 

@@ -1,0 +1,221 @@
+// Package replstream is the single home of the replication data path shared
+// by every producer and consumer of the write stream: the baseline master's
+// per-slave fan-out, Host-KV's SmartNIC offload, Nic-KV's NIC-side fan-out,
+// and the slave-side appliers.
+//
+// The Writer owns everything that used to be hand-rolled in three places
+// (server/repl.go, core/hostkv.go, core/nickv.go): backlog append,
+// SELECT-context injection, offset accounting, and per-tick batching. A
+// batch is a run of consecutively encoded commands plus the global stream
+// offset of its first byte; because RESP commands are self-framing, a batch
+// travels as plain concatenated bytes and any offset-aware consumer can
+// slice it on command boundaries.
+//
+// Batching is the doorbell/work-request amortization off-path SmartNIC
+// studies show dominates replication cost: instead of one send (and one
+// posted WR) per write, the Writer accumulates commands and flushes either
+// when a byte/command budget is hit or when the producing core quiesces
+// (the event-loop tick ends). With a command budget of 1 the Writer flushes
+// synchronously inside Append and reproduces the unbatched behaviour
+// bit-for-bit.
+//
+// The Applier is the consume-side mirror: it decodes a replication byte
+// stream (batched or not) back into commands, tracks the SELECT context,
+// and hands each data command to an apply callback.
+package replstream
+
+import (
+	"strconv"
+
+	"skv/internal/backlog"
+	"skv/internal/resp"
+)
+
+// Batch is one flushed run of the replication stream.
+type Batch struct {
+	// Start is the global replication offset of Data[0].
+	Start int64
+	// Data is the concatenation of the batch's RESP-encoded commands.
+	Data []byte
+	// Cmds is the number of commands in Data (SELECT injections included).
+	Cmds int
+}
+
+// End reports the global offset one past the batch's last byte.
+func (b Batch) End() int64 { return b.Start + int64(len(b.Data)) }
+
+// WriterConfig wires a Writer to its embedder.
+type WriterConfig struct {
+	// Backlog receives every appended byte (before any flush).
+	Backlog *backlog.Backlog
+	// MaxCmds flushes a batch once it holds this many commands; 1 (or less)
+	// flushes synchronously inside Append — the unbatched behaviour.
+	MaxCmds int
+	// MaxBytes flushes a batch once it holds this many bytes (safety cap so
+	// huge values don't ride the quiesce flush). 0 means 64KB.
+	MaxBytes int
+	// Flush delivers one batch downstream (fan-out to slaves, or the
+	// replication request to Nic-KV).
+	Flush func(Batch)
+	// Schedule, when non-nil, defers a function to the producing core's
+	// quiesce point (end of the current event-loop tick). It is used to
+	// flush partial batches; with MaxCmds <= 1 it is never called.
+	Schedule func(func())
+}
+
+// Writer is the produce side of the replication stream: it appends writes
+// to the backlog, injects SELECT context switches, accounts offsets, and
+// batches commands for the downstream flush.
+type Writer struct {
+	cfg WriterConfig
+
+	db           int // database the stream currently SELECTs
+	pending      []byte
+	pendingStart int64
+	pendingCmds  int
+	scheduled    bool
+
+	// CmdsAppended counts commands entered into the stream (SELECTs
+	// included); BatchesFlushed counts downstream flushes. Their ratio is
+	// the WR-amortization factor the batching buys.
+	CmdsAppended   uint64
+	BatchesFlushed uint64
+}
+
+// NewWriter creates a Writer. The config's Backlog and Flush are required.
+func NewWriter(cfg WriterConfig) *Writer {
+	if cfg.Backlog == nil || cfg.Flush == nil {
+		panic("replstream: NewWriter requires Backlog and Flush")
+	}
+	if cfg.MaxCmds < 1 {
+		cfg.MaxCmds = 1
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 16
+	}
+	return &Writer{cfg: cfg}
+}
+
+// DB reports the database the stream's SELECT context currently points at.
+func (w *Writer) DB() int { return w.db }
+
+// Pending reports the bytes accumulated but not yet flushed.
+func (w *Writer) Pending() int { return len(w.pending) }
+
+// Append enters one write command issued against database db into the
+// stream: a SELECT is injected when the stream context differs, both are
+// appended to the backlog immediately (offsets advance now, flushing only
+// defers the downstream send).
+func (w *Writer) Append(db int, argv [][]byte) {
+	if db != w.db {
+		w.db = db
+		w.add(resp.EncodeCommand("SELECT", strconv.Itoa(db)))
+	}
+	w.add(resp.EncodeCommandBytes(argv...))
+}
+
+// AppendEncoded enters one pre-encoded command into the stream, bypassing
+// SELECT-context tracking (tests and replay tooling).
+func (w *Writer) AppendEncoded(cmd []byte) { w.add(cmd) }
+
+func (w *Writer) add(cmd []byte) {
+	start := w.cfg.Backlog.EndOffset()
+	w.cfg.Backlog.Write(cmd)
+	if w.pendingCmds == 0 {
+		w.pendingStart = start
+	}
+	w.pending = append(w.pending, cmd...)
+	w.pendingCmds++
+	w.CmdsAppended++
+	if w.pendingCmds >= w.cfg.MaxCmds || len(w.pending) >= w.cfg.MaxBytes {
+		w.Flush()
+		return
+	}
+	w.scheduleFlush()
+}
+
+// Flush pushes the pending batch downstream now. No-op when nothing is
+// pending. The master calls this before serving a PSYNC so a joining slave
+// never sees backlog bytes again on the live stream.
+func (w *Writer) Flush() {
+	if w.pendingCmds == 0 {
+		return
+	}
+	b := Batch{Start: w.pendingStart, Data: w.pending, Cmds: w.pendingCmds}
+	// The batch's Data escapes into transport sends; start a fresh buffer.
+	w.pending = nil
+	w.pendingCmds = 0
+	w.BatchesFlushed++
+	w.cfg.Flush(b)
+}
+
+func (w *Writer) scheduleFlush() {
+	if w.scheduled || w.cfg.Schedule == nil {
+		return
+	}
+	w.scheduled = true
+	w.cfg.Schedule(func() {
+		w.scheduled = false
+		w.Flush()
+	})
+}
+
+// Applier is the consume side: feed it replication stream bytes in offset
+// order and it decodes commands, maintains the SELECT context, and invokes
+// apply for every data command. SELECTs are consumed internally.
+type Applier struct {
+	reader resp.Reader
+	db     int
+	apply  func(db int, argv [][]byte)
+
+	// Applied counts data commands handed to the apply callback.
+	Applied uint64
+}
+
+// NewApplier creates an Applier invoking apply per decoded data command.
+func NewApplier(apply func(db int, argv [][]byte)) *Applier {
+	return &Applier{apply: apply}
+}
+
+// DB reports the applier's current SELECT context.
+func (a *Applier) DB() int { return a.db }
+
+// Feed decodes every complete command in data (plus any bytes buffered from
+// earlier partial feeds). Incomplete trailing bytes stay buffered; a
+// protocol error stops decoding.
+func (a *Applier) Feed(data []byte) {
+	a.reader.Feed(data)
+	for {
+		argv, ok, err := a.reader.ReadCommand()
+		if err != nil || !ok {
+			return
+		}
+		if len(argv) == 2 && isSelect(argv[0]) {
+			if n, convErr := strconv.Atoi(string(argv[1])); convErr == nil {
+				a.db = n
+			}
+			continue
+		}
+		a.Applied++
+		a.apply(a.db, argv)
+	}
+}
+
+// isSelect reports whether name is "select" in any case, without
+// allocating.
+func isSelect(name []byte) bool {
+	const sel = "select"
+	if len(name) != len(sel) {
+		return false
+	}
+	for i := 0; i < len(sel); i++ {
+		ch := name[i]
+		if 'A' <= ch && ch <= 'Z' {
+			ch += 'a' - 'A'
+		}
+		if ch != sel[i] {
+			return false
+		}
+	}
+	return true
+}

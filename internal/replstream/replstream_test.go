@@ -1,0 +1,284 @@
+package replstream
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"skv/internal/backlog"
+	"skv/internal/resp"
+)
+
+func cmd(argv ...string) []byte { return resp.EncodeCommand(argv...) }
+
+type harness struct {
+	w       *Writer
+	bl      *backlog.Backlog
+	flushed []Batch
+	queued  []func()
+}
+
+func newHarness(maxCmds, maxBytes int, scheduled bool) *harness {
+	h := &harness{bl: backlog.New(1 << 20)}
+	cfg := WriterConfig{
+		Backlog:  h.bl,
+		MaxCmds:  maxCmds,
+		MaxBytes: maxBytes,
+		Flush: func(b Batch) {
+			// Copy: real transports also take ownership of Data.
+			h.flushed = append(h.flushed, Batch{Start: b.Start, Data: append([]byte(nil), b.Data...), Cmds: b.Cmds})
+		},
+	}
+	if scheduled {
+		cfg.Schedule = func(fn func()) { h.queued = append(h.queued, fn) }
+	}
+	h.w = NewWriter(cfg)
+	return h
+}
+
+// quiesce runs every deferred flush, as the event loop would at tick end.
+func (h *harness) quiesce() {
+	for len(h.queued) > 0 {
+		q := h.queued
+		h.queued = nil
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// TestBatchOneFlushesSynchronously pins the bit-for-bit compatibility
+// contract: MaxCmds=1 flushes inside Append, one batch per command, and a
+// SELECT context switch flushes as its own batch first (exactly the two
+// sends the pre-refactor code issued).
+func TestBatchOneFlushesSynchronously(t *testing.T) {
+	h := newHarness(1, 0, true)
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+	if len(h.flushed) != 1 {
+		t.Fatalf("flushes after first append: %d", len(h.flushed))
+	}
+	h.w.Append(2, [][]byte{[]byte("SET"), []byte("j"), []byte("w")})
+	if len(h.flushed) != 3 {
+		t.Fatalf("db switch must flush SELECT + command separately, got %d batches", len(h.flushed))
+	}
+	if len(h.queued) != 0 {
+		t.Fatal("MaxCmds=1 must never schedule a deferred flush")
+	}
+	want := [][]byte{
+		cmd("SET", "k", "v"),
+		cmd("SELECT", "2"),
+		cmd("SET", "j", "w"),
+	}
+	off := int64(0)
+	for i, b := range h.flushed {
+		if !bytes.Equal(b.Data, want[i]) || b.Cmds != 1 || b.Start != off {
+			t.Fatalf("batch %d = {%d %q %d}, want {%d %q 1}", i, b.Start, b.Data, b.Cmds, off, want[i])
+		}
+		off += int64(len(b.Data))
+	}
+}
+
+// TestBudgetFlush checks the command-count budget: the batch flushes inside
+// Append as soon as MaxCmds commands accumulate.
+func TestBudgetFlush(t *testing.T) {
+	h := newHarness(3, 0, true)
+	var want []byte
+	for i := 0; i < 3; i++ {
+		c := [][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v")}
+		h.w.Append(0, c)
+		want = append(want, resp.EncodeCommandBytes(c...)...)
+	}
+	if len(h.flushed) != 1 {
+		t.Fatalf("flushes = %d, want 1", len(h.flushed))
+	}
+	b := h.flushed[0]
+	if b.Start != 0 || b.Cmds != 3 || !bytes.Equal(b.Data, want) {
+		t.Fatalf("bad batch {%d cmds=%d %q}", b.Start, b.Cmds, b.Data)
+	}
+	if b.End() != h.bl.EndOffset() {
+		t.Fatalf("End()=%d, backlog end=%d", b.End(), h.bl.EndOffset())
+	}
+}
+
+// TestByteBudgetFlush checks the byte cap: a large value flushes before the
+// command budget fills.
+func TestByteBudgetFlush(t *testing.T) {
+	h := newHarness(1000, 64, true)
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("k"), bytes.Repeat([]byte("x"), 128)})
+	if len(h.flushed) != 1 {
+		t.Fatalf("oversized command not flushed (flushes=%d)", len(h.flushed))
+	}
+}
+
+// TestQuiesceFlush checks the deferred path: a partial batch rides the
+// scheduled flush, and the schedule hook is armed only once per batch.
+func TestQuiesceFlush(t *testing.T) {
+	h := newHarness(64, 0, true)
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("a"), []byte("1")})
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("b"), []byte("2")})
+	if len(h.flushed) != 0 {
+		t.Fatal("partial batch flushed before quiesce")
+	}
+	if len(h.queued) != 1 {
+		t.Fatalf("schedule armed %d times, want 1", len(h.queued))
+	}
+	h.quiesce()
+	if len(h.flushed) != 1 || h.flushed[0].Cmds != 2 {
+		t.Fatalf("quiesce flush: %+v", h.flushed)
+	}
+	// A flush must disarm the schedule guard: the next append re-arms.
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("c"), []byte("3")})
+	if len(h.queued) != 1 {
+		t.Fatalf("schedule not re-armed after flush (queued=%d)", len(h.queued))
+	}
+	h.quiesce()
+	if len(h.flushed) != 2 {
+		t.Fatalf("second quiesce flush missing: %d", len(h.flushed))
+	}
+}
+
+// TestManualFlushBarrier checks the PSYNC barrier: Flush() empties the
+// pending batch so snapshotted offsets cover everything already delivered,
+// and is a no-op when nothing is pending.
+func TestManualFlushBarrier(t *testing.T) {
+	h := newHarness(64, 0, true)
+	h.w.Flush() // empty: no-op
+	if h.w.BatchesFlushed != 0 {
+		t.Fatal("empty Flush counted")
+	}
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("a"), []byte("1")})
+	h.w.Flush()
+	if len(h.flushed) != 1 || h.w.Pending() != 0 {
+		t.Fatalf("manual flush: flushed=%d pending=%d", len(h.flushed), h.w.Pending())
+	}
+	// The quiesce callback left over from the append must now be a no-op.
+	h.quiesce()
+	if len(h.flushed) != 1 {
+		t.Fatal("stale scheduled flush delivered an empty batch")
+	}
+}
+
+// TestOffsetsContinuous checks that batch offsets tile the backlog exactly:
+// every byte appended appears in exactly one batch at its backlog offset.
+func TestOffsetsContinuous(t *testing.T) {
+	h := newHarness(4, 0, true)
+	for i := 0; i < 10; i++ {
+		h.w.Append(i%3, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v")})
+	}
+	h.quiesce()
+	var end int64
+	for i, b := range h.flushed {
+		if b.Start != end {
+			t.Fatalf("batch %d starts at %d, previous ended at %d", i, b.Start, end)
+		}
+		end = b.End()
+	}
+	if end != h.bl.EndOffset() {
+		t.Fatalf("batches end at %d, backlog at %d", end, h.bl.EndOffset())
+	}
+	if h.w.CmdsAppended <= 10 {
+		t.Fatalf("CmdsAppended=%d, want >10 (SELECT injections)", h.w.CmdsAppended)
+	}
+}
+
+// TestNoScheduleDegradesToSynchronous: without a Schedule hook a partial
+// batch cannot ride a quiesce, so nothing is lost only if callers Flush;
+// budget flushes still fire on their own.
+func TestNoScheduleDegradesToSynchronous(t *testing.T) {
+	h := newHarness(2, 0, false)
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("a"), []byte("1")})
+	h.w.Append(0, [][]byte{[]byte("SET"), []byte("b"), []byte("2")})
+	if len(h.flushed) != 1 {
+		t.Fatalf("budget flush without Schedule: %d", len(h.flushed))
+	}
+}
+
+// TestApplierDecodesBatches feeds a multi-command batch with SELECT context
+// switches and checks the callback sees each data command against the right
+// database, with SELECTs consumed internally.
+func TestApplierDecodesBatches(t *testing.T) {
+	type applied struct {
+		db  int
+		arg string
+	}
+	var got []applied
+	a := NewApplier(func(db int, argv [][]byte) {
+		got = append(got, applied{db, string(argv[1])})
+	})
+	var stream []byte
+	stream = append(stream, cmd("SET", "a", "1")...)
+	stream = append(stream, cmd("SELECT", "3")...)
+	stream = append(stream, cmd("SET", "b", "2")...)
+	stream = append(stream, cmd("SeLeCt", "0")...) // any case
+	stream = append(stream, cmd("SET", "c", "3")...)
+	a.Feed(stream)
+	want := []applied{{0, "a"}, {3, "b"}, {0, "c"}}
+	if len(got) != len(want) {
+		t.Fatalf("applied %d commands, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("apply %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if a.Applied != 3 || a.DB() != 0 {
+		t.Fatalf("Applied=%d DB=%d", a.Applied, a.DB())
+	}
+}
+
+// TestApplierPartialFeeds splits the stream at every possible byte boundary
+// and checks decoding is identical to one contiguous feed.
+func TestApplierPartialFeeds(t *testing.T) {
+	var stream []byte
+	stream = append(stream, cmd("SELECT", "1")...)
+	stream = append(stream, cmd("SET", "k", "v")...)
+	stream = append(stream, cmd("DEL", "k")...)
+	for split := 1; split < len(stream); split++ {
+		var names []string
+		a := NewApplier(func(db int, argv [][]byte) {
+			names = append(names, fmt.Sprintf("%d:%s", db, argv[0]))
+		})
+		a.Feed(stream[:split])
+		a.Feed(stream[split:])
+		if len(names) != 2 || names[0] != "1:SET" || names[1] != "1:DEL" {
+			t.Fatalf("split %d: %v", split, names)
+		}
+	}
+}
+
+// TestWriterApplierRoundTrip pipes a Writer's flushes straight into an
+// Applier and checks every appended command comes out, in order, with its
+// database — at several batch sizes.
+func TestWriterApplierRoundTrip(t *testing.T) {
+	for _, maxCmds := range []int{1, 4, 64} {
+		var out []string
+		a := NewApplier(func(db int, argv [][]byte) {
+			out = append(out, fmt.Sprintf("%d:%s", db, argv[1]))
+		})
+		h := &harness{bl: backlog.New(1 << 20)}
+		h.w = NewWriter(WriterConfig{
+			Backlog: h.bl,
+			MaxCmds: maxCmds,
+			Flush:   func(b Batch) { a.Feed(b.Data) },
+			Schedule: func(fn func()) {
+				h.queued = append(h.queued, fn)
+			},
+		})
+		var want []string
+		for i := 0; i < 20; i++ {
+			db := i % 2
+			key := fmt.Sprintf("k%d", i)
+			h.w.Append(db, [][]byte{[]byte("SET"), []byte(key), []byte("v")})
+			want = append(want, fmt.Sprintf("%d:%s", db, key))
+		}
+		h.quiesce()
+		if len(out) != len(want) {
+			t.Fatalf("maxCmds=%d: applied %d, want %d", maxCmds, len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("maxCmds=%d: apply %d = %s, want %s", maxCmds, i, out[i], want[i])
+			}
+		}
+	}
+}

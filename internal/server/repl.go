@@ -7,6 +7,7 @@ import (
 
 	"skv/internal/fabric"
 	"skv/internal/rdb"
+	"skv/internal/replstream"
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/transport"
@@ -14,34 +15,40 @@ import (
 
 // ---- Master side ----
 
-// propagate appends a write to the replication stream: backlog first, then
-// either the default slave fan-out or the SKV offload hook.
+// propagate enters a write into the replication stream. The replstream
+// Writer owns backlog append, SELECT injection, and batching; flushed
+// batches come back through flushReplBatch.
 func (s *Server) propagate(db int, argv [][]byte) {
-	if db != s.replDB {
-		sel := resp.EncodeCommand("SELECT", strconv.Itoa(db))
-		s.backlog.Write(sel)
-		s.replDB = db
-		if s.OnPropagate == nil {
-			s.feedSlaves(sel)
-		} else {
-			s.OnPropagate(sel)
-		}
-	}
-	cmd := resp.EncodeCommandBytes(argv...)
-	s.backlog.Write(cmd)
 	s.WritesPropagated++
-	if s.OnPropagate == nil {
-		s.feedSlaves(cmd)
-	} else {
-		s.OnPropagate(cmd)
+	s.repl.Append(db, argv)
+}
+
+// ReplStream exposes the replication stream writer (stats, forced flushes
+// in tests).
+func (s *Server) ReplStream() *replstream.Writer { return s.repl }
+
+// flushReplBatch delivers one flushed batch downstream: the SKV offload
+// hook when installed, the default per-slave fan-out otherwise. Batches
+// flushed after a crash are dropped — the bytes are already in the backlog,
+// and offset-aware consumers resynchronize from there.
+func (s *Server) flushReplBatch(b replstream.Batch) {
+	if !s.alive {
+		return
 	}
+	if s.OnPropagate != nil {
+		s.OnPropagate(b)
+		return
+	}
+	s.feedSlaves(b)
 }
 
 // feedSlaves is the RDMA-Redis/original-Redis steady-state replication: the
-// master writes the command into every slave's output buffer and flushes it
-// — consuming CPU (and a posted work request, inside conn.Send) per slave
-// per write. This is exactly the overhead Fig 7 measures and SKV offloads.
-func (s *Server) feedSlaves(cmd []byte) {
+// master writes the batch into every slave's output buffer and flushes it —
+// consuming CPU (and a posted work request, inside conn.Send) per slave per
+// batch. Unbatched (the default) that is per slave per write: exactly the
+// overhead Fig 7 measures and SKV offloads. With batching, one send
+// amortizes the feed cost over every write coalesced in the tick.
+func (s *Server) feedSlaves(b replstream.Batch) {
 	p := s.params
 	for _, sl := range s.slaves {
 		s.proc.Core.Charge(p.ReplFeedSlaveCPU)
@@ -49,7 +56,7 @@ func (s *Server) feedSlaves(cmd []byte) {
 			// Output-buffer growth / backlog trim slow path.
 			s.proc.Core.Charge(p.ReplFeedJitterCPU)
 		}
-		sl.client.conn.Send(cmd)
+		sl.client.conn.Send(b.Data)
 	}
 }
 
@@ -67,8 +74,16 @@ func (s *Server) cmdPSync(c *client, argv [][]byte) {
 		s.reply(c, resp.AppendError(nil, "ERR invalid offset"))
 		return
 	}
+	// Flush any batched stream bytes first: the offsets snapshotted below
+	// must cover everything already sent, or the joining slave would see
+	// the pending batch twice (once in the backlog delta, once live).
+	s.repl.Flush()
 	c.isSlaveLink = true
-	sl := &slaveHandle{client: c, addr: c.conn.RemoteAddr()}
+	sl := &slaveHandle{client: c, addr: endpointName(c.conn.RemoteAddr())}
+	// A slave that re-syncs on a fresh connection must not leave its old
+	// handle behind: feedSlaves would keep charging CPU for and sending to
+	// the dead channel forever. Dedupe by remote endpoint.
+	s.dropSlaveHandle(sl.addr)
 	if wantID == s.replID {
 		if delta, okRange := s.backlog.Range(wantOff); okRange {
 			// Partial resynchronization.
@@ -91,6 +106,29 @@ func (s *Server) cmdPSync(c *client, argv [][]byte) {
 	sl.ackOff = s.ReplOffset()
 	s.slaves = append(s.slaves, sl)
 	c.conn.Send(dump)
+}
+
+// endpointName strips the per-connection suffix ("host:#7", "host:qp3")
+// from a transport address, leaving the fabric endpoint name: the identity
+// a re-syncing slave keeps across connections.
+func endpointName(addr string) string {
+	if i := strings.IndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// dropSlaveHandle removes any attached slave handle whose connection
+// terminates at addr (a re-syncing slave superseding its old channel).
+func (s *Server) dropSlaveHandle(addr string) {
+	kept := s.slaves[:0]
+	for _, sl := range s.slaves {
+		if sl.addr == addr {
+			continue
+		}
+		kept = append(kept, sl)
+	}
+	s.slaves = kept
 }
 
 // cmdReplConf handles REPLCONF; ACK carries the slave's replication
@@ -153,8 +191,10 @@ type masterLink struct {
 
 	masterReplID string
 	offset       int64
-	db           int
-	reader       resp.Reader
+	// applier decodes the (possibly batched) replication stream: command
+	// framing and SELECT context live in replstream, shared with the SKV
+	// slave agent.
+	applier *replstream.Applier
 }
 
 // MasterOffset reports the slave's replication offset (bytes of stream
@@ -181,6 +221,13 @@ func (s *Server) SlaveOf(target *fabric.Endpoint, port int) {
 	}
 	s.role = RoleSlave
 	ml := &masterLink{srv: s, targetEP: target, targetPort: port, state: linkConnecting}
+	ml.applier = replstream.NewApplier(func(db int, argv [][]byte) {
+		// "Every time the slave node receives a new command, it executes
+		// the command immediately to ensure that its data is consistent
+		// with the master node."
+		s.proc.Core.Charge(s.params.SlaveApplyCPU)
+		s.store.Exec(db, argv)
+	})
 	// Carry over prior sync state for partial resynchronization.
 	if s.master != nil {
 		ml.masterReplID = s.master.masterReplID
@@ -255,31 +302,8 @@ func (ml *masterLink) onMessage(data []byte) {
 		ml.state = linkStreaming
 	case linkStreaming:
 		ml.offset += int64(len(data))
-		ml.reader.Feed(data)
-		for {
-			argv, ok, err := ml.reader.ReadCommand()
-			if err != nil || !ok {
-				return
-			}
-			ml.applyCommand(argv)
-		}
+		ml.applier.Feed(data)
 	}
-}
-
-// applyCommand executes one replicated write on the slave ("Every time the
-// slave node receives a new command, it executes the command immediately to
-// ensure that its data is consistent with the master node").
-func (ml *masterLink) applyCommand(argv [][]byte) {
-	s := ml.srv
-	name := strings.ToLower(string(argv[0]))
-	if name == "select" && len(argv) == 2 {
-		if n, err := strconv.Atoi(string(argv[1])); err == nil {
-			ml.db = n
-		}
-		return
-	}
-	s.proc.Core.Charge(s.params.SlaveApplyCPU)
-	s.store.Exec(ml.db, argv)
 }
 
 // sendAck reports replication progress to the master (REPLCONF ACK).

@@ -14,11 +14,11 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
-	"strings"
 
 	"skv/internal/backlog"
 	"skv/internal/fabric"
 	"skv/internal/model"
+	"skv/internal/replstream"
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/store"
@@ -78,9 +78,11 @@ type Server struct {
 	clients      map[uint64]*client
 	nextClientID uint64
 
-	// Master-side replication state.
+	// Master-side replication state. repl owns the replication stream:
+	// backlog append, SELECT injection, offset accounting, and per-tick
+	// batching (internal/replstream).
 	slaves []*slaveHandle
-	replDB int // database the replication stream currently selects
+	repl   *replstream.Writer
 	// WriteGate, when non-nil, can veto writes (SKV's min-slaves rule).
 	WriteGate func() string
 
@@ -88,9 +90,10 @@ type Server struct {
 	master *masterLink
 
 	// OnPropagate, when non-nil, replaces the default feed-each-slave
-	// replication path (SKV routes the write to Nic-KV instead). The
-	// backlog has already been appended when it runs.
-	OnPropagate func(cmd []byte)
+	// replication path with the SKV offload (the batch goes to Nic-KV as
+	// one replication request). The backlog has already been appended when
+	// it runs.
+	OnPropagate func(replstream.Batch)
 
 	// OnRoleChange is invoked after promotion/demotion (failover tests).
 	OnRoleChange func(Role)
@@ -160,6 +163,19 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 	}
 	s.store = store.New(opts.NumDBs, opts.Seed^0x57a7e, func() int64 {
 		return int64(eng.Now() / sim.Time(sim.Millisecond))
+	})
+	s.repl = replstream.NewWriter(replstream.WriterConfig{
+		Backlog:  s.backlog,
+		MaxCmds:  p.ReplBatchMaxCmds,
+		MaxBytes: p.ReplBatchMaxBytes,
+		Flush:    s.flushReplBatch,
+		// Partial batches flush when this server's core drains its queued
+		// work — the event-loop quiesce point. Under load that coalesces
+		// every write processed in the same busy period; idle, it fires at
+		// the current instant, right after the producing event cascade.
+		Schedule: func(fn func()) {
+			eng.After(s.proc.Core.BusyUntil().Sub(eng.Now()), fn)
+		},
 	})
 	stack.Listen(opts.Port, s.accept)
 	if !opts.DisableCron {
@@ -285,11 +301,17 @@ func (s *Server) readQueryFromClient(c *client, data []byte) {
 	}
 }
 
-// execCost models the CPU consumed executing a command body.
-func (s *Server) execCost(name string, argv [][]byte) sim.Duration {
+// execCost models the CPU consumed executing a command body. cmd may be
+// nil (unknown command: the store's error path is charged like the default
+// case).
+func (s *Server) execCost(cmd *store.Command, argv [][]byte) sim.Duration {
 	p := s.params
 	var base sim.Duration
 	var payload int
+	name := ""
+	if cmd != nil {
+		name = cmd.Name
+	}
 	switch name {
 	case "get":
 		base = p.CmdExecGetCPU
@@ -319,7 +341,9 @@ func (s *Server) execCost(name string, argv [][]byte) sim.Duration {
 // parse+execute CPU, dispatch (server-level commands first, then the
 // store), reply, and propagate writes.
 func (s *Server) processCommand(c *client, argv [][]byte) {
-	name := strings.ToLower(string(argv[0]))
+	// One allocation-free descriptor lookup covers server-level dispatch,
+	// the write check, the cost model, and the store's execution.
+	cmd := store.LookupCommand(argv[0])
 	size := 0
 	for _, a := range argv {
 		size += len(a) + 14 // RESP framing overhead per arg
@@ -328,27 +352,25 @@ func (s *Server) processCommand(c *client, argv [][]byte) {
 	s.CommandsProcessed++
 
 	// Server-level commands (connection state, replication handshake).
-	switch name {
-	case "select":
-		s.cmdSelect(c, argv)
-		return
-	case "psync":
-		s.cmdPSync(c, argv)
-		return
-	case "replconf":
-		s.cmdReplConf(c, argv)
-		return
-	case "slaveof", "replicaof":
-		s.cmdSlaveOf(c, argv)
-		return
-	case "wait":
-		s.cmdWait(c, argv)
+	if cmd != nil && cmd.Server {
+		switch cmd.Name {
+		case "select":
+			s.cmdSelect(c, argv)
+		case "psync":
+			s.cmdPSync(c, argv)
+		case "replconf":
+			s.cmdReplConf(c, argv)
+		case "slaveof", "replicaof":
+			s.cmdSlaveOf(c, argv)
+		case "wait":
+			s.cmdWait(c, argv)
+		}
 		return
 	}
 
 	// Writes are refused on slaves and when the write gate (min-slaves)
 	// vetoes them.
-	if store.IsWriteCommand(name) {
+	if cmd != nil && cmd.Write {
 		if s.role == RoleSlave {
 			s.reply(c, resp.AppendError(nil, "READONLY You can't write against a read only replica."))
 			return
@@ -362,8 +384,8 @@ func (s *Server) processCommand(c *client, argv [][]byte) {
 		}
 	}
 
-	s.proc.Core.Charge(s.execCost(name, argv))
-	reply, dirty := s.store.Exec(c.db, argv)
+	s.proc.Core.Charge(s.execCost(cmd, argv))
+	reply, dirty := s.store.Dispatch(cmd, c.db, argv)
 	if dirty && s.role == RoleMaster {
 		s.propagate(c.db, argv)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"skv/internal/fabric"
 	"skv/internal/model"
+	"skv/internal/replstream"
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/tcpsim"
@@ -252,8 +253,8 @@ func TestOnPropagateHookReplacesFanout(t *testing.T) {
 	slave := w.server("sl", 6379)
 	slave.SlaveOf(master.Stack().Endpoint(), 6379)
 	w.run()
-	var hooked [][]byte
-	master.OnPropagate = func(cmd []byte) { hooked = append(hooked, cmd) }
+	var hooked []replstream.Batch
+	master.OnPropagate = func(b replstream.Batch) { hooked = append(hooked, b) }
 	c := w.dial(t, master)
 	c.do(t, "SET", "k", "v")
 	if len(hooked) != 1 {

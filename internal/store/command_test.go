@@ -1,0 +1,126 @@
+package store
+
+import (
+	"testing"
+)
+
+// TestCommandDescriptors sanity-checks the exported command table: every
+// descriptor is self-consistent and the well-known commands carry the
+// classification the server and replication layers depend on.
+func TestCommandDescriptors(t *testing.T) {
+	count := 0
+	EachCommand(func(c *Command) {
+		count++
+		if c.Name == "" || len(c.Name) > maxCmdLen {
+			t.Errorf("bad name %q", c.Name)
+		}
+		if c.Arity == 0 {
+			t.Errorf("%s: zero arity", c.Name)
+		}
+		if c.Server {
+			if c.handler != nil || c.Write {
+				t.Errorf("%s: server-level command with handler/write flag", c.Name)
+			}
+		} else if c.handler == nil {
+			t.Errorf("%s: no handler", c.Name)
+		}
+	})
+	if count < 70 {
+		t.Fatalf("only %d commands registered", count)
+	}
+	for _, tc := range []struct {
+		name          string
+		write, server bool
+		firstKey      int
+	}{
+		{"set", true, false, 1},
+		{"get", false, false, 1},
+		{"del", true, false, 1},
+		{"keys", false, false, 0},
+		{"object", false, false, 2},
+		{"select", false, true, 0},
+		{"psync", false, true, 0},
+		{"wait", false, true, 0},
+	} {
+		c := LookupCommandName(tc.name)
+		if c == nil {
+			t.Fatalf("%s not registered", tc.name)
+		}
+		if c.Write != tc.write || c.Server != tc.server || c.FirstKey != tc.firstKey {
+			t.Fatalf("%s: write=%v server=%v firstKey=%d", tc.name, c.Write, c.Server, c.FirstKey)
+		}
+	}
+}
+
+func TestLookupCommandCases(t *testing.T) {
+	for _, name := range []string{"set", "SET", "SeT"} {
+		if LookupCommand([]byte(name)) != LookupCommandName("set") {
+			t.Fatalf("lookup %q missed", name)
+		}
+	}
+	if LookupCommand([]byte("nosuch")) != nil || LookupCommandName("NOSUCH") != nil {
+		t.Fatal("unknown command resolved")
+	}
+	long := make([]byte, maxCmdLen+1)
+	for i := range long {
+		long[i] = 'A'
+	}
+	if LookupCommand(long) != nil || LookupCommandName(string(long)) != nil {
+		t.Fatal("oversized name resolved")
+	}
+}
+
+func TestFirstKeyArg(t *testing.T) {
+	argv := [][]byte{[]byte("SET"), []byte("k"), []byte("v")}
+	if got := LookupCommandName("set").FirstKeyArg(argv); string(got) != "k" {
+		t.Fatalf("set first key = %q", got)
+	}
+	if got := LookupCommandName("keys").FirstKeyArg(argv); got != nil {
+		t.Fatalf("keyless command returned %q", got)
+	}
+	if got := LookupCommandName("object").FirstKeyArg([][]byte{[]byte("OBJECT"), []byte("ENCODING")}); got != nil {
+		t.Fatalf("short argv returned %q", got)
+	}
+}
+
+// TestLookupZeroAlloc pins the satellite claim: command resolution — the
+// per-request hot path in server dispatch, write classification, and
+// replication filtering — allocates nothing, for lowercase and mixed-case
+// names, via both the []byte and string entry points.
+func TestLookupZeroAlloc(t *testing.T) {
+	lower := []byte("set")
+	upper := []byte("GETRANGE")
+	if n := testing.AllocsPerRun(1000, func() {
+		if LookupCommand(lower) == nil || LookupCommand(upper) == nil {
+			t.Fatal("lookup missed")
+		}
+	}); n != 0 {
+		t.Fatalf("LookupCommand allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if !IsWriteCommand("set") || IsWriteCommand("GET") || !KnownCommand("ZADD") {
+			t.Fatal("misclassified")
+		}
+	}); n != 0 {
+		t.Fatalf("IsWriteCommand/KnownCommand allocate %v per run", n)
+	}
+}
+
+func BenchmarkLookupCommand(b *testing.B) {
+	names := [][]byte{[]byte("set"), []byte("get"), []byte("ZRANGEBYSCORE"), []byte("HSet")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if LookupCommand(names[i%len(names)]) == nil {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkIsWriteCommand(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !IsWriteCommand("set") {
+			b.Fatal("misclassified")
+		}
+	}
+}

@@ -232,21 +232,17 @@ func cmdSInterStore(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 }
 
 func init() {
-	for name, cmd := range map[string]command{
-		"expireat":    {cmdExpireAt, 3, true},
-		"pexpireat":   {cmdPExpireAt, 3, true},
-		"getdel":      {cmdGetDel, 2, true},
-		"incrbyfloat": {cmdIncrByFloat, 3, true},
-		"zcount":      {cmdZCount, 4, false},
-		"zrevrank":    {cmdZRevRank, 3, false},
-		"ltrim":       {cmdLTrim, 4, true},
-		"smove":       {cmdSMove, 4, true},
-		"hsetnx":      {cmdHSetNX, 4, true},
-		"sinterstore": {cmdSInterStore, -3, true},
-		"object":      {cmdObject, 3, false},
-	} {
-		commandTable[name] = cmd
-	}
+	register("expireat", cmdExpireAt, 3, true, 1)
+	register("pexpireat", cmdPExpireAt, 3, true, 1)
+	register("getdel", cmdGetDel, 2, true, 1)
+	register("incrbyfloat", cmdIncrByFloat, 3, true, 1)
+	register("zcount", cmdZCount, 4, false, 1)
+	register("zrevrank", cmdZRevRank, 3, false, 1)
+	register("ltrim", cmdLTrim, 4, true, 1)
+	register("smove", cmdSMove, 4, true, 1)
+	register("hsetnx", cmdHSetNX, 4, true, 1)
+	register("sinterstore", cmdSInterStore, -3, true, 1)
+	register("object", cmdObject, 3, false, 2) // OBJECT <subcommand> <key>
 }
 
 // cmdObject implements OBJECT ENCODING|REFCOUNT (debug introspection).

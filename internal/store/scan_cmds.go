@@ -132,12 +132,8 @@ func cmdZScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 }
 
 func init() {
-	for name, cmd := range map[string]command{
-		"scan":  {cmdScan, -2, false},
-		"hscan": {cmdHScan, -3, false},
-		"sscan": {cmdSScan, -3, false},
-		"zscan": {cmdZScan, -3, false},
-	} {
-		commandTable[name] = cmd
-	}
+	register("scan", cmdScan, -2, false, 0) // first arg is a cursor
+	register("hscan", cmdHScan, -3, false, 1)
+	register("sscan", cmdSScan, -3, false, 1)
+	register("zscan", cmdZScan, -3, false, 1)
 }

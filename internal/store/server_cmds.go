@@ -28,95 +28,120 @@ func cmdInfo(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	return resp.AppendBulkString(nil, body), false
 }
 
-// commandTable maps lowercase command names to their implementations.
-// Arity follows Redis: positive = exact argc, negative = minimum argc.
-var commandTable = map[string]command{
+// commandTable maps lowercase command names to their descriptors. Arity
+// follows Redis: positive = exact argc, negative = minimum argc. FirstKey
+// is the argv index of the first key argument (0 = keyless).
+var commandTable = make(map[string]*Command)
+
+// register installs one descriptor; name must be lowercase.
+func register(name string, h func(*Store, int, [][]byte) ([]byte, bool), arity int, write bool, firstKey int) {
+	commandTable[name] = &Command{
+		Name: name, Arity: arity, Write: write, FirstKey: firstKey, handler: h,
+	}
+}
+
+// registerServer installs a descriptor for a command the embedding server
+// layer dispatches itself; the store refuses to execute it.
+func registerServer(name string, arity int) {
+	commandTable[name] = &Command{Name: name, Arity: arity, Server: true}
+}
+
+func init() {
 	// Strings.
-	"set":      {cmdSet, -3, true},
-	"setnx":    {cmdSetNX, 3, true},
-	"setex":    {cmdSetEX, 4, true},
-	"psetex":   {cmdPSetEX, 4, true},
-	"get":      {cmdGet, 2, false},
-	"getset":   {cmdGetSet, 3, true},
-	"mset":     {cmdMSet, -3, true},
-	"mget":     {cmdMGet, -2, false},
-	"append":   {cmdAppend, 3, true},
-	"strlen":   {cmdStrlen, 2, false},
-	"getrange": {cmdGetRange, 4, false},
-	"setrange": {cmdSetRange, 4, true},
-	"incr":     {cmdIncr, 2, true},
-	"decr":     {cmdDecr, 2, true},
-	"incrby":   {cmdIncrBy, 3, true},
-	"decrby":   {cmdDecrBy, 3, true},
+	register("set", cmdSet, -3, true, 1)
+	register("setnx", cmdSetNX, 3, true, 1)
+	register("setex", cmdSetEX, 4, true, 1)
+	register("psetex", cmdPSetEX, 4, true, 1)
+	register("get", cmdGet, 2, false, 1)
+	register("getset", cmdGetSet, 3, true, 1)
+	register("mset", cmdMSet, -3, true, 1)
+	register("mget", cmdMGet, -2, false, 1)
+	register("append", cmdAppend, 3, true, 1)
+	register("strlen", cmdStrlen, 2, false, 1)
+	register("getrange", cmdGetRange, 4, false, 1)
+	register("setrange", cmdSetRange, 4, true, 1)
+	register("incr", cmdIncr, 2, true, 1)
+	register("decr", cmdDecr, 2, true, 1)
+	register("incrby", cmdIncrBy, 3, true, 1)
+	register("decrby", cmdDecrBy, 3, true, 1)
 
 	// Keyspace.
-	"del":       {cmdDel, -2, true},
-	"exists":    {cmdExists, -2, false},
-	"expire":    {cmdExpire, 3, true},
-	"pexpire":   {cmdPExpire, 3, true},
-	"ttl":       {cmdTTL, 2, false},
-	"pttl":      {cmdPTTL, 2, false},
-	"persist":   {cmdPersist, 2, true},
-	"type":      {cmdType, 2, false},
-	"keys":      {cmdKeys, 2, false},
-	"randomkey": {cmdRandomKey, 1, false},
-	"rename":    {cmdRename, 3, true},
-	"dbsize":    {cmdDBSize, 1, false},
-	"flushdb":   {cmdFlushDB, 1, true},
-	"flushall":  {cmdFlushAll, 1, true},
+	register("del", cmdDel, -2, true, 1)
+	register("exists", cmdExists, -2, false, 1)
+	register("expire", cmdExpire, 3, true, 1)
+	register("pexpire", cmdPExpire, 3, true, 1)
+	register("ttl", cmdTTL, 2, false, 1)
+	register("pttl", cmdPTTL, 2, false, 1)
+	register("persist", cmdPersist, 2, true, 1)
+	register("type", cmdType, 2, false, 1)
+	register("keys", cmdKeys, 2, false, 0) // argument is a pattern, not a key
+	register("randomkey", cmdRandomKey, 1, false, 0)
+	register("rename", cmdRename, 3, true, 1)
+	register("dbsize", cmdDBSize, 1, false, 0)
+	register("flushdb", cmdFlushDB, 1, true, 0)
+	register("flushall", cmdFlushAll, 1, true, 0)
 
 	// Lists.
-	"lpush":     {cmdLPush, -3, true},
-	"rpush":     {cmdRPush, -3, true},
-	"lpop":      {cmdLPop, 2, true},
-	"rpop":      {cmdRPop, 2, true},
-	"llen":      {cmdLLen, 2, false},
-	"lrange":    {cmdLRange, 4, false},
-	"lindex":    {cmdLIndex, 3, false},
-	"lset":      {cmdLSet, 4, true},
-	"lrem":      {cmdLRem, 4, true},
-	"rpoplpush": {cmdRPopLPush, 3, true},
+	register("lpush", cmdLPush, -3, true, 1)
+	register("rpush", cmdRPush, -3, true, 1)
+	register("lpop", cmdLPop, 2, true, 1)
+	register("rpop", cmdRPop, 2, true, 1)
+	register("llen", cmdLLen, 2, false, 1)
+	register("lrange", cmdLRange, 4, false, 1)
+	register("lindex", cmdLIndex, 3, false, 1)
+	register("lset", cmdLSet, 4, true, 1)
+	register("lrem", cmdLRem, 4, true, 1)
+	register("rpoplpush", cmdRPopLPush, 3, true, 1)
 
 	// Hashes.
-	"hset":    {cmdHSet, -4, true},
-	"hmset":   {cmdHMSetCompat, -4, true},
-	"hget":    {cmdHGet, 3, false},
-	"hmget":   {cmdHMGet, -3, false},
-	"hdel":    {cmdHDel, -3, true},
-	"hexists": {cmdHExists, 3, false},
-	"hlen":    {cmdHLen, 2, false},
-	"hgetall": {cmdHGetAll, 2, false},
-	"hkeys":   {cmdHKeys, 2, false},
-	"hvals":   {cmdHVals, 2, false},
-	"hincrby": {cmdHIncrBy, 4, true},
+	register("hset", cmdHSet, -4, true, 1)
+	register("hmset", cmdHMSetCompat, -4, true, 1)
+	register("hget", cmdHGet, 3, false, 1)
+	register("hmget", cmdHMGet, -3, false, 1)
+	register("hdel", cmdHDel, -3, true, 1)
+	register("hexists", cmdHExists, 3, false, 1)
+	register("hlen", cmdHLen, 2, false, 1)
+	register("hgetall", cmdHGetAll, 2, false, 1)
+	register("hkeys", cmdHKeys, 2, false, 1)
+	register("hvals", cmdHVals, 2, false, 1)
+	register("hincrby", cmdHIncrBy, 4, true, 1)
 
 	// Sets.
-	"sadd":        {cmdSAdd, -3, true},
-	"srem":        {cmdSRem, -3, true},
-	"sismember":   {cmdSIsMember, 3, false},
-	"scard":       {cmdSCard, 2, false},
-	"smembers":    {cmdSMembers, 2, false},
-	"spop":        {cmdSPop, 2, true},
-	"srandmember": {cmdSRandMember, 2, false},
-	"sinter":      {cmdSInter, -2, false},
-	"sunion":      {cmdSUnion, -2, false},
-	"sdiff":       {cmdSDiff, -2, false},
+	register("sadd", cmdSAdd, -3, true, 1)
+	register("srem", cmdSRem, -3, true, 1)
+	register("sismember", cmdSIsMember, 3, false, 1)
+	register("scard", cmdSCard, 2, false, 1)
+	register("smembers", cmdSMembers, 2, false, 1)
+	register("spop", cmdSPop, 2, true, 1)
+	register("srandmember", cmdSRandMember, 2, false, 1)
+	register("sinter", cmdSInter, -2, false, 1)
+	register("sunion", cmdSUnion, -2, false, 1)
+	register("sdiff", cmdSDiff, -2, false, 1)
 
 	// Sorted sets.
-	"zadd":          {cmdZAdd, -4, true},
-	"zrem":          {cmdZRem, -3, true},
-	"zscore":        {cmdZScore, 3, false},
-	"zcard":         {cmdZCard, 2, false},
-	"zrank":         {cmdZRank, 3, false},
-	"zincrby":       {cmdZIncrBy, 4, true},
-	"zrange":        {cmdZRange, -4, false},
-	"zrevrange":     {cmdZRevRange, -4, false},
-	"zrangebyscore": {cmdZRangeByScore, -4, false},
+	register("zadd", cmdZAdd, -4, true, 1)
+	register("zrem", cmdZRem, -3, true, 1)
+	register("zscore", cmdZScore, 3, false, 1)
+	register("zcard", cmdZCard, 2, false, 1)
+	register("zrank", cmdZRank, 3, false, 1)
+	register("zincrby", cmdZIncrBy, 4, true, 1)
+	register("zrange", cmdZRange, -4, false, 1)
+	register("zrevrange", cmdZRevRange, -4, false, 1)
+	register("zrangebyscore", cmdZRangeByScore, -4, false, 1)
 
 	// Server.
-	"ping": {cmdPing, -1, false},
-	"echo": {cmdEcho, 2, false},
-	"info": {cmdInfo, -1, false},
+	register("ping", cmdPing, -1, false, 0)
+	register("echo", cmdEcho, 2, false, 0)
+	register("info", cmdInfo, -1, false, 0)
+
+	// Server-layer commands: one source of truth for the dispatch switch in
+	// internal/server, never executable by the store itself.
+	registerServer("select", 2)
+	registerServer("psync", 3)
+	registerServer("replconf", -2)
+	registerServer("slaveof", 3)
+	registerServer("replicaof", 3)
+	registerServer("wait", 3)
 }
 
 // cmdHMSetCompat implements the legacy HMSET (same as HSET, replies +OK).

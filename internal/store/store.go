@@ -214,13 +214,85 @@ func (s *Store) FlushAll() {
 
 // ---- Command dispatch ----
 
-// command describes one entry of the command table.
-type command struct {
+// Command is the exported descriptor of one command-table entry: the single
+// source of truth the server dispatch, replication filtering, and (future)
+// sharding key extraction all read. Descriptors are registered once at init
+// and never mutated.
+type Command struct {
+	// Name is the canonical lowercase command name.
+	Name string
+	// Arity as in Redis: positive = exact argc, negative = minimum argc.
+	Arity int
+	// Write marks commands that may modify the dataset (the Host-KV check
+	// from §III-C, made before involving the SmartNIC).
+	Write bool
+	// FirstKey is the argv index of the first key argument, 0 when the
+	// command addresses no key (PING, SCAN, FLUSHALL, ...). The groundwork
+	// for routing commands to shards.
+	FirstKey int
+	// Server marks commands the embedding server layer handles itself
+	// (SELECT, PSYNC, WAIT, ...); the store rejects them as unknown.
+	Server bool
+
 	handler func(s *Store, dbi int, argv [][]byte) ([]byte, bool)
-	// arity as in Redis: positive = exact argc, negative = minimum argc.
-	arity int
-	// write marks commands that may modify the dataset.
-	write bool
+}
+
+// FirstKeyArg extracts the command's first key from argv, or nil when the
+// command has none (or argv is too short).
+func (c *Command) FirstKeyArg(argv [][]byte) []byte {
+	if c.FirstKey <= 0 || c.FirstKey >= len(argv) {
+		return nil
+	}
+	return argv[c.FirstKey]
+}
+
+// maxCmdLen bounds the stack buffer used for allocation-free
+// case-insensitive lookups; no registered name comes close.
+const maxCmdLen = 32
+
+// LookupCommand resolves a command name (any case) to its descriptor, or
+// nil. The lookup never allocates: the common already-lowercase case is a
+// direct map probe, and mixed case folds into a stack buffer.
+func LookupCommand(name []byte) *Command {
+	if c, ok := commandTable[string(name)]; ok {
+		return c
+	}
+	if len(name) > maxCmdLen {
+		return nil
+	}
+	var buf [maxCmdLen]byte
+	return commandTable[string(foldLower(buf[:len(name)], name))]
+}
+
+// LookupCommandName is LookupCommand for string-typed names.
+func LookupCommandName(name string) *Command {
+	if c, ok := commandTable[name]; ok {
+		return c
+	}
+	if len(name) > maxCmdLen {
+		return nil
+	}
+	var buf [maxCmdLen]byte
+	dst := buf[:len(name)]
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		if 'A' <= ch && ch <= 'Z' {
+			ch += 'a' - 'A'
+		}
+		dst[i] = ch
+	}
+	return commandTable[string(dst)]
+}
+
+// foldLower writes the ASCII-lowercased src into dst and returns dst.
+func foldLower(dst, src []byte) []byte {
+	for i, ch := range src {
+		if 'A' <= ch && ch <= 'Z' {
+			ch += 'a' - 'A'
+		}
+		dst[i] = ch
+	}
+	return dst
 }
 
 // Exec runs one command against database dbi. It returns the RESP-encoded
@@ -229,13 +301,21 @@ func (s *Store) Exec(dbi int, argv [][]byte) (reply []byte, dirty bool) {
 	if len(argv) == 0 {
 		return resp.AppendError(nil, "ERR empty command"), false
 	}
-	name := strings.ToLower(string(argv[0]))
-	cmd, ok := commandTable[name]
-	if !ok {
+	return s.Dispatch(LookupCommand(argv[0]), dbi, argv)
+}
+
+// Dispatch runs a command already resolved by LookupCommand (nil means
+// unknown), saving the embedding server a second table probe.
+func (s *Store) Dispatch(cmd *Command, dbi int, argv [][]byte) (reply []byte, dirty bool) {
+	if len(argv) == 0 {
+		return resp.AppendError(nil, "ERR empty command"), false
+	}
+	if cmd == nil || cmd.Server {
+		name := strings.ToLower(string(argv[0]))
 		return resp.AppendError(nil, fmt.Sprintf("ERR unknown command '%s'", name)), false
 	}
-	if (cmd.arity > 0 && len(argv) != cmd.arity) || (cmd.arity < 0 && len(argv) < -cmd.arity) {
-		return resp.AppendError(nil, fmt.Sprintf("ERR wrong number of arguments for '%s' command", name)), false
+	if (cmd.Arity > 0 && len(argv) != cmd.Arity) || (cmd.Arity < 0 && len(argv) < -cmd.Arity) {
+		return resp.AppendError(nil, fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd.Name)), false
 	}
 	if dbi < 0 || dbi >= len(s.dbs) {
 		return resp.AppendError(nil, "ERR invalid DB index"), false
@@ -243,17 +323,24 @@ func (s *Store) Exec(dbi int, argv [][]byte) (reply []byte, dirty bool) {
 	return cmd.handler(s, dbi, argv)
 }
 
-// IsWriteCommand reports whether the named command may modify the dataset
-// (the Host-KV check from §III-C, made before involving the SmartNIC).
+// IsWriteCommand reports whether the named command may modify the dataset.
 func IsWriteCommand(name string) bool {
-	cmd, ok := commandTable[strings.ToLower(name)]
-	return ok && cmd.write
+	c := LookupCommandName(name)
+	return c != nil && c.Write
 }
 
-// KnownCommand reports whether the command exists.
+// KnownCommand reports whether the store can execute the command (server
+// level commands like SELECT are not the store's to run).
 func KnownCommand(name string) bool {
-	_, ok := commandTable[strings.ToLower(name)]
-	return ok
+	c := LookupCommandName(name)
+	return c != nil && !c.Server
+}
+
+// EachCommand iterates every registered descriptor (introspection, tests).
+func EachCommand(fn func(*Command)) {
+	for _, c := range commandTable {
+		fn(c)
+	}
 }
 
 // Common reply fragments.
