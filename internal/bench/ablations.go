@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(),
 	}
 }
 
@@ -152,6 +152,8 @@ func ByID(id string) *Experiment {
 		return ExtPipeline()
 	case "ext-batch":
 		return ExtBatch()
+	case "ext-failover":
+		return ExtFailover()
 	}
 	return nil
 }
@@ -160,7 +162,7 @@ func ByID(id string) *Experiment {
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
 		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
-		"ext-batch"}
+		"ext-batch", "ext-failover"}
 }
 
 // unused placeholder to keep sim imported if windows change.

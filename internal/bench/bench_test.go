@@ -39,8 +39,8 @@ func TestIDsAndByIDAgree(t *testing.T) {
 	if ByID("nonsense") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(IDs()))
+	if len(IDs()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(IDs()))
 	}
 }
 

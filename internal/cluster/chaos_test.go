@@ -24,13 +24,22 @@ func TestChaosScenarios(t *testing.T) {
 			}
 			checkScenarioExpectations(t, s.Name, c, h)
 
-			_, h2, err2 := RunScenario(s)
+			c2, h2, err2 := RunScenario(s)
 			if err2 != nil {
 				t.Fatalf("second run diverged in outcome: %v", err2)
 			}
 			if h.TraceString() != h2.TraceString() {
 				t.Fatalf("trace not deterministic across identical runs:\n--- run1:\n%s--- run2:\n%s",
 					h.TraceString(), h2.TraceString())
+			}
+			// The observability plane obeys the same determinism contract:
+			// identical runs render identical metrics snapshots and failover
+			// timelines, byte for byte.
+			if s1, s2 := c.SnapshotsString(), c2.SnapshotsString(); s1 != s2 {
+				t.Fatalf("metrics snapshots not deterministic:\n--- run1:\n%s--- run2:\n%s", s1, s2)
+			}
+			if t1, t2 := c.NicKV.Timeline().String(), c2.NicKV.Timeline().String(); t1 != t2 {
+				t.Fatalf("failover timeline not deterministic:\n--- run1:\n%s--- run2:\n%s", t1, t2)
 			}
 		})
 	}

@@ -14,9 +14,11 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"skv/internal/core"
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/model"
 	"skv/internal/rconn"
 	"skv/internal/server"
@@ -120,6 +122,7 @@ func Build(cfg Config) *Cluster {
 	}
 	eng := sim.New(cfg.Seed + 1)
 	net := fabric.New(eng, p)
+	net.SetMetrics(metrics.NewRegistry("fabric", eng.Now))
 	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, Params: p}
 
 	makeStack := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
@@ -144,6 +147,9 @@ func Build(cfg Config) *Cluster {
 			Port:        core.ClientPort,
 			DisableCron: cfg.DisableCron,
 		}, eng, stack, proc)
+		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
+			rs.Device().SetMetrics(srv.Metrics())
+		}
 		return srv, stack
 	}
 
@@ -297,3 +303,36 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 // Run advances the simulation to the given horizon (helper for scenario
 // scripts like the availability experiment).
 func (c *Cluster) Run(until sim.Time) { c.Eng.Run(until) }
+
+// Snapshots collects the metrics snapshot of every registry in the cluster
+// — the fabric, the master, each slave, and (SKV) the NIC — ordered by node
+// name so two identical runs render byte-identically.
+func (c *Cluster) Snapshots() []metrics.Snapshot {
+	var snaps []metrics.Snapshot
+	if reg := c.Net.Metrics(); reg != nil {
+		snaps = append(snaps, reg.Snapshot())
+	}
+	snaps = append(snaps, c.Master.Metrics().Snapshot())
+	for _, s := range c.Slaves {
+		snaps = append(snaps, s.Metrics().Snapshot())
+	}
+	if c.NicKV != nil {
+		snaps = append(snaps, c.NicKV.Metrics().Snapshot())
+	}
+	for i := 1; i < len(snaps); i++ {
+		for j := i; j > 0 && snaps[j].Node < snaps[j-1].Node; j-- {
+			snaps[j], snaps[j-1] = snaps[j-1], snaps[j]
+		}
+	}
+	return snaps
+}
+
+// SnapshotsString renders all cluster snapshots as one deterministic text
+// block (test oracle: two identical sim runs must produce identical output).
+func (c *Cluster) SnapshotsString() string {
+	var b strings.Builder
+	for _, s := range c.Snapshots() {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}

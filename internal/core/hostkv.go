@@ -1,11 +1,15 @@
 package core
 
 import (
+	"fmt"
+
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/rdb"
 	"skv/internal/replstream"
 	"skv/internal/server"
 	"skv/internal/sim"
+	"skv/internal/store"
 	"skv/internal/transport"
 )
 
@@ -40,6 +44,13 @@ type HostKV struct {
 	// ReplReqsSent/CmdsOffloaded is the WR amortization batching buys.
 	ReplReqsSent  uint64
 	CmdsOffloaded uint64
+
+	// Offload round-trip instruments, resolved from the server's registry.
+	mReplReqs      *metrics.Counter
+	mCmdsOffloaded *metrics.Counter
+	mFullSyncs     *metrics.Counter
+	mPartialSyncs  *metrics.Counter
+	mProbeAcks     *metrics.Counter
 }
 
 // AttachMaster wires an SKV master: connects to Nic-KV, redirects the
@@ -53,8 +64,15 @@ func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoin
 		nicEP:        nicEP,
 		payloadConns: make(map[string]transport.Conn),
 		pendingSends: make(map[string][][]byte),
+
+		mReplReqs:      srv.Metrics().Counter("hostkv.repl_reqs"),
+		mCmdsOffloaded: srv.Metrics().Counter("hostkv.cmds_offloaded"),
+		mFullSyncs:     srv.Metrics().Counter("hostkv.full_syncs"),
+		mPartialSyncs:  srv.Metrics().Counter("hostkv.partial_syncs"),
+		mProbeAcks:     srv.Metrics().Counter("hostkv.probe_acks"),
 	}
 	srv.OnPropagate = h.propagate
+	srv.AddInfoSection(h.infoSection)
 	srv.WriteGate = h.gate
 	srv.WaitOffsets = func() []int64 { return h.slaveOffsets }
 	srv.Stack().Dial(nicEP, NicPort, func(conn transport.Conn, err error) {
@@ -131,7 +149,22 @@ func (h *HostKV) propagate(b replstream.Batch) {
 	frame = append(frame, b.Data...)
 	h.ReplReqsSent++
 	h.CmdsOffloaded += uint64(b.Cmds)
+	h.mReplReqs.Inc()
+	h.mCmdsOffloaded.Add(uint64(b.Cmds))
 	h.nicConn.Send(frame)
+}
+
+// infoSection is the SKV block of the master's INFO output: the offload
+// accounting plus the slave availability picture Nic-KV last reported.
+func (h *HostKV) infoSection() store.InfoSection {
+	return store.InfoSection{Name: "SKV", Lines: []string{
+		fmt.Sprintf("valid_slaves:%d", h.validSlaves),
+		fmt.Sprintf("min_slave_offset:%d", h.minSlaveOffset),
+		fmt.Sprintf("repl_reqs_sent:%d", h.ReplReqsSent),
+		fmt.Sprintf("cmds_offloaded:%d", h.CmdsOffloaded),
+		fmt.Sprintf("full_syncs:%d", h.FullSyncs),
+		fmt.Sprintf("partial_syncs:%d", h.PartialSyncs),
+	}}
 }
 
 // gate vetoes writes when availability or replication lag violate the
@@ -160,6 +193,7 @@ func (h *HostKV) onNicMessage(data []byte) {
 		// "When the master node and the slave nodes receive this message,
 		// they reply to Nic-KV immediately."
 		h.Srv.Proc().Core.Charge(h.Srv.Params().ProbeCPU)
+		h.mProbeAcks.Inc()
 		h.nicConn.Send([]byte{msgProbeAck})
 	case msgNewSlave:
 		id := r.str()
@@ -209,6 +243,7 @@ func (h *HostKV) serveNewSlave(id, replID string, off int64) {
 		if delta, okRange := srv.Backlog().Range(off); okRange {
 			// Deviation inside the backlog (or zero): partial resync.
 			h.PartialSyncs++
+			h.mPartialSyncs.Inc()
 			frame = []byte{msgPayloadBacklog}
 			frame = appendStr(frame, srv.ReplID())
 			frame = appendU64(frame, uint64(off))
@@ -217,6 +252,7 @@ func (h *HostKV) serveNewSlave(id, replID string, off int64) {
 	}
 	if frame == nil {
 		h.FullSyncs++
+		h.mFullSyncs.Inc()
 		frame = []byte{msgPayloadRDB}
 		frame = appendStr(frame, srv.ReplID())
 		frame = appendU64(frame, uint64(srv.ReplOffset()))

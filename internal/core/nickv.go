@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/model"
 	"skv/internal/rconn"
 	"skv/internal/replstream"
@@ -25,6 +26,10 @@ type nodeEntry struct {
 	lastAck     sim.Time
 	probeSentAt sim.Time
 	threadIdx   int
+
+	// lag is the node's backlog-lag gauge (nickv.lag.<id>): bytes of stream
+	// fanned out but not yet acknowledged through progress reports.
+	lag *metrics.Gauge
 }
 
 // NicKV is the SmartNIC-resident component of SKV. It runs on the NIC's
@@ -69,6 +74,24 @@ type NicKV struct {
 	StreamSent     uint64
 	Failovers      uint64
 	MasterRestores uint64
+
+	// metrics/timeline are the NIC's observability plane: counters and the
+	// probe-RTT histogram in the registry, failure-detector and failover
+	// transitions as typed timeline events.
+	metrics  *metrics.Registry
+	timeline *metrics.Timeline
+	// streamEnd is the stream offset one past the last fanned-out byte (the
+	// reference point for the per-slave lag gauges).
+	streamEnd int64
+
+	mReplRequests *metrics.Counter
+	mReplCmds     *metrics.Counter
+	mStreamSent   *metrics.Counter
+	mProbesSent   *metrics.Counter
+	mProbeAcks    *metrics.Counter
+	mMarkDowns    *metrics.Counter
+	mMarkUps      *metrics.Counter
+	probeRTT      *metrics.LatencyHist
 }
 
 // NewNicKV boots Nic-KV on the SmartNIC endpoint of machine m. It creates
@@ -86,15 +109,28 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 	}
 	mainCore := sim.NewCore(eng, m.Name+"-nic-core0", params.NICCoreSpeed)
 	proc := sim.NewProc(eng, mainCore, params.CompChannelWake)
+	reg := metrics.NewRegistry(m.NIC.Name(), eng.Now)
 	n := &NicKV{
-		eng:    eng,
-		params: params,
-		net:    net,
-		cfg:    cfg,
-		Stack:  rconn.New(net, m.NIC, proc),
-		proc:   proc,
-		byConn: make(map[transport.Conn]*nodeEntry),
+		eng:      eng,
+		params:   params,
+		net:      net,
+		cfg:      cfg,
+		Stack:    rconn.New(net, m.NIC, proc),
+		proc:     proc,
+		byConn:   make(map[transport.Conn]*nodeEntry),
+		metrics:  reg,
+		timeline: metrics.NewTimeline(eng.Now),
+
+		mReplRequests: reg.Counter("nickv.repl.requests"),
+		mReplCmds:     reg.Counter("nickv.repl.cmds"),
+		mStreamSent:   reg.Counter("nickv.stream.sent"),
+		mProbesSent:   reg.Counter("nickv.probe.sent"),
+		mProbeAcks:    reg.Counter("nickv.probe.acks"),
+		mMarkDowns:    reg.Counter("nickv.node.mark_down"),
+		mMarkUps:      reg.Counter("nickv.node.mark_up"),
+		probeRTT:      reg.Histogram("nickv.probe.rtt"),
 	}
+	n.Stack.Device().SetMetrics(reg)
 	for i := 1; i < cfg.ThreadNum; i++ {
 		c := sim.NewCore(eng, fmt.Sprintf("%s-nic-core%d", m.Name, i), params.NICCoreSpeed)
 		n.threads = append(n.threads, sim.NewProc(eng, c, params.CompChannelWake))
@@ -109,6 +145,27 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 
 // Proc exposes the main ARM-core process (utilization reporting).
 func (n *NicKV) Proc() *sim.Proc { return n.proc }
+
+// Metrics exposes the NIC's instrument registry.
+func (n *NicKV) Metrics() *metrics.Registry { return n.metrics }
+
+// Timeline exposes the failover timeline tracer.
+func (n *NicKV) Timeline() *metrics.Timeline { return n.timeline }
+
+// masterNode is the timeline/metrics label for the master, which Nic-KV
+// addresses by its control connection rather than a node-list entry.
+const masterNode = "master"
+
+// markNodeDown sets the invalid flag on a node-list entry, recording the
+// transition once.
+func (n *NicKV) markNodeDown(nd *nodeEntry) {
+	if !nd.valid {
+		return
+	}
+	nd.valid = false
+	n.mMarkDowns.Inc()
+	n.timeline.Record(metrics.EventMarkDown, nd.id)
+}
 
 // NodeCount reports the node-list length.
 func (n *NicKV) NodeCount() int { return len(n.nodes) }
@@ -137,7 +194,7 @@ func (n *NicKV) accept(conn transport.Conn) {
 	conn.SetHandler(func(data []byte) { n.onMessage(conn, data) })
 	conn.SetCloseHandler(func() {
 		if nd := n.byConn[conn]; nd != nil {
-			nd.valid = false
+			n.markNodeDown(nd)
 			// Drop the dead connection so probeTick and fanOut stop feeding
 			// it; the slave re-registers on a fresh connection.
 			nd.conn = nil
@@ -149,6 +206,8 @@ func (n *NicKV) accept(conn transport.Conn) {
 				// The master's control connection died while it was still
 				// considered healthy: treat it like a probe timeout.
 				n.masterValid = false
+				n.mMarkDowns.Inc()
+				n.timeline.Record(metrics.EventMarkDown, masterNode)
 				n.failover()
 			}
 		}
@@ -187,6 +246,7 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		n.registerSlave(id, replID, off, conn)
 	case msgReplReq:
 		n.ReplRequests++
+		n.mReplRequests.Inc()
 		n.proc.Core.Charge(n.params.NicParseReqCPU)
 		off := r.i64()
 		cmd := r.rest()
@@ -196,6 +256,7 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		n.fanOut(off, cmd, 1)
 	case msgReplReqBatch:
 		n.ReplRequests++
+		n.mReplRequests.Inc()
 		n.proc.Core.Charge(n.params.NicParseReqCPU)
 		off := r.i64()
 		cnt := int(r.u64())
@@ -208,10 +269,15 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		if nd := n.byConn[conn]; nd != nil {
 			nd.offset = r.i64()
 			nd.lastAck = n.eng.Now()
+			nd.lag.Set(lagBehind(n.streamEnd, nd.offset))
 		}
 	case msgProbeAck:
+		n.mProbeAcks.Inc()
 		if conn == n.masterConn {
 			n.masterLastAck = n.eng.Now()
+			if n.masterProbeAt > 0 {
+				n.probeRTT.Observe(n.eng.Now().Sub(n.masterProbeAt))
+			}
 			if !n.masterValid {
 				n.restoreMaster()
 			}
@@ -219,10 +285,15 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		}
 		if nd := n.byConn[conn]; nd != nil {
 			nd.lastAck = n.eng.Now()
+			if nd.probeSentAt > 0 {
+				n.probeRTT.Observe(n.eng.Now().Sub(nd.probeSentAt))
+			}
 			if !nd.valid {
 				// §III-D / Fig 14: recovered node — remove the invalid
 				// flag and replicate normally as before.
 				nd.valid = true
+				n.mMarkUps.Inc()
+				n.timeline.Record(metrics.EventMarkUp, nd.id)
 			}
 		}
 	}
@@ -234,7 +305,7 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 func (n *NicKV) registerSlave(id, replID string, off int64, conn transport.Conn) {
 	nd := n.findNode(id)
 	if nd == nil {
-		nd = &nodeEntry{id: id, threadIdx: n.nextThr}
+		nd = &nodeEntry{id: id, threadIdx: n.nextThr, lag: n.metrics.Gauge("nickv.lag." + id)}
 		if len(n.threads) > 0 {
 			n.nextThr = (n.nextThr + 1) % len(n.threads)
 		}
@@ -283,6 +354,10 @@ func (n *NicKV) findNode(id string) *nodeEntry {
 // does everything on the main core.
 func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
 	n.ReplCmds += uint64(cmds)
+	n.mReplCmds.Add(uint64(cmds))
+	if end := off + int64(len(cmd)); end > n.streamEnd {
+		n.streamEnd = end
+	}
 	n.applyToReplica(cmd)
 	frame := []byte{msgCmdStream}
 	frame = appendU64(frame, uint64(off))
@@ -292,6 +367,8 @@ func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
 			return
 		}
 		n.StreamSent++
+		n.mStreamSent.Inc()
+		nd.lag.Set(lagBehind(n.streamEnd, nd.offset))
 		if len(n.threads) > 0 {
 			conn := nd.conn
 			n.threads[nd.threadIdx].Post(n.params.NicFeedSlaveCPU, func() {
@@ -314,15 +391,26 @@ func (n *NicKV) probeTick() {
 
 		// Failure detection (§III-D): a node whose last reply is older than
 		// waiting-time is considered to have crashed and gets the invalid
-		// flag in the node list.
+		// flag in the node list. An outstanding probe that has produced no
+		// reply yet counts as a miss on the timeline even before the
+		// waiting-time deadline expires.
 		for _, nd := range n.nodes {
-			if nd.valid && nd.probeSentAt > 0 && now.Sub(nd.lastAck) >= deadline {
-				nd.valid = false
+			if nd.valid && nd.probeSentAt > 0 && nd.lastAck < nd.probeSentAt {
+				n.timeline.Record(metrics.EventProbeMiss, nd.id)
 			}
+			if nd.valid && nd.probeSentAt > 0 && now.Sub(nd.lastAck) >= deadline {
+				n.markNodeDown(nd)
+			}
+		}
+		if n.masterConn != nil && n.masterValid && n.masterProbeAt > 0 &&
+			n.masterLastAck < n.masterProbeAt {
+			n.timeline.Record(metrics.EventProbeMiss, masterNode)
 		}
 		if n.masterConn != nil && n.masterValid && n.masterProbeAt > 0 &&
 			now.Sub(n.masterLastAck) >= deadline {
 			n.masterValid = false
+			n.mMarkDowns.Inc()
+			n.timeline.Record(metrics.EventMarkDown, masterNode)
 			n.failover()
 		}
 
@@ -330,11 +418,13 @@ func (n *NicKV) probeTick() {
 		probe := []byte{msgProbe}
 		if n.masterConn != nil {
 			n.masterProbeAt = now
+			n.mProbesSent.Inc()
 			n.masterConn.Send(probe)
 		}
 		for _, nd := range n.nodes {
 			if nd.conn != nil {
 				nd.probeSentAt = now
+				n.mProbesSent.Inc()
 				nd.conn.Send(probe)
 			}
 		}
@@ -383,6 +473,7 @@ func (n *NicKV) failover() {
 		if nd.valid && nd.conn != nil {
 			n.Failovers++
 			n.promotedID = nd.id
+			n.timeline.Record(metrics.EventPromote, nd.id)
 			nd.conn.Send([]byte{msgPromote})
 			return
 		}
@@ -394,13 +485,25 @@ func (n *NicKV) failover() {
 func (n *NicKV) restoreMaster() {
 	n.masterValid = true
 	n.MasterRestores++
+	n.timeline.Record(metrics.EventRestore, masterNode)
 	if n.promotedID == "" {
 		return
 	}
 	if nd := n.findNode(n.promotedID); nd != nil && nd.conn != nil {
+		n.timeline.Record(metrics.EventDemote, nd.id)
 		nd.conn.Send([]byte{msgDemote})
 	}
 	n.promotedID = ""
+}
+
+// lagBehind is the per-slave backlog lag: bytes fanned out past the node's
+// acknowledged offset, clamped at zero (a freshly registered node may report
+// an offset ahead of anything streamed this session).
+func lagBehind(end, off int64) int64 {
+	if lag := end - off; lag > 0 {
+		return lag
+	}
+	return 0
 }
 
 // PromotedID reports the currently promoted node ("" when the original

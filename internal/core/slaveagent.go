@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/rdb"
 	"skv/internal/replstream"
 	"skv/internal/server"
@@ -48,6 +49,11 @@ type SlaveAgent struct {
 	Resyncs  uint64
 	Promoted uint64
 	Demoted  uint64
+
+	mApplied  *metrics.Counter
+	mResyncs  *metrics.Counter
+	mPromoted *metrics.Counter
+	mDemoted  *metrics.Counter
 }
 
 type streamChunk struct {
@@ -65,11 +71,17 @@ func AttachSlave(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoint
 		net:   net,
 		nicEP: nicEP,
 		id:    srv.Stack().Endpoint().Name(),
+
+		mApplied:  srv.Metrics().Counter("slaveagent.applied"),
+		mResyncs:  srv.Metrics().Counter("slaveagent.resyncs"),
+		mPromoted: srv.Metrics().Counter("slaveagent.promoted"),
+		mDemoted:  srv.Metrics().Counter("slaveagent.demoted"),
 	}
 	a.applier = replstream.NewApplier(func(db int, argv [][]byte) {
 		a.Srv.Proc().Core.Charge(a.Srv.Params().SlaveApplyCPU)
 		a.Srv.Store().Exec(db, argv)
 		a.Applied++
+		a.mApplied.Inc()
 	})
 	srv.SetRole(server.RoleSlave)
 	// Accept the direct payload connection from the master.
@@ -132,6 +144,7 @@ func (a *SlaveAgent) connectToNic() {
 		a.nicConn = conn
 		if a.everConnected {
 			a.Resyncs++
+			a.mResyncs.Inc()
 		}
 		a.everConnected = true
 		conn.SetHandler(a.onNicMessage)
@@ -166,6 +179,7 @@ func (a *SlaveAgent) sendInitSync() {
 // Resync forces a fresh synchronization (used after recovery).
 func (a *SlaveAgent) Resync() {
 	a.Resyncs++
+	a.mResyncs.Inc()
 	a.sendInitSync()
 }
 
@@ -191,10 +205,12 @@ func (a *SlaveAgent) onNicMessage(data []byte) {
 	case msgPromote:
 		// Failover: become the master (§III-D).
 		a.Promoted++
+		a.mPromoted.Inc()
 		a.Srv.PromoteToMaster()
 	case msgDemote:
 		// Original master recovered: downgrade and resynchronize.
 		a.Demoted++
+		a.mDemoted.Inc()
 		a.Srv.SetRole(server.RoleSlave)
 		a.Resync()
 	}

@@ -18,6 +18,7 @@ package fabric
 import (
 	"fmt"
 
+	"skv/internal/metrics"
 	"skv/internal/model"
 	"skv/internal/sim"
 )
@@ -137,6 +138,17 @@ type Network struct {
 
 	// faults is the fault-injection plane, nil until Faults() installs it.
 	faults *Faults
+
+	// metrics is the fabric's registry (nil until SetMetrics); the resolved
+	// instruments below are nil-safe no-ops without it.
+	metrics      *metrics.Registry
+	mTxMsgs      *metrics.Counter
+	mTxBytes     *metrics.Counter
+	mDelivered   *metrics.Counter
+	mDropped     *metrics.Counter
+	mParked      *metrics.Counter
+	mRetransmits *metrics.Counter
+	mSpikes      *metrics.Counter
 }
 
 // New creates an empty network on the engine with the given parameters.
@@ -151,6 +163,23 @@ func New(eng *sim.Engine, params *model.Params) *Network {
 
 // Engine exposes the simulation engine driving this network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// SetMetrics installs the fabric's metrics registry and resolves the
+// wire-level instruments (tx messages/bytes, deliveries, drops, parked
+// traffic, retransmits, delay spikes).
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	n.metrics = reg
+	n.mTxMsgs = reg.Counter("fabric.tx.msgs")
+	n.mTxBytes = reg.Counter("fabric.tx.bytes")
+	n.mDelivered = reg.Counter("fabric.rx.msgs")
+	n.mDropped = reg.Counter("fabric.dropped")
+	n.mParked = reg.Counter("fabric.parked")
+	n.mRetransmits = reg.Counter("fabric.retransmits")
+	n.mSpikes = reg.Counter("fabric.spikes")
+}
+
+// Metrics exposes the fabric registry (nil until SetMetrics).
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
 
 // Params exposes the calibration parameters.
 func (n *Network) Params() *model.Params { return n.params }
@@ -238,6 +267,8 @@ func (n *Network) Send(src, dst *Endpoint, size int, payload any, extra sim.Dura
 	if dst == nil {
 		panic("fabric: Send to nil endpoint")
 	}
+	n.mTxMsgs.Inc()
+	n.mTxBytes.Add(uint64(size))
 	lat := n.PathLatency(src, dst) + n.params.TransferTime(size) + extra
 	if n.faults != nil {
 		n.faults.send(src, dst, size, payload, lat)
@@ -260,10 +291,12 @@ func (n *Network) deliverAfter(src, dst *Endpoint, size int, payload any, lat si
 		m := Message{Src: src, Dst: dst, Size: size, Payload: payload}
 		if dst.down || dst.deliver == nil {
 			n.Dropped++
+			n.mDropped.Inc()
 			notifyOutcome(src, m, false)
 			return
 		}
 		n.Delivered++
+		n.mDelivered.Inc()
 		// The ack for this delivery travels dst→src; a partitioned reverse
 		// path starves the sender of acks even though the data landed.
 		acked := n.faults == nil || !n.faults.Partitioned(dst, src)

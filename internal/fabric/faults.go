@@ -219,6 +219,7 @@ func (f *Faults) send(src, dst *Endpoint, size int, payload any, lat sim.Duratio
 		lf.parked = append(lf.parked, parkedMsg{src: src, dst: dst, size: size, payload: payload, lat: lat})
 		f.ParkedCount++
 		n.Parked++
+		n.mParked.Inc()
 		// The sender's transport sees the ack timeout one latency later.
 		msg := Message{Src: src, Dst: dst, Size: size, Payload: payload}
 		n.eng.After(lat, func() { notifyOutcome(src, msg, false) })
@@ -230,11 +231,13 @@ func (f *Faults) send(src, dst *Endpoint, size int, payload any, lat sim.Duratio
 			for f.rng.Float64() < lf.lossProb {
 				lat += lf.lossPenalty
 				f.Retransmits++
+				n.mRetransmits.Inc()
 			}
 		}
 		if lf.spikeProb > 0 && f.rng.Float64() < lf.spikeProb {
 			lat += lf.spikeDelay
 			f.Spikes++
+			n.mSpikes.Inc()
 		}
 	}
 	n.deliverAfter(src, dst, size, payload, lat)

@@ -1,0 +1,244 @@
+// Package metrics is the observability plane: a deterministic per-node
+// registry of named counters, gauges, and latency histograms, stamped with
+// virtual (simulation) time only — never wall time — so two runs with the
+// same seed produce byte-identical snapshots.
+//
+// Instrument names follow a dotted <layer>.<object>[.<detail>] scheme
+// ("fabric.tx.msgs", "rdma.wr.write_imm", "server.cmd.get.service",
+// "nickv.lag.slave0/host"); see DESIGN.md for the naming rules.
+//
+// Every accessor and instrument method is nil-receiver safe: a layer can
+// hold a possibly-nil *Registry (or a *Counter resolved from one) and use
+// it unconditionally — with no registry installed, all operations are
+// no-ops. That keeps the hot paths free of "if metrics != nil" branching.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skv/internal/sim"
+	"skv/internal/stats"
+)
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous int64 instrument (replication lag, queue
+// depth).
+type Gauge struct{ v int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// LatencyHist is a latency instrument backed by stats.Histogram.
+type LatencyHist struct{ h *stats.Histogram }
+
+// Observe records one duration sample.
+func (l *LatencyHist) Observe(d sim.Duration) {
+	if l == nil {
+		return
+	}
+	l.h.Record(d)
+}
+
+// Hist exposes the underlying histogram (nil without a registry).
+func (l *LatencyHist) Hist() *stats.Histogram {
+	if l == nil {
+		return nil
+	}
+	return l.h
+}
+
+// Registry is one node's instrument namespace. Instruments are created on
+// first use and live for the registry's lifetime.
+type Registry struct {
+	node string
+	now  func() sim.Time
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*LatencyHist
+}
+
+// NewRegistry creates a registry for the named node, stamping snapshots
+// with the given virtual clock.
+func NewRegistry(node string, now func() sim.Time) *Registry {
+	return &Registry{
+		node:     node,
+		now:      now,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*LatencyHist),
+	}
+}
+
+// Node reports the registry's node name ("" on a nil registry).
+func (r *Registry) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Counter returns the named counter, creating it on first use. Nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	l := r.hists[name]
+	if l == nil {
+		l = &LatencyHist{h: stats.NewHistogram()}
+		r.hists[name] = l
+	}
+	return l
+}
+
+// HistStat is the summarized form of one latency histogram in a snapshot.
+type HistStat struct {
+	Count uint64
+	Mean  sim.Duration
+	P50   sim.Duration
+	P99   sim.Duration
+	Max   sim.Duration
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// stamped with the virtual time it was taken.
+type Snapshot struct {
+	Node     string
+	At       sim.Time
+	Counters map[string]uint64
+	Gauges   map[string]int64
+	Hists    map[string]HistStat
+}
+
+// Snapshot captures the registry's current state. A nil registry yields a
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Node:     r.node,
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Hists:    make(map[string]HistStat, len(r.hists)),
+	}
+	if r.now != nil {
+		s.At = r.now()
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, l := range r.hists {
+		s.Hists[name] = HistStat{
+			Count: l.h.Count(),
+			Mean:  l.h.Mean(),
+			P50:   l.h.Percentile(50),
+			P99:   l.h.Percentile(99),
+			Max:   l.h.Max(),
+		}
+	}
+	return s
+}
+
+// String renders the snapshot deterministically: one instrument per line,
+// sorted by kind then name, with durations in integer nanoseconds. Two
+// identical sim runs must render byte-identical strings.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node=%s at=%d\n", s.Node, int64(s.At))
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		fmt.Fprintf(&b, "hist %s n=%d mean=%d p50=%d p99=%d max=%d\n",
+			name, h.Count, int64(h.Mean), int64(h.P50), int64(h.P99), int64(h.Max))
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"skv/internal/sim"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(sim.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Hist() != nil {
+		t.Fatal("nil instruments must be no-ops")
+	}
+	if r.Node() != "" {
+		t.Fatal("nil registry node must be empty")
+	}
+	if s := r.Snapshot(); s.Node != "" || len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be zero")
+	}
+	var tl *Timeline
+	tl.Record(EventPromote, "n")
+	if tl.Events() != nil || tl.String() != "" {
+		t.Fatal("nil timeline must be a no-op")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	var now sim.Time
+	r := NewRegistry("node0", func() sim.Time { return now })
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter=%d want 3", c.Value())
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return same counter")
+	}
+	g := r.Gauge("lag")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("gauge=%d want 6", g.Value())
+	}
+	h := r.Histogram("lat")
+	h.Observe(2 * sim.Microsecond)
+	h.Observe(4 * sim.Microsecond)
+	if h.Hist().Count() != 2 {
+		t.Fatalf("hist count=%d want 2", h.Hist().Count())
+	}
+
+	now = sim.Time(5 * sim.Millisecond)
+	s := r.Snapshot()
+	if s.Node != "node0" || s.At != now {
+		t.Fatalf("snapshot node=%q at=%d", s.Node, int64(s.At))
+	}
+	if s.Counters["a.b"] != 3 || s.Gauges["lag"] != 6 {
+		t.Fatalf("snapshot values wrong: %+v", s)
+	}
+	hs := s.Hists["lat"]
+	if hs.Count != 2 || hs.Max != 4*sim.Microsecond {
+		t.Fatalf("hist stat wrong: %+v", hs)
+	}
+}
+
+func TestSnapshotStringDeterministic(t *testing.T) {
+	build := func() string {
+		var now sim.Time = sim.Time(7 * sim.Millisecond)
+		r := NewRegistry("n", func() sim.Time { return now })
+		// Create in different orders; output must still be sorted.
+		r.Counter("z.last").Add(1)
+		r.Counter("a.first").Add(2)
+		r.Gauge("mid").Set(-3)
+		r.Histogram("lat").Observe(3 * sim.Microsecond)
+		return r.Snapshot().String()
+	}
+	s1, s2 := build(), build()
+	if s1 != s2 {
+		t.Fatalf("snapshot rendering not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	lines := strings.Split(strings.TrimSpace(s1), "\n")
+	want := []string{
+		"node=n at=7000000",
+		"counter a.first 2",
+		"counter z.last 1",
+		"gauge mid -3",
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if !strings.HasPrefix(lines[4], "hist lat n=1 ") {
+		t.Fatalf("hist line = %q", lines[4])
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var now sim.Time
+	tl := NewTimeline(func() sim.Time { return now })
+	now = sim.Time(100 * sim.Millisecond)
+	tl.Record(EventProbeMiss, "master")
+	now = sim.Time(300 * sim.Millisecond)
+	tl.Record(EventMarkDown, "master")
+	tl.Record(EventPromote, "slave0/host")
+
+	ev := tl.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events=%d want 3", len(ev))
+	}
+	if first, ok := tl.First(EventMarkDown); !ok || first.At != sim.Time(300*sim.Millisecond) {
+		t.Fatalf("First(MarkDown) = %+v ok=%v", first, ok)
+	}
+	if _, ok := tl.First(EventRestore); ok {
+		t.Fatal("First(Restore) should not exist")
+	}
+	if e, ok := tl.FirstAfter(EventProbeMiss, sim.Time(200*sim.Millisecond)); ok {
+		t.Fatalf("FirstAfter should miss: %+v", e)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "mark-down") || !strings.Contains(out, "promote") {
+		t.Fatalf("timeline render missing events:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"skv/internal/sim"
+)
+
+// EventType classifies one failure-detector / failover transition.
+type EventType int
+
+// Failover timeline event types, in the order the §III-D chain emits them:
+// probe-miss → mark-down → (promote | mark-up) → restore → demote.
+const (
+	// EventProbeMiss: a probed node had not acked its latest probe by the
+	// next probe tick (the first externally visible sign of trouble).
+	EventProbeMiss EventType = iota
+	// EventMarkDown: the failure detector set the invalid flag (waiting-time
+	// exceeded, or the control connection died).
+	EventMarkDown
+	// EventMarkUp: a node previously marked down acked a probe again and the
+	// invalid flag was removed.
+	EventMarkUp
+	// EventPromote: Nic-KV ordered a slave to take over as master.
+	EventPromote
+	// EventDemote: a previously promoted slave was ordered back into the
+	// slave role.
+	EventDemote
+	// EventRestore: the original master returned and was reinstated.
+	EventRestore
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventProbeMiss:
+		return "probe-miss"
+	case EventMarkDown:
+		return "mark-down"
+	case EventMarkUp:
+		return "mark-up"
+	case EventPromote:
+		return "promote"
+	case EventDemote:
+		return "demote"
+	case EventRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// Event is one recorded transition.
+type Event struct {
+	At   sim.Time
+	Type EventType
+	Node string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3fms  %-10s %s",
+		float64(e.At)/float64(sim.Millisecond), e.Type, e.Node)
+}
+
+// Timeline records failure-detection and failover transitions as typed,
+// sim-clock-stamped events, in the order they happened. Like the registry
+// instruments, all methods are nil-receiver safe.
+type Timeline struct {
+	now    func() sim.Time
+	events []Event
+}
+
+// NewTimeline creates a timeline stamping events with the given virtual
+// clock.
+func NewTimeline(now func() sim.Time) *Timeline {
+	return &Timeline{now: now}
+}
+
+// Record appends one event at the current virtual time.
+func (t *Timeline) Record(typ EventType, node string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: t.now(), Type: typ, Node: node})
+}
+
+// Events returns the recorded events in order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// First returns the earliest event of the given type, and whether one
+// exists.
+func (t *Timeline) First(typ EventType) (Event, bool) {
+	for _, e := range t.Events() {
+		if e.Type == typ {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FirstAfter returns the earliest event of the given type at or after the
+// given time, and whether one exists.
+func (t *Timeline) FirstAfter(typ EventType, at sim.Time) (Event, bool) {
+	for _, e := range t.Events() {
+		if e.Type == typ && e.At >= at {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// String renders the timeline, one event per line, deterministically.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -77,6 +77,36 @@ func New(opts Options) (*Server, error) {
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	start := time.Now()
+	st.InfoProvider = func() []store.InfoSection {
+		s.connsMu.Lock()
+		clients := len(s.conns)
+		s.connsMu.Unlock()
+		// The provider runs inside Exec, i.e. under s.mu — the same lock
+		// Served is incremented under.
+		served := s.Served
+		return []store.InfoSection{
+			{Name: "Server", Lines: []string{
+				"server_name:skv-netserver",
+				fmt.Sprintf("uptime_in_seconds:%d", int64(time.Since(start).Seconds())),
+			}},
+			{Name: "Clients", Lines: []string{
+				fmt.Sprintf("connected_clients:%d", clients),
+			}},
+			// Standalone: no replication links, but the section must exist so
+			// RESP clients issuing INFO replication get an answer, not an
+			// unknown-section error.
+			{Name: "Replication", Lines: []string{
+				"role:master",
+				"connected_slaves:0",
+				"master_repl_offset:0",
+			}},
+			{Name: "Stats", Lines: []string{
+				fmt.Sprintf("total_connections_received:%d", served),
+				fmt.Sprintf("dirty:%d", st.Dirty),
+			}},
+		}
+	}
 	if opts.RDBPath != "" {
 		if data, err := os.ReadFile(opts.RDBPath); err == nil {
 			if err := rdb.Load(st, data); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/sim"
 )
 
@@ -24,6 +25,37 @@ type Device struct {
 	nextRKey uint32
 	nextReq  uint64
 	pending  map[uint64]func(*QP, error) // in-flight Connect callbacks
+
+	// m holds the device's resolved metrics instruments; all fields are
+	// nil-safe no-ops until SetMetrics installs a registry.
+	m devMetrics
+}
+
+// devMetrics is the verbs-level instrument set: work requests posted per
+// verb, completions pushed, and completion-channel wakeups fired.
+type devMetrics struct {
+	wrSend     *metrics.Counter
+	wrWrite    *metrics.Counter
+	wrWriteImm *metrics.Counter
+	wrRead     *metrics.Counter
+	wrRecv     *metrics.Counter
+
+	cqCompletions *metrics.Counter
+	cqWakeups     *metrics.Counter
+}
+
+// SetMetrics wires the device's instruments into the given registry
+// (normally the owning node's).
+func (d *Device) SetMetrics(reg *metrics.Registry) {
+	d.m = devMetrics{
+		wrSend:        reg.Counter("rdma.wr.send"),
+		wrWrite:       reg.Counter("rdma.wr.write"),
+		wrWriteImm:    reg.Counter("rdma.wr.write_imm"),
+		wrRead:        reg.Counter("rdma.wr.read"),
+		wrRecv:        reg.Counter("rdma.wr.recv"),
+		cqCompletions: reg.Counter("rdma.cq.completions"),
+		cqWakeups:     reg.Counter("rdma.cq.wakeups"),
+	}
 }
 
 // NewDevice opens a device on the endpoint, driven by the given core.
@@ -311,6 +343,7 @@ func (qp *QP) consumeRecv(p packet) {
 // driving core.
 func (qp *QP) PostRecv(wr RecvWR) {
 	qp.chargePost()
+	qp.dev.m.wrRecv.Inc()
 	qp.recvQueue = append(qp.recvQueue, wr)
 	if len(qp.stash) > 0 {
 		p := qp.stash[0]
@@ -324,6 +357,7 @@ func (qp *QP) PostRecv(wr RecvWR) {
 // applications do when refilling the receive ring).
 func (qp *QP) PostRecvN(base uint64, n int) {
 	qp.chargePost()
+	qp.dev.m.wrRecv.Add(uint64(n))
 	for i := 0; i < n; i++ {
 		qp.recvQueue = append(qp.recvQueue, RecvWR{WRID: base + uint64(i)})
 	}
@@ -363,6 +397,16 @@ func (qp *QP) PostSend(wr SendWR) error {
 		return fmt.Errorf("rdma: QP %d not connected", qp.qpn)
 	}
 	qp.PostedSends++
+	switch wr.Op {
+	case OpSend:
+		qp.dev.m.wrSend.Inc()
+	case OpWrite:
+		qp.dev.m.wrWrite.Inc()
+	case OpWriteImm:
+		qp.dev.m.wrWriteImm.Inc()
+	case OpRead:
+		qp.dev.m.wrRead.Inc()
+	}
 	if pc := qp.postCore(); pc != nil {
 		pc.Charge(qp.dev.net.Params().CPUPostWR)
 	}

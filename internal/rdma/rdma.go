@@ -109,6 +109,9 @@ func (cq *CQ) RequestNotify() {
 func (cq *CQ) fire() {
 	if cq.armed && cq.notify != nil {
 		cq.armed = false
+		if cq.dev != nil {
+			cq.dev.m.cqWakeups.Inc()
+		}
 		cq.notify()
 	}
 }
@@ -116,6 +119,9 @@ func (cq *CQ) fire() {
 func (cq *CQ) push(wc WC) {
 	cq.items = append(cq.items, wc)
 	cq.Completions++
+	if cq.dev != nil {
+		cq.dev.m.cqCompletions.Inc()
+	}
 	cq.fire()
 }
 

@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"skv/internal/backlog"
+	"skv/internal/metrics"
 	"skv/internal/resp"
 )
 
@@ -61,6 +62,9 @@ type WriterConfig struct {
 	// quiesce point (end of the current event-loop tick). It is used to
 	// flush partial batches; with MaxCmds <= 1 it is never called.
 	Schedule func(func())
+	// Metrics, when non-nil, receives the stream's instruments: commands and
+	// bytes streamed, and batches flushed by reason (repl.* names).
+	Metrics *metrics.Registry
 }
 
 // Writer is the produce side of the replication stream: it appends writes
@@ -80,7 +84,27 @@ type Writer struct {
 	// the WR-amortization factor the batching buys.
 	CmdsAppended   uint64
 	BatchesFlushed uint64
+
+	// Registry instruments (no-ops without cfg.Metrics).
+	mCmds        *metrics.Counter
+	mBytes       *metrics.Counter
+	mFlushCmd    *metrics.Counter
+	mFlushBytes  *metrics.Counter
+	mFlushQuiese *metrics.Counter
+	mFlushForced *metrics.Counter
 }
+
+// flushReason says why a batch left the Writer: it hit the command budget,
+// the byte budget, the producing core's quiesce point, or a forced Flush
+// (PSYNC serving, tests).
+type flushReason int
+
+const (
+	flushCmdBudget flushReason = iota
+	flushByteBudget
+	flushQuiesce
+	flushForced
+)
 
 // NewWriter creates a Writer. The config's Backlog and Flush are required.
 func NewWriter(cfg WriterConfig) *Writer {
@@ -93,7 +117,15 @@ func NewWriter(cfg WriterConfig) *Writer {
 	if cfg.MaxBytes <= 0 {
 		cfg.MaxBytes = 1 << 16
 	}
-	return &Writer{cfg: cfg}
+	return &Writer{
+		cfg:          cfg,
+		mCmds:        cfg.Metrics.Counter("repl.stream.cmds"),
+		mBytes:       cfg.Metrics.Counter("repl.stream.bytes"),
+		mFlushCmd:    cfg.Metrics.Counter("repl.flush.cmd_budget"),
+		mFlushBytes:  cfg.Metrics.Counter("repl.flush.byte_budget"),
+		mFlushQuiese: cfg.Metrics.Counter("repl.flush.quiesce"),
+		mFlushForced: cfg.Metrics.Counter("repl.flush.forced"),
+	}
 }
 
 // DB reports the database the stream's SELECT context currently points at.
@@ -127,17 +159,24 @@ func (w *Writer) add(cmd []byte) {
 	w.pending = append(w.pending, cmd...)
 	w.pendingCmds++
 	w.CmdsAppended++
-	if w.pendingCmds >= w.cfg.MaxCmds || len(w.pending) >= w.cfg.MaxBytes {
-		w.Flush()
-		return
+	w.mCmds.Inc()
+	w.mBytes.Add(uint64(len(cmd)))
+	switch {
+	case w.pendingCmds >= w.cfg.MaxCmds:
+		w.flush(flushCmdBudget)
+	case len(w.pending) >= w.cfg.MaxBytes:
+		w.flush(flushByteBudget)
+	default:
+		w.scheduleFlush()
 	}
-	w.scheduleFlush()
 }
 
 // Flush pushes the pending batch downstream now. No-op when nothing is
 // pending. The master calls this before serving a PSYNC so a joining slave
 // never sees backlog bytes again on the live stream.
-func (w *Writer) Flush() {
+func (w *Writer) Flush() { w.flush(flushForced) }
+
+func (w *Writer) flush(reason flushReason) {
 	if w.pendingCmds == 0 {
 		return
 	}
@@ -146,6 +185,16 @@ func (w *Writer) Flush() {
 	w.pending = nil
 	w.pendingCmds = 0
 	w.BatchesFlushed++
+	switch reason {
+	case flushCmdBudget:
+		w.mFlushCmd.Inc()
+	case flushByteBudget:
+		w.mFlushBytes.Inc()
+	case flushQuiesce:
+		w.mFlushQuiese.Inc()
+	case flushForced:
+		w.mFlushForced.Inc()
+	}
 	w.cfg.Flush(b)
 }
 
@@ -156,7 +205,7 @@ func (w *Writer) scheduleFlush() {
 	w.scheduled = true
 	w.cfg.Schedule(func() {
 		w.scheduled = false
-		w.Flush()
+		w.flush(flushQuiesce)
 	})
 }
 

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+
+	"skv/internal/sim"
+	"skv/internal/store"
+)
+
+// infoSections is the server's store.InfoProvider: it assembles the
+// Redis-style INFO sections from live node state. The store appends its
+// Keyspace section after these.
+func (s *Server) infoSections() []store.InfoSection {
+	secs := []store.InfoSection{
+		s.infoServer(),
+		s.infoClients(),
+		s.infoReplication(),
+		s.infoStats(),
+	}
+	for _, fn := range s.extraInfo {
+		secs = append(secs, fn())
+	}
+	return secs
+}
+
+func (s *Server) infoServer() store.InfoSection {
+	return store.InfoSection{Name: "Server", Lines: []string{
+		"server_name:" + s.name,
+		"transport:" + s.stack.Transport(),
+		fmt.Sprintf("tcp_port:%d", s.port),
+		fmt.Sprintf("sim_time_ms:%d", int64(s.eng.Now()/sim.Time(sim.Millisecond))),
+		fmt.Sprintf("process_alive:%d", boolBit(s.alive)),
+	}}
+}
+
+func (s *Server) infoClients() store.InfoSection {
+	connected := 0
+	for _, c := range s.clients {
+		if !c.isSlaveLink {
+			connected++
+		}
+	}
+	return store.InfoSection{Name: "Clients", Lines: []string{
+		fmt.Sprintf("connected_clients:%d", connected),
+		fmt.Sprintf("blocked_clients:%d", len(s.waiters)),
+	}}
+}
+
+// infoReplication mirrors Redis's Replication section. On a master the
+// per-replica lines carry the acknowledged offset and its lag behind
+// master_repl_offset; an SKV master (no direct slave links — replication is
+// offloaded) reads the offsets Nic-KV reports through WaitOffsets.
+func (s *Server) infoReplication() store.InfoSection {
+	lines := []string{"role:" + s.role.String()}
+	if s.role == RoleMaster {
+		masterOff := s.ReplOffset()
+		var offs []int64
+		var addrs []string
+		if s.WaitOffsets != nil {
+			offs = s.WaitOffsets()
+		} else {
+			for _, sl := range s.slaves {
+				offs = append(offs, sl.ackOff)
+				addrs = append(addrs, sl.addr)
+			}
+		}
+		lines = append(lines,
+			fmt.Sprintf("connected_slaves:%d", len(offs)),
+			"master_replid:"+s.replID,
+			fmt.Sprintf("master_repl_offset:%d", masterOff),
+		)
+		for i, off := range offs {
+			lag := masterOff - off
+			if lag < 0 {
+				lag = 0
+			}
+			if addrs != nil {
+				lines = append(lines, fmt.Sprintf("slave%d:addr=%s,offset=%d,lag=%d", i, addrs[i], off, lag))
+			} else {
+				lines = append(lines, fmt.Sprintf("slave%d:offset=%d,lag=%d", i, off, lag))
+			}
+		}
+		return store.InfoSection{Name: "Replication", Lines: lines}
+	}
+	status := "down"
+	if s.SyncedWithMaster() {
+		status = "up"
+	}
+	lines = append(lines,
+		"master_link_status:"+status,
+		fmt.Sprintf("slave_repl_offset:%d", s.MasterOffset()),
+		"slave_read_only:1",
+	)
+	if s.master != nil && s.master.masterReplID != "" {
+		lines = append(lines, "master_replid:"+s.master.masterReplID)
+	}
+	return store.InfoSection{Name: "Replication", Lines: lines}
+}
+
+func (s *Server) infoStats() store.InfoSection {
+	return store.InfoSection{Name: "Stats", Lines: []string{
+		fmt.Sprintf("total_commands_processed:%d", s.CommandsProcessed),
+		fmt.Sprintf("total_writes_propagated:%d", s.WritesPropagated),
+		fmt.Sprintf("err_replies_sent:%d", s.ErrRepliesSent),
+		fmt.Sprintf("repl_stream_cmds:%d", s.repl.CmdsAppended),
+		fmt.Sprintf("repl_stream_batches:%d", s.repl.BatchesFlushed),
+		fmt.Sprintf("dirty:%d", s.store.Dirty),
+	}}
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"skv/internal/resp"
+	"skv/internal/sim"
+)
+
+// infoLines parses a sectioned INFO reply into its non-blank lines.
+func infoLines(t *testing.T, v resp.Value) []string {
+	t.Helper()
+	if v.Type != resp.TypeBulk {
+		t.Fatalf("INFO reply type = %v (%s)", v.Type, v.String())
+	}
+	var out []string
+	for _, ln := range strings.Split(v.String(), "\r\n") {
+		if ln != "" {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+func hasLine(lines []string, want string) bool {
+	for _, ln := range lines {
+		if ln == want || strings.HasPrefix(ln, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInfoSectionsOnLiveMaster(t *testing.T) {
+	w := newWorld(50)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6380)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	w.eng.Run(w.eng.Now().Add(time200ms))
+
+	lines := infoLines(t, c.do(t, "INFO"))
+	for _, want := range []string{
+		"# Server", "server_name:m", "# Clients", "# Replication",
+		"role:master", "connected_slaves:1", "master_repl_offset:",
+		"# Stats", "total_commands_processed:", "# Keyspace",
+	} {
+		if !hasLine(lines, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+const time200ms = 200 * sim.Millisecond
+
+func TestInfoReplicationSectionArgument(t *testing.T) {
+	w := newWorld(51)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6380)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	w.eng.Run(w.eng.Now().Add(time200ms))
+
+	lines := infoLines(t, c.do(t, "INFO", "replication"))
+	if lines[0] != "# Replication" {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	for _, want := range []string{"role:master", "master_repl_offset:", "slave0:addr="} {
+		if !hasLine(lines, want) {
+			t.Fatalf("INFO replication missing %q:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+	// The slave has acked everything by now: lag must be reported as 0.
+	if !hasLine(lines, "connected_slaves:1") {
+		t.Fatalf("no connected_slaves line:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "slave0:") && !strings.HasSuffix(ln, ",lag=0") {
+			t.Fatalf("slave0 lag not converged: %q", ln)
+		}
+	}
+	// Only the requested section comes back.
+	if hasLine(lines, "# Server") || hasLine(lines, "# Keyspace") {
+		t.Fatalf("INFO replication leaked sections:\n%s", strings.Join(lines, "\n"))
+	}
+
+	if v := c.do(t, "INFO", "nosuchsection"); !v.IsError() ||
+		!strings.Contains(v.String(), "unknown INFO section") {
+		t.Fatalf("unknown section reply = %s", v.String())
+	}
+}
+
+func TestInfoReplicationOnSlave(t *testing.T) {
+	w := newWorld(52)
+	master := w.server("m", 6379)
+	slave := w.server("sl", 6380)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+
+	c := w.dial(t, slave)
+	lines := infoLines(t, c.do(t, "INFO", "replication"))
+	for _, want := range []string{"role:slave", "master_link_status:up", "slave_repl_offset:", "slave_read_only:1"} {
+		if !hasLine(lines, want) {
+			t.Fatalf("slave INFO replication missing %q:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+func TestServerCommandMetrics(t *testing.T) {
+	w := newWorld(53)
+	srv := w.server("m", 6379)
+	c := w.dial(t, srv)
+	c.do(t, "SET", "k", "v")
+	c.do(t, "SET", "k", "v2")
+	c.do(t, "GET", "k")
+
+	snap := srv.Metrics().Snapshot()
+	if snap.Node != "m" {
+		t.Fatalf("registry node = %q", snap.Node)
+	}
+	if got := snap.Counters["server.cmd.set.calls"]; got != 2 {
+		t.Fatalf("set calls = %d want 2", got)
+	}
+	if got := snap.Counters["server.cmd.get.calls"]; got != 1 {
+		t.Fatalf("get calls = %d want 1", got)
+	}
+	hs, ok := snap.Hists["server.cmd.set.service"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("set service hist = %+v ok=%v", hs, ok)
+	}
+	if hs.Max <= 0 {
+		t.Fatalf("set service time must be positive, got %v", hs.Max)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"skv/internal/backlog"
 	"skv/internal/fabric"
+	"skv/internal/metrics"
 	"skv/internal/model"
 	"skv/internal/replstream"
 	"skv/internal/resp"
@@ -111,6 +112,22 @@ type Server struct {
 	CommandsProcessed uint64
 	WritesPropagated  uint64
 	ErrRepliesSent    uint64
+
+	// metrics is the node's instrument registry; cmdStats caches the
+	// per-command counter/histogram pair so the hot path never rebuilds
+	// instrument names.
+	metrics  *metrics.Registry
+	cmdStats map[string]*cmdInstruments
+	// extraInfo holds INFO sections registered by embedding layers (the SKV
+	// Host-KV section).
+	extraInfo []func() store.InfoSection
+}
+
+// cmdInstruments is the per-command metrics pair: invocation count and
+// CPU-service-time histogram.
+type cmdInstruments struct {
+	calls   *metrics.Counter
+	service *metrics.LatencyHist
 }
 
 // client mirrors the Redis client object: per-connection buffers and state.
@@ -149,26 +166,30 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 	}
 	rnd := rand.New(rand.NewSource(opts.Seed ^ 0x5b17))
 	s := &Server{
-		name:    opts.Name,
-		eng:     eng,
-		proc:    proc,
-		stack:   stack,
-		params:  p,
-		rnd:     rnd,
-		backlog: backlog.New(opts.BacklogSize),
-		replID:  fmt.Sprintf("%016x%016x", rnd.Uint64(), rnd.Uint64()),
-		clients: make(map[uint64]*client),
-		port:    opts.Port,
-		alive:   true,
+		name:     opts.Name,
+		eng:      eng,
+		proc:     proc,
+		stack:    stack,
+		params:   p,
+		rnd:      rnd,
+		backlog:  backlog.New(opts.BacklogSize),
+		replID:   fmt.Sprintf("%016x%016x", rnd.Uint64(), rnd.Uint64()),
+		clients:  make(map[uint64]*client),
+		port:     opts.Port,
+		alive:    true,
+		metrics:  metrics.NewRegistry(opts.Name, eng.Now),
+		cmdStats: make(map[string]*cmdInstruments),
 	}
 	s.store = store.New(opts.NumDBs, opts.Seed^0x57a7e, func() int64 {
 		return int64(eng.Now() / sim.Time(sim.Millisecond))
 	})
+	s.store.InfoProvider = s.infoSections
 	s.repl = replstream.NewWriter(replstream.WriterConfig{
 		Backlog:  s.backlog,
 		MaxCmds:  p.ReplBatchMaxCmds,
 		MaxBytes: p.ReplBatchMaxBytes,
 		Flush:    s.flushReplBatch,
+		Metrics:  s.metrics,
 		// Partial batches flush when this server's core drains its queued
 		// work — the event-loop quiesce point. Under load that coalesces
 		// every write processed in the same busy period; idle, it fires at
@@ -224,6 +245,29 @@ func (s *Server) Alive() bool { return s.alive }
 
 // SlaveCount reports the number of attached slaves (master side).
 func (s *Server) SlaveCount() int { return len(s.slaves) }
+
+// Metrics exposes the node's instrument registry.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// AddInfoSection registers an extra INFO section producer (the SKV layer
+// adds its offload section through this).
+func (s *Server) AddInfoSection(fn func() store.InfoSection) {
+	s.extraInfo = append(s.extraInfo, fn)
+}
+
+// cmdInstrumentsFor returns the cached per-command instruments, resolving
+// them on first use.
+func (s *Server) cmdInstrumentsFor(name string) *cmdInstruments {
+	ci := s.cmdStats[name]
+	if ci == nil {
+		ci = &cmdInstruments{
+			calls:   s.metrics.Counter("server.cmd." + name + ".calls"),
+			service: s.metrics.Histogram("server.cmd." + name + ".service"),
+		}
+		s.cmdStats[name] = ci
+	}
+	return ci
+}
 
 // serverCron is the periodic time event: active expiry, rehash steps,
 // replication bookkeeping. Its CPU cost is a deliberate tail-latency source.
@@ -344,6 +388,23 @@ func (s *Server) processCommand(c *client, argv [][]byte) {
 	// One allocation-free descriptor lookup covers server-level dispatch,
 	// the write check, the cost model, and the store's execution.
 	cmd := store.LookupCommand(argv[0])
+	name := "unknown"
+	if cmd != nil {
+		name = cmd.Name
+	}
+	ci := s.cmdInstrumentsFor(name)
+	ci.calls.Inc()
+	// Service time is the CPU this command consumes on the node's core: the
+	// busy-point advance across dispatch. Deterministic, unlike wall time.
+	busyStart := s.proc.Core.BusyUntil()
+	if now := s.eng.Now(); busyStart < now {
+		busyStart = now
+	}
+	s.dispatchCommand(c, cmd, argv)
+	ci.service.Observe(s.proc.Core.BusyUntil().Sub(busyStart))
+}
+
+func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	size := 0
 	for _, a := range argv {
 		size += len(a) + 14 // RESP framing overhead per arg

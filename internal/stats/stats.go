@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 
 	"skv/internal/sim"
 )
@@ -73,14 +74,23 @@ func (h *Histogram) Mean() sim.Duration {
 func (h *Histogram) Max() sim.Duration { return h.max }
 
 // Percentile reports the p-th percentile (0 < p ≤ 100) to bucket
-// resolution.
+// resolution. The rank is the ceiling of p/100·n (nearest-rank definition),
+// so p50 of {1,2,3} is the 2nd sample, not the 1st. p ≥ 100 — and any
+// percentile landing in the ≥10s overflow bucket — reports the exact
+// recorded maximum.
 func (h *Histogram) Percentile(p float64) sim.Duration {
 	if h.n == 0 {
 		return 0
 	}
-	target := uint64(p / 100 * float64(h.n))
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.n)))
 	if target < 1 {
 		target = 1
+	}
+	if target > h.n {
+		target = h.n
 	}
 	var seen uint64
 	for i, c := range h.lo {
@@ -101,7 +111,9 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 			return 100*sim.Millisecond + sim.Duration(i)*sim.Millisecond
 		}
 	}
-	return 10 * sim.Second
+	// The rank falls among the ≥10s overflow samples; the best (and only)
+	// bound the histogram keeps for them is the recorded maximum.
+	return h.max
 }
 
 // Merge folds other into h.

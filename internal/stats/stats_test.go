@@ -111,6 +111,75 @@ func TestHistogramPercentileAccuracy(t *testing.T) {
 	}
 }
 
+// Regression: the nearest-rank target must be the ceiling of p/100·n, not
+// the truncation — truncation reported percentiles one sample low whenever
+// p/100·n is not an integer.
+func TestHistogramPercentileCeilingRank(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []sim.Duration{1 * sim.Microsecond, 2 * sim.Microsecond, 3 * sim.Microsecond} {
+		h.Record(d)
+	}
+	// ceil(0.50·3)=2 → 2µs; truncation gave rank 1 → 1µs.
+	if p := h.Percentile(50); p != 2*sim.Microsecond {
+		t.Fatalf("p50 of {1,2,3}µs = %v, want 2µs", p)
+	}
+	// ceil(0.99·3)=3 → 3µs.
+	if p := h.Percentile(99); p != 3*sim.Microsecond {
+		t.Fatalf("p99 of {1,2,3}µs = %v, want 3µs", p)
+	}
+	if p := h.Percentile(100); p != 3*sim.Microsecond {
+		t.Fatalf("p100 of {1,2,3}µs = %v, want the max", p)
+	}
+
+	h2 := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		h2.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	// ceil(0.95·10)=10 → 10µs; truncation gave rank 9 → 9µs.
+	if p := h2.Percentile(95); p != 10*sim.Microsecond {
+		t.Fatalf("p95 of 1..10µs = %v, want 10µs", p)
+	}
+	// Exact multiple: ceil(0.50·10)=5 → 5µs (unchanged by the fix).
+	if p := h2.Percentile(50); p != 5*sim.Microsecond {
+		t.Fatalf("p50 of 1..10µs = %v, want 5µs", p)
+	}
+}
+
+// Regression: samples ≥ 10s land in the overflow bucket, which the
+// cumulative walk used to skip — every percentile ranking into it reported
+// the 10s cap instead of participating in the walk, and p100 ignored the
+// recorded max.
+func TestHistogramOverflowBucketPercentiles(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1 * sim.Millisecond)
+	h.Record(25 * sim.Second)
+	h.Record(30 * sim.Second)
+
+	if p := h.Percentile(100); p != 30*sim.Second {
+		t.Fatalf("p100 = %v, want the recorded max 30s", p)
+	}
+	// ceil(0.99·3)=3: the rank is an overflow sample; the walk must reach it
+	// and report the recorded max (the only bound kept for ≥10s samples).
+	if p := h.Percentile(99); p != 30*sim.Second {
+		t.Fatalf("p99 = %v, want 30s", p)
+	}
+	// ceil(0.50·3)=2: also an overflow sample.
+	if p := h.Percentile(50); p != 30*sim.Second {
+		t.Fatalf("p50 = %v, want 30s", p)
+	}
+	// Rank 1 is still the 1ms sample.
+	if p := h.Percentile(10); p != 1*sim.Millisecond {
+		t.Fatalf("p10 = %v, want 1ms", p)
+	}
+
+	// All-overflow histogram: every percentile is the max.
+	h2 := NewHistogram()
+	h2.Record(12 * sim.Second)
+	if p := h2.Percentile(50); p != 12*sim.Second {
+		t.Fatalf("all-overflow p50 = %v, want 12s", p)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Record(5 * sim.Microsecond)

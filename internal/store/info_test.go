@@ -1,0 +1,83 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"skv/internal/resp"
+)
+
+func TestInfoSectionsFallback(t *testing.T) {
+	s, _ := testStore()
+	run(t, s, "SET k v")
+	secs := s.InfoSections()
+	if len(secs) != 2 || secs[0].Name != "Stats" || secs[1].Name != "Keyspace" {
+		t.Fatalf("fallback sections = %+v", secs)
+	}
+	if !strings.HasPrefix(secs[0].Lines[0], "dirty:") {
+		t.Fatalf("Stats lines = %v", secs[0].Lines)
+	}
+	if secs[1].Lines[0] != "db0:keys=1" {
+		t.Fatalf("Keyspace lines = %v", secs[1].Lines)
+	}
+}
+
+func TestInfoSectionsProvider(t *testing.T) {
+	s, _ := testStore()
+	s.InfoProvider = func() []InfoSection {
+		return []InfoSection{
+			{Name: "Server", Lines: []string{"server_name:test"}},
+			{Name: "Replication", Lines: []string{"role:master"}},
+		}
+	}
+	secs := s.InfoSections()
+	// Provider sections first, then the store-owned Keyspace.
+	if len(secs) != 3 || secs[0].Name != "Server" || secs[2].Name != "Keyspace" {
+		t.Fatalf("provider sections = %+v", secs)
+	}
+}
+
+func TestInfoSectionFiltering(t *testing.T) {
+	s, _ := testStore()
+	s.InfoProvider = func() []InfoSection {
+		return []InfoSection{
+			{Name: "Server", Lines: []string{"server_name:test"}},
+			{Name: "Replication", Lines: []string{"role:master"}},
+		}
+	}
+
+	v := run(t, s, "INFO replication")
+	if v.Type != resp.TypeBulk {
+		t.Fatalf("INFO replication type = %v", v.Type)
+	}
+	body := v.String()
+	if !strings.Contains(body, "# Replication") || !strings.Contains(body, "role:master") {
+		t.Fatalf("INFO replication body = %q", body)
+	}
+	if strings.Contains(body, "# Server") || strings.Contains(body, "# Keyspace") {
+		t.Fatalf("INFO replication leaked other sections: %q", body)
+	}
+
+	// Case-insensitive.
+	v = run(t, s, "INFO REPLICATION")
+	if !strings.Contains(v.String(), "role:master") {
+		t.Fatalf("INFO REPLICATION = %q", v.String())
+	}
+
+	// Default aliases return everything.
+	for _, arg := range []string{"", " default", " all", " everything"} {
+		v = run(t, s, "INFO"+arg)
+		body = v.String()
+		for _, want := range []string{"# Server", "# Replication", "# Keyspace"} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("INFO%s missing %q: %q", arg, want, body)
+			}
+		}
+	}
+}
+
+func TestInfoUnknownSectionAndArity(t *testing.T) {
+	s, _ := testStore()
+	wantErrContains(t, s, "INFO bogus", "unknown INFO section 'bogus'")
+	wantErrContains(t, s, "INFO server extra", "wrong number of arguments")
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"strings"
 
 	"skv/internal/resp"
 )
@@ -17,15 +18,40 @@ func cmdEcho(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	return resp.AppendBulk(nil, argv[1]), false
 }
 
+// cmdInfo is the Redis-style sectioned INFO command. With no argument (or
+// "default"/"all"/"everything") every section renders; with a section name
+// only that section renders; an unknown section is an error. Sections come
+// from InfoSections: the embedding server's InfoProvider callback plus the
+// store's own Stats/Keyspace fallbacks.
 func cmdInfo(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
-	body := "# Keyspace\r\n"
-	for i := range s.dbs {
-		if n := s.DBSize(i); n > 0 {
-			body += fmt.Sprintf("db%d:keys=%d\r\n", i, n)
-		}
+	if len(argv) > 2 {
+		return resp.AppendError(nil, "ERR wrong number of arguments for 'info' command"), false
 	}
-	body += fmt.Sprintf("# Stats\r\ndirty:%d\r\n", s.Dirty)
-	return resp.AppendBulkString(nil, body), false
+	section := ""
+	if len(argv) == 2 {
+		section = strings.ToLower(string(argv[1]))
+	}
+	all := section == "" || section == "default" || section == "all" || section == "everything"
+	var b strings.Builder
+	matched := false
+	for _, sec := range s.InfoSections() {
+		if !all && !strings.EqualFold(sec.Name, section) {
+			continue
+		}
+		matched = true
+		b.WriteString("# ")
+		b.WriteString(sec.Name)
+		b.WriteString("\r\n")
+		for _, line := range sec.Lines {
+			b.WriteString(line)
+			b.WriteString("\r\n")
+		}
+		b.WriteString("\r\n")
+	}
+	if !matched {
+		return resp.AppendError(nil, fmt.Sprintf("ERR unknown INFO section '%s'", section)), false
+	}
+	return resp.AppendBulkString(nil, b.String()), false
 }
 
 // commandTable maps lowercase command names to their descriptors. Arity

@@ -38,6 +38,38 @@ type Store struct {
 	// Dirty counts dataset modifications since startup (Redis server.dirty);
 	// the server layer uses deltas to decide propagation.
 	Dirty int64
+
+	// InfoProvider, when non-nil, supplies the embedding server's INFO
+	// sections (Server, Clients, Replication, Stats, ...). The store appends
+	// its own Keyspace section — and a minimal Stats fallback when no
+	// provider is installed — in InfoSections.
+	InfoProvider func() []InfoSection
+}
+
+// InfoSection is one "# Name" block of the INFO command's reply.
+type InfoSection struct {
+	Name  string
+	Lines []string
+}
+
+// InfoSections assembles the full ordered section list for INFO: the
+// provider's sections first (the server layer's view), then the store's
+// Keyspace. Without a provider a minimal Stats section preserves the
+// dirty-counter surface.
+func (s *Store) InfoSections() []InfoSection {
+	var secs []InfoSection
+	if s.InfoProvider != nil {
+		secs = s.InfoProvider()
+	} else {
+		secs = append(secs, InfoSection{Name: "Stats", Lines: []string{fmt.Sprintf("dirty:%d", s.Dirty)}})
+	}
+	var keyspace []string
+	for i := range s.dbs {
+		if n := s.DBSize(i); n > 0 {
+			keyspace = append(keyspace, fmt.Sprintf("db%d:keys=%d", i, n))
+		}
+	}
+	return append(secs, InfoSection{Name: "Keyspace", Lines: keyspace})
 }
 
 // New creates a store with n databases. All internal randomized structures
