@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench clean
+.PHONY: all build test vet race verify bench bench-smoke clean
 
 all: verify
 
@@ -24,6 +24,11 @@ verify: build test vet race
 # Regenerate the paper-figure experiments (virtual-time, deterministic).
 bench:
 	$(GO) run ./cmd/skv-bench
+
+# Run every experiment at tiny scale: proves each one still builds its
+# cluster, runs, and renders. Numbers are meaningless at this scale.
+bench-smoke:
+	$(GO) run ./cmd/skv-bench -smoke
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,7 @@
 //	skv-bench                  # all experiments
 //	skv-bench -exp fig11       # one experiment
 //	skv-bench -list            # available experiment ids
+//	skv-bench -smoke           # everything at tiny scale (CI sanity run)
 package main
 
 import (
@@ -18,8 +19,12 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	smoke := flag.Bool("smoke", false, "run with tiny measurement windows (sanity check, not figures)")
 	flag.Parse()
 
+	if *smoke {
+		bench.SetSmoke()
+	}
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
 		return

@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(),
 	}
 }
 
@@ -154,6 +154,8 @@ func ByID(id string) *Experiment {
 		return ExtBatch()
 	case "ext-failover":
 		return ExtFailover()
+	case "ext-shards":
+		return ExtShards()
 	}
 	return nil
 }
@@ -162,7 +164,7 @@ func ByID(id string) *Experiment {
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
 		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
-		"ext-batch", "ext-failover"}
+		"ext-batch", "ext-failover", "ext-shards"}
 }
 
 // unused placeholder to keep sim imported if windows change.

@@ -71,11 +71,28 @@ func (e *Experiment) String() string {
 	return b.String()
 }
 
-// Standard measurement windows (virtual time).
-const (
+// Standard measurement windows (virtual time). Vars, not consts: smoke mode
+// shrinks them so CI can exercise every experiment end-to-end in seconds.
+var (
 	warmup  = 50 * sim.Millisecond
 	measure = 300 * sim.Millisecond
+	smoke   bool
 )
+
+// SetSmoke switches the package into smoke mode: tiny measurement windows
+// and shortened failure-scenario horizons (with a proportionally faster
+// failure detector, so the timeline experiments still see their events).
+// The numbers that come out are statistically meaningless — smoke mode
+// exists to prove in CI that every experiment builds its cluster, runs, and
+// renders, not to regenerate the figures.
+func SetSmoke() {
+	smoke = true
+	warmup = 5 * sim.Millisecond
+	measure = 25 * sim.Millisecond
+}
+
+// Smoke reports whether smoke mode is on.
+func Smoke() bool { return smoke }
 
 func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
 func kops(v float64) string { return fmt.Sprintf("%.1f", v/1000) }
@@ -359,7 +376,21 @@ func Fig14() *Experiment {
 			"paper: crash detected at ~4s, recovery at ~9s, throughput stays above 300 kops/s, client unaware",
 		},
 	}
-	c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 8, Seed: 47, SKV: core.DefaultConfig()})
+	horizon := 12 * sim.Second
+	crashAfter := 1500 * sim.Millisecond
+	recoverAfter := 6500 * sim.Millisecond
+	var p *model.Params
+	if smoke {
+		// Shrink the outage script and speed the detector up to match, so
+		// the crash/detect/recover transitions still happen on the short
+		// horizon.
+		horizon, crashAfter, recoverAfter = 3*sim.Second, 500*sim.Millisecond, 1500*sim.Millisecond
+		pp := model.Default()
+		pp.ProbePeriod = 100 * sim.Millisecond
+		pp.WaitingTime = 300 * sim.Millisecond
+		p = &pp
+	}
+	c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 8, Seed: 47, Params: p, SKV: core.DefaultConfig()})
 	if !c.AwaitReplication(5 * sim.Second) {
 		panic("fig14: replication never converged")
 	}
@@ -369,9 +400,8 @@ func Fig14() *Experiment {
 	}
 	c.StartClients()
 	base := c.Eng.Now()
-	const horizon = 12 * sim.Second
-	crashAt := base.Add(1500 * sim.Millisecond)
-	recoverAt := base.Add(6500 * sim.Millisecond)
+	crashAt := base.Add(crashAfter)
+	recoverAt := base.Add(recoverAfter)
 	c.Eng.At(crashAt, func() { c.Slaves[1].Crash() })
 	c.Eng.At(recoverAt, func() { c.Slaves[1].Recover() })
 

@@ -39,8 +39,31 @@ func TestIDsAndByIDAgree(t *testing.T) {
 	if ByID("nonsense") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(IDs()))
+	if len(IDs()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(IDs()))
+	}
+}
+
+// TestExtShardsScalesInSmokeMode runs the sharding ablation at smoke scale
+// and checks the acceptance property: four shard cores clear more SETs than
+// the single-threaded server.
+func TestExtShardsScalesInSmokeMode(t *testing.T) {
+	savedWarmup, savedMeasure, savedSmoke := warmup, measure, smoke
+	SetSmoke()
+	defer func() { warmup, measure, smoke = savedWarmup, savedMeasure, savedSmoke }()
+	e := ExtShards()
+	if len(e.Rows) != 4 {
+		t.Fatalf("rows: %d", len(e.Rows))
+	}
+	k1, k4 := e.Metrics["kops_shards1"], e.Metrics["kops_shards4"]
+	if k1 <= 0 || k4 <= 0 {
+		t.Fatalf("missing throughput metrics: %v", e.Metrics)
+	}
+	if k4 <= k1 {
+		t.Fatalf("4 shards (%.1f kops/s) not faster than 1 (%.1f kops/s)", k4, k1)
+	}
+	if e.Metrics["gain_pct_shards4"] <= 0 {
+		t.Fatalf("gain_pct_shards4 = %v", e.Metrics["gain_pct_shards4"])
 	}
 }
 

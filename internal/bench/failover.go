@@ -6,6 +6,7 @@ import (
 	"skv/internal/cluster"
 	"skv/internal/core"
 	"skv/internal/metrics"
+	"skv/internal/model"
 	"skv/internal/sim"
 )
 
@@ -26,18 +27,24 @@ func ExtFailover() *Experiment {
 	}
 	cfg := core.DefaultConfig()
 	cfg.ProgressInterval = 50 * sim.Millisecond
-	c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 4, Seed: 53, SKV: cfg})
+	crashAfter := 1500 * sim.Millisecond
+	restartAfter := 8 * sim.Second
+	horizon := 14 * sim.Second
+	var p *model.Params
+	if smoke {
+		crashAfter, restartAfter, horizon = 500*sim.Millisecond, 2*sim.Second, 4*sim.Second
+		pp := model.Default()
+		pp.ProbePeriod = 100 * sim.Millisecond
+		pp.WaitingTime = 300 * sim.Millisecond
+		p = &pp
+	}
+	c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 4, Seed: 53, Params: p, SKV: cfg})
 	if !c.AwaitReplication(5 * sim.Second) {
 		panic("ext-failover: replication never converged")
 	}
 	h := cluster.NewChaos(c)
 	c.StartClients()
 	base := c.Eng.Now()
-	const (
-		crashAfter   = 1500 * sim.Millisecond
-		restartAfter = 8 * sim.Second
-		horizon      = 14 * sim.Second
-	)
 	h.CrashMaster(crashAfter)
 	h.RestartMaster(restartAfter)
 	c.Eng.Run(base.Add(horizon))

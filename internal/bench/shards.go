@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/sim"
+)
+
+// ExtShards is an extension experiment beyond the paper: the Host-KV
+// keyspace sharded over multiple cores behind the deterministic dispatch
+// plane. The dispatch core parses and routes; each shard core executes the
+// commands whose keys hash to it; completed writes merge back into the one
+// serialized replication stream. Throughput scales until the dispatch core
+// itself saturates — the per-core utilization columns show the bottleneck
+// migrating from execution to dispatch as the shard count grows.
+func ExtShards() *Experiment {
+	e := &Experiment{
+		ID:    "ext-shards",
+		Title: "Host-KV keyspace sharding (SET, 8 clients ×8 deep, 3 slaves) — extension",
+		Header: []string{"shards", "skv kops/s", "p99 µs", "dispatch util", "shard core utils"},
+		Notes: []string{
+			"extension beyond the paper: shards=1 is the single-threaded server bit-for-bit (no dispatch plane)",
+			"replication, WAIT and the Nic-KV offload see one serialized stream at every shard count",
+		},
+	}
+	base := -1.0
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := model.Default()
+		p.HostShards = shards
+		c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 8,
+			Pipeline: 8, Seed: 67, Params: &p, SKV: core.DefaultConfig()})
+		if !c.AwaitReplication(5 * sim.Second) {
+			panic("ext-shards: sync failed")
+		}
+		r := c.Measure(warmup, measure)
+		utils := make([]string, len(r.ShardUtils))
+		for i, u := range r.ShardUtils {
+			utils[i] = fmt.Sprintf("%.0f%%", u*100)
+		}
+		shardCol := strings.Join(utils, "/")
+		if shardCol == "" {
+			shardCol = "-"
+		}
+		e.Rows = append(e.Rows, []string{
+			fmt.Sprint(shards), kops(r.Throughput), f1(r.P99.Micros()),
+			fmt.Sprintf("%.0f%%", r.MasterUtil*100), shardCol,
+		})
+		e.metric(fmt.Sprintf("kops_shards%d", shards), r.Throughput/1000)
+		e.metric(fmt.Sprintf("p99_us_shards%d", shards), r.P99.Micros())
+		e.metric(fmt.Sprintf("dispatch_util_pct_shards%d", shards), r.MasterUtil*100)
+		if shards == 1 {
+			base = r.Throughput
+		} else if base > 0 {
+			e.metric(fmt.Sprintf("gain_pct_shards%d", shards), (r.Throughput/base-1)*100)
+		}
+	}
+	return e
+}

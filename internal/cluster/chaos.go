@@ -274,6 +274,9 @@ type Scenario struct {
 	// Batch overrides Params.ReplBatchMaxCmds when > 0 (0 keeps the default
 	// unbatched stream), so every scenario can also run batched.
 	Batch int
+	// Shards overrides Params.HostShards when > 0 (0 keeps the default
+	// single-threaded loop), so every scenario can also run sharded.
+	Shards int
 }
 
 // ChaosParams compresses the failure-detection timescales (probe every
@@ -298,6 +301,9 @@ func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 	p := ChaosParams(s.Retry)
 	if s.Batch > 0 {
 		p.ReplBatchMaxCmds = s.Batch
+	}
+	if s.Shards > 0 {
+		p.HostShards = s.Shards
 	}
 	c := Build(Config{
 		Kind:    KindSKV,

@@ -146,6 +146,7 @@ func Build(cfg Config) *Cluster {
 			Seed:        seed,
 			Port:        core.ClientPort,
 			DisableCron: cfg.DisableCron,
+			Shards:      p.HostShards,
 		}, eng, stack, proc)
 		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
 			rs.Device().SetMetrics(srv.Metrics())
@@ -251,8 +252,10 @@ type Result struct {
 	P99        sim.Duration
 	Ops        uint64
 	ErrReplies uint64
-	// MasterUtil is the master core's busy fraction over the window.
+	// MasterUtil is the master dispatch core's busy fraction over the window.
 	MasterUtil float64
+	// ShardUtils is each master shard core's busy fraction (HostShards > 1).
+	ShardUtils []float64
 	// NicUtil is Nic-KV's main ARM core busy fraction (SKV only).
 	NicUtil float64
 }
@@ -294,6 +297,9 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 		ErrReplies: errs,
 		MasterUtil: c.Master.Proc().Core.Utilization(end),
 	}
+	for _, sp := range c.Master.ShardProcs() {
+		res.ShardUtils = append(res.ShardUtils, sp.Core.Utilization(end))
+	}
 	if c.NicKV != nil {
 		res.NicUtil = c.NicKV.Proc().Core.Utilization(end)
 	}
@@ -313,8 +319,14 @@ func (c *Cluster) Snapshots() []metrics.Snapshot {
 		snaps = append(snaps, reg.Snapshot())
 	}
 	snaps = append(snaps, c.Master.Metrics().Snapshot())
+	for _, reg := range c.Master.ShardRegistries() {
+		snaps = append(snaps, reg.Snapshot())
+	}
 	for _, s := range c.Slaves {
 		snaps = append(snaps, s.Metrics().Snapshot())
+		for _, reg := range s.ShardRegistries() {
+			snaps = append(snaps, reg.Snapshot())
+		}
 	}
 	if c.NicKV != nil {
 		snaps = append(snaps, c.NicKV.Metrics().Snapshot())

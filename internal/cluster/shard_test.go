@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/rconn"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/transport"
+)
+
+func shardParams(shards int) *model.Params {
+	p := model.Default()
+	p.HostShards = shards
+	return &p
+}
+
+// TestSKVKeyspaceIdenticalAcrossShardCounts runs the same scripted mixed
+// workload on SKV clusters with 1, 2 and 4 host shards and requires the
+// final keyspaces — master and every slave — to be logically identical.
+// Sharding may change which core executes a command, never its effect. Each
+// shard count also runs twice and must produce byte-identical metric
+// snapshots: the sharded pipeline stays inside the determinism contract.
+func TestSKVKeyspaceIdenticalAcrossShardCounts(t *testing.T) {
+	runOnce := func(shards int) (*Cluster, map[string]string) {
+		c := Build(Config{Kind: KindSKV, Slaves: 2, Clients: 0, Seed: 31,
+			Params: shardParams(shards), SKV: core.DefaultConfig()})
+		if !c.AwaitReplication(2 * sim.Second) {
+			t.Fatalf("shards=%d: sync failed", shards)
+		}
+		randomWriter(t, c, 77, 2000)
+		return c, fingerprint(c.Master.Store())
+	}
+	var ref map[string]string
+	for _, shards := range []int{1, 2, 4} {
+		c, fp := runOnce(shards)
+		if len(fp) == 0 {
+			t.Fatalf("shards=%d: master keyspace empty", shards)
+		}
+		if ref == nil {
+			ref = fp
+		} else if len(fp) != len(ref) {
+			t.Fatalf("shards=%d: master has %d keys, shards=1 had %d", shards, len(fp), len(ref))
+		} else {
+			for k, v := range ref {
+				if fp[k] != v {
+					t.Fatalf("shards=%d: master divergence at %s: %q vs %q", shards, k, fp[k], v)
+				}
+			}
+		}
+		for i := range c.Slaves {
+			got := fingerprint(c.Slaves[i].Store())
+			if len(got) != len(ref) {
+				t.Fatalf("shards=%d: slave%d has %d keys, want %d", shards, i, len(got), len(ref))
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					t.Fatalf("shards=%d: slave%d divergence at %s: %q vs %q", shards, i, k, got[k], v)
+				}
+			}
+		}
+		// Determinism: an identical second run renders identical snapshots.
+		c2, _ := runOnce(shards)
+		if c.SnapshotsString() != c2.SnapshotsString() {
+			t.Fatalf("shards=%d: metric snapshots differ across identical runs", shards)
+		}
+	}
+}
+
+// TestWaitCommandAcrossShardCounts checks WAIT semantics survive sharding:
+// WAIT is a barrier on the dispatch plane, so the offset it snapshots
+// covers every routed write admitted before it, and the acknowledged
+// replica count still reaches quorum at every shard count.
+func TestWaitCommandAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.ProgressInterval = 50 * sim.Millisecond
+		p := shardParams(shards)
+		p.ProbePeriod = 100 * sim.Millisecond
+		p.WaitingTime = 200 * sim.Millisecond
+		c := Build(Config{Kind: KindSKV, Slaves: 2, Clients: 1, Seed: 34,
+			Params: p, SKV: cfg})
+		if !c.AwaitReplication(2 * sim.Second) {
+			t.Fatalf("shards=%d: sync failed", shards)
+		}
+		c.Measure(10*sim.Millisecond, 50*sim.Millisecond)
+		m := c.Net.NewMachine("waiter", false)
+		proc := sim.NewProc(c.Eng, sim.NewCore(c.Eng, "waiter-core", 1.0), c.Params.ClientWakeup)
+		stack := rconn.New(c.Net, m.Host, proc)
+		var got *resp.Value
+		stack.Dial(c.MasterMachine.Host, core.ClientPort, func(conn transport.Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			var r resp.Reader
+			conn.SetHandler(func(data []byte) {
+				r.Feed(data)
+				if v, ok, _ := r.ReadValue(); ok {
+					got = &v
+				}
+			})
+			conn.Send(resp.EncodeCommand("WAIT", "2", "2000"))
+		})
+		c.Eng.Run(c.Eng.Now().Add(3 * sim.Second))
+		if got == nil {
+			t.Fatalf("shards=%d: WAIT never replied", shards)
+		}
+		if got.Type != resp.TypeInteger || got.Int != 2 {
+			t.Fatalf("shards=%d: WAIT = %s, want :2", shards, got.String())
+		}
+	}
+}
+
+// TestShardedThroughputScales is the point of the refactor: with the
+// keyspace execution spread over four cores, a saturating SET workload
+// clears more operations than the single-threaded server, and the shard
+// cores actually absorb work (nonzero utilization).
+func TestShardedThroughputScales(t *testing.T) {
+	run := func(shards int) Result {
+		c := Build(Config{Kind: KindSKV, Slaves: 2, Clients: 8, Pipeline: 8,
+			Seed: 55, Params: shardParams(shards), SKV: core.DefaultConfig()})
+		if !c.AwaitReplication(2 * sim.Second) {
+			t.Fatalf("shards=%d: sync failed", shards)
+		}
+		return c.Measure(20*sim.Millisecond, 200*sim.Millisecond)
+	}
+	res1 := run(1)
+	res4 := run(4)
+	if len(res1.ShardUtils) != 0 {
+		t.Fatalf("shards=1 reported shard cores: %v", res1.ShardUtils)
+	}
+	if len(res4.ShardUtils) != 4 {
+		t.Fatalf("shards=4 reported %d shard cores", len(res4.ShardUtils))
+	}
+	busy := 0
+	for _, u := range res4.ShardUtils {
+		if u > 0.05 {
+			busy++
+		}
+	}
+	if busy < 4 {
+		t.Fatalf("only %d/4 shard cores absorbed load: %v", busy, res4.ShardUtils)
+	}
+	if res4.Throughput <= res1.Throughput {
+		t.Fatalf("sharding bought nothing: %.0f ops/s at 4 shards vs %.0f at 1",
+			res4.Throughput, res1.Throughput)
+	}
+}
+
+// TestChaosScenariosSharded re-runs the PR-1 failure scenarios with the
+// master and slaves running 2 and 4 host shards: every scenario must still
+// converge (single master, no promoted leftovers, identical keyspaces), and
+// a repeated sharded run must reproduce both its failover timeline and its
+// metric snapshots byte-for-byte.
+func TestChaosScenariosSharded(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		for _, s := range ChaosScenarios() {
+			s := s
+			s.Shards = shards
+			t.Run(fmt.Sprintf("%s/shards%d", s.Name, shards), func(t *testing.T) {
+				c, h, err := RunScenario(s)
+				if err != nil {
+					t.Fatalf("convergence failed:\n%v\ntrace:\n%s", err, h.TraceString())
+				}
+				if shards == 4 && s.Name == "master-restart-split-brain" {
+					c2, h2, err2 := RunScenario(s)
+					if err2 != nil {
+						t.Fatalf("second run diverged in outcome: %v", err2)
+					}
+					if h.TraceString() != h2.TraceString() {
+						t.Fatal("sharded failover timeline not deterministic across identical runs")
+					}
+					if c.SnapshotsString() != c2.SnapshotsString() {
+						t.Fatal("sharded metric snapshots not deterministic across identical runs")
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,7 +2,7 @@ package core
 
 import "testing"
 
-func decodeStatus(t *testing.T, frame []byte) (count int, minOff int64, offs []int64) {
+func decodeStatus(t *testing.T, frame []byte) (count int, minOff int64, offs []int64, threads int) {
 	t.Helper()
 	if len(frame) == 0 || frame[0] != msgStatus {
 		t.Fatalf("not a status frame: % x", frame)
@@ -16,28 +16,55 @@ func decodeStatus(t *testing.T, frame []byte) (count int, minOff int64, offs []i
 	if r.bad {
 		t.Fatalf("truncated status frame: % x", frame)
 	}
-	return count, minOff, offs
+	threads = -1 // absent (an older frame)
+	if len(r.b)-r.pos >= 8 {
+		threads = int(r.u64())
+	}
+	return count, minOff, offs, threads
 }
 
 func TestStatusFrameWithSlaves(t *testing.T) {
-	count, minOff, offs := decodeStatus(t, statusFrame([]int64{300, 100, 200}))
+	count, minOff, offs, threads := decodeStatus(t, statusFrame([]int64{300, 100, 200}, 2))
 	if count != 3 || minOff != 100 {
 		t.Fatalf("count=%d minOff=%d, want 3/100", count, minOff)
 	}
 	if len(offs) != 3 || offs[0] != 300 || offs[1] != 100 || offs[2] != 200 {
 		t.Fatalf("offsets %v", offs)
 	}
+	if threads != 2 {
+		t.Fatalf("effective threads %d, want 2", threads)
+	}
 }
 
 func TestStatusFrameWithZeroValidSlaves(t *testing.T) {
 	// The empty report used to encode the -1 "unset" sentinel, which decodes
 	// through uint64 into a huge bogus offset on the master side.
-	count, minOff, _ := decodeStatus(t, statusFrame(nil))
+	count, minOff, _, threads := decodeStatus(t, statusFrame(nil, 1))
 	if count != 0 {
 		t.Fatalf("count=%d want 0", count)
 	}
 	if minOff != 0 {
 		t.Fatalf("empty status frame encodes minOff=%d, want 0", minOff)
+	}
+	if threads != 1 {
+		t.Fatalf("effective threads %d, want 1", threads)
+	}
+}
+
+// TestStatusFrameWithoutThreadsField pins backward compatibility: a frame
+// from a build that predates the trailing effective-thread field must still
+// decode, with the field reported as absent.
+func TestStatusFrameWithoutThreadsField(t *testing.T) {
+	frame := []byte{msgStatus}
+	frame = appendU64(frame, 1)
+	frame = appendU64(frame, 50)
+	frame = appendU64(frame, 50)
+	count, minOff, offs, threads := decodeStatus(t, frame)
+	if count != 1 || minOff != 50 || len(offs) != 1 {
+		t.Fatalf("count=%d minOff=%d offs=%v", count, minOff, offs)
+	}
+	if threads != -1 {
+		t.Fatalf("threads=%d, want -1 (absent)", threads)
 	}
 }
 

@@ -30,6 +30,10 @@ type HostKV struct {
 	minSlaveOffset int64
 	slaveOffsets   []int64
 	statusSeen     bool
+	// nicReplThreads is the effective replication thread count Nic-KV last
+	// reported (ThreadNum after the NIC clamps it to its core count); 0
+	// until the first status frame carrying the field arrives.
+	nicReplThreads int
 
 	// payloadConns are the direct master→slave connections used for the
 	// initial-sync payload (§III-C step ③).
@@ -164,6 +168,7 @@ func (h *HostKV) infoSection() store.InfoSection {
 		fmt.Sprintf("cmds_offloaded:%d", h.CmdsOffloaded),
 		fmt.Sprintf("full_syncs:%d", h.FullSyncs),
 		fmt.Sprintf("partial_syncs:%d", h.PartialSyncs),
+		fmt.Sprintf("nic_repl_threads:%d", h.nicReplThreads),
 	}}
 }
 
@@ -215,6 +220,11 @@ func (h *HostKV) onNicMessage(data []byte) {
 		}
 		if count == 0 || minOff < 0 {
 			minOff = 0 // defensive: a frame from an older Nic-KV build
+		}
+		// Trailing effective-thread field: absent on frames from older
+		// Nic-KV builds, so only read it when the bytes are there.
+		if len(r.b)-r.pos >= 8 {
+			h.nicReplThreads = int(r.u64())
 		}
 		h.minSlaveOffset = minOff
 		h.validSlaves = count

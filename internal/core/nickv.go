@@ -131,6 +131,9 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 		probeRTT:      reg.Histogram("nickv.probe.rtt"),
 	}
 	n.Stack.Device().SetMetrics(reg)
+	// cfg.ThreadNum was clamped to [1, NICCores] above; record what the NIC
+	// actually runs so operators see the clamp, not the requested number.
+	reg.Gauge("nickv.threads.effective").Set(int64(cfg.ThreadNum))
 	for i := 1; i < cfg.ThreadNum; i++ {
 		c := sim.NewCore(eng, fmt.Sprintf("%s-nic-core%d", m.Name, i), params.NICCoreSpeed)
 		n.threads = append(n.threads, sim.NewProc(eng, c, params.CompChannelWake))
@@ -151,6 +154,10 @@ func (n *NicKV) Metrics() *metrics.Registry { return n.metrics }
 
 // Timeline exposes the failover timeline tracer.
 func (n *NicKV) Timeline() *metrics.Timeline { return n.timeline }
+
+// EffectiveThreads reports how many replication threads Nic-KV actually
+// runs after clamping the configured ThreadNum to the ARM core count.
+func (n *NicKV) EffectiveThreads() int { return n.cfg.ThreadNum }
 
 // masterNode is the timeline/metrics label for the master, which Nic-KV
 // addresses by its control connection rather than a node-list entry.
@@ -435,16 +442,18 @@ func (n *NicKV) probeTick() {
 		if n.masterConn != nil && n.masterValid {
 			var offs []int64
 			n.eachValidSlave(func(nd *nodeEntry) { offs = append(offs, nd.offset) })
-			n.masterConn.Send(statusFrame(offs))
+			n.masterConn.Send(statusFrame(offs, n.cfg.ThreadNum))
 		}
 	})
 }
 
 // statusFrame encodes the status report to the master: valid-slave count,
-// slowest offset, then each valid slave's offset. With zero valid slaves the
+// slowest offset, each valid slave's offset, then the NIC's effective
+// replication thread count (a trailing field — masters parse it only when
+// present, so older frames stay decodable). With zero valid slaves the
 // slowest offset is encoded as 0 — not the -1 sentinel, which as uint64
 // would decode to 2^63-ish garbage and poison the master's lag gate.
-func statusFrame(offs []int64) []byte {
+func statusFrame(offs []int64, threads int) []byte {
 	minOff := int64(-1)
 	for _, off := range offs {
 		if minOff < 0 || off < minOff {
@@ -460,6 +469,7 @@ func statusFrame(offs []int64) []byte {
 	for _, off := range offs {
 		frame = appendU64(frame, uint64(off))
 	}
+	frame = appendU64(frame, uint64(threads))
 	return frame
 }
 

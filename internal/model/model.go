@@ -144,6 +144,28 @@ type Params struct {
 	// RDBPerByte is the serialize/load cost per byte of RDB payload during
 	// initial synchronization.
 	RDBPerByte float64 // ns per byte
+
+	// ---- Host-KV sharding (multi-core keyspace execution) ----
+
+	// HostShards is the number of keyspace shard cores a Host-KV node runs.
+	// 1 (or 0) keeps the paper's single-threaded event loop bit-for-bit: the
+	// server takes the legacy path with no dispatch/merge stages, no extra
+	// cores, and no extra instruments. With N > 1 the node becomes a
+	// dispatch Proc (RESP parse + key-hash routing), N shard Procs (each
+	// owning a disjoint slice of every numbered DB), and a merge stage that
+	// serializes completed writes into the replication stream.
+	HostShards int
+	// ShardRouteCPU is the dispatch-core cost of routing one parsed command
+	// to a shard (hash + handoff). Charged only when HostShards > 1.
+	ShardRouteCPU sim.Duration
+	// ShardMergeCPU is the dispatch-core cost of merging one completed shard
+	// command back into the serialized stream (reply ordering + replication
+	// append). Charged only when HostShards > 1.
+	ShardMergeCPU sim.Duration
+	// ShardFenceCPU is the per-shard cost of a cross-shard fence (KEYS,
+	// DBSIZE, FLUSHALL, multi-shard MSET/DEL, PSYNC, WAIT): the fan-in
+	// coordination each shard core pays. Charged only when HostShards > 1.
+	ShardFenceCPU sim.Duration
 	// ForkCPU is the cost on the master of starting the persistence child
 	// (paper step 2 of initial sync).
 	ForkCPU sim.Duration
@@ -232,6 +254,11 @@ func Default() Params {
 		ReplBatchMaxBytes: 1 << 16,
 		RDBPerByte:        0.6,
 		ForkCPU:           2 * sim.Millisecond,
+
+		HostShards:    1,
+		ShardRouteCPU: 120 * sim.Nanosecond,
+		ShardMergeCPU: 150 * sim.Nanosecond,
+		ShardFenceCPU: 200 * sim.Nanosecond,
 
 		CronPeriod:      100 * sim.Millisecond,
 		CronCPU:         60 * sim.Microsecond,

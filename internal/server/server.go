@@ -58,6 +58,10 @@ type Options struct {
 	Port int
 	// DisableCron turns off serverCron time events (microbenchmarks only).
 	DisableCron bool
+	// Shards splits the keyspace across this many shard procs, each on its
+	// own core, behind a dispatch/merge pipeline (model.Params.HostShards).
+	// 0 or 1 keeps the single-threaded event loop bit-for-bit.
+	Shards int
 }
 
 // Server is one key-value node: a single-threaded process bound to a
@@ -113,6 +117,10 @@ type Server struct {
 	WritesPropagated  uint64
 	ErrRepliesSent    uint64
 
+	// shard is the multi-core dispatch plane, nil in single-threaded mode
+	// (Options.Shards <= 1).
+	shard *shardEngine
+
 	// metrics is the node's instrument registry; cmdStats caches the
 	// per-command counter/histogram pair so the hot path never rebuilds
 	// instrument names.
@@ -138,6 +146,14 @@ type client struct {
 	db     int
 	// isSlaveLink marks the connection as a replication channel to a slave.
 	isSlaveLink bool
+	closed      bool
+
+	// Reply re-sequencing (sharded mode only): seqNext numbers commands in
+	// arrival order, seqEmit is the next reply the connection may carry,
+	// pending holds completed-but-unemittable replies (nil = no reply).
+	seqNext uint64
+	seqEmit uint64
+	pending map[uint64][]byte
 }
 
 // slaveHandle is the master's view of one attached slave.
@@ -180,10 +196,17 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 		metrics:  metrics.NewRegistry(opts.Name, eng.Now),
 		cmdStats: make(map[string]*cmdInstruments),
 	}
-	s.store = store.New(opts.NumDBs, opts.Seed^0x57a7e, func() int64 {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	s.store = store.NewSharded(opts.NumDBs, shards, opts.Seed^0x57a7e, func() int64 {
 		return int64(eng.Now() / sim.Time(sim.Millisecond))
 	})
 	s.store.InfoProvider = s.infoSections
+	if shards > 1 {
+		s.shard = newShardEngine(s, opts.Name, shards)
+	}
 	s.repl = replstream.NewWriter(replstream.WriterConfig{
 		Backlog:  s.backlog,
 		MaxCmds:  p.ReplBatchMaxCmds,
@@ -249,6 +272,33 @@ func (s *Server) SlaveCount() int { return len(s.slaves) }
 // Metrics exposes the node's instrument registry.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
+// NumShards reports how many shard procs execute keyspace commands (1 in
+// single-threaded mode).
+func (s *Server) NumShards() int {
+	if s.shard == nil {
+		return 1
+	}
+	return len(s.shard.procs)
+}
+
+// ShardRegistries exposes the per-shard instrument registries (empty in
+// single-threaded mode).
+func (s *Server) ShardRegistries() []*metrics.Registry {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.Registries()
+}
+
+// ShardProcs exposes the shard procs (empty in single-threaded mode); the
+// bench harness reads their cores' utilization.
+func (s *Server) ShardProcs() []*sim.Proc {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.Procs()
+}
+
 // AddInfoSection registers an extra INFO section producer (the SKV layer
 // adds its offload section through this).
 func (s *Server) AddInfoSection(fn func() store.InfoSection) {
@@ -276,8 +326,13 @@ func (s *Server) serverCron() {
 		return
 	}
 	s.proc.Post(s.params.CronCPU, func() {
-		s.store.ActiveExpireCycle(20)
-		s.store.RehashStep(100)
+		if s.shard != nil {
+			// Sharded: each shard core expires and rehashes its own slice.
+			s.shard.cron()
+		} else {
+			s.store.ActiveExpireCycle(20)
+			s.store.RehashStep(100)
+		}
 		if s.role == RoleSlave && s.master != nil {
 			s.master.sendAck()
 		}
@@ -297,6 +352,7 @@ func (s *Server) accept(conn transport.Conn) {
 }
 
 func (s *Server) freeClient(c *client) {
+	c.closed = true
 	delete(s.clients, c.id)
 	for i, sl := range s.slaves {
 		if sl.client == c {
@@ -412,6 +468,21 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	s.proc.Core.Charge(s.params.ParseCost(size))
 	s.CommandsProcessed++
 
+	if s.shard != nil {
+		// Multi-core mode: hand the parsed command to the dispatch plane,
+		// which routes it to a shard proc, fences it, or runs it inline.
+		s.shard.route(c, cmd, argv)
+		return
+	}
+	s.execute(c, cmd, argv)
+}
+
+// execute runs one resolved command to completion on the current event:
+// server-level dispatch, write gating, execution cost, store dispatch,
+// propagation, reply. The single-threaded server calls it straight from
+// dispatchCommand; the sharded dispatch plane calls it for inline and
+// barrier commands.
+func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 	// Server-level commands (connection state, replication handshake).
 	if cmd != nil && cmd.Server {
 		switch cmd.Name {
@@ -430,16 +501,17 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	}
 
 	// Writes are refused on slaves and when the write gate (min-slaves)
-	// vetoes them.
+	// vetoes them. (The sharded plane performs these checks before routing;
+	// re-checking here is harmless for barrier commands.)
 	if cmd != nil && cmd.Write {
 		if s.role == RoleSlave {
-			s.reply(c, resp.AppendError(nil, "READONLY You can't write against a read only replica."))
+			s.reply(c, readonlyError())
 			return
 		}
 		if s.WriteGate != nil {
 			if msg := s.WriteGate(); msg != "" {
 				s.ErrRepliesSent++
-				s.reply(c, resp.AppendError(nil, msg))
+				s.reply(c, gateError(msg))
 				return
 			}
 		}
@@ -453,9 +525,21 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	s.reply(c, reply)
 }
 
+func readonlyError() []byte {
+	return resp.AppendError(nil, "READONLY You can't write against a read only replica.")
+}
+
+func gateError(msg string) []byte { return resp.AppendError(nil, msg) }
+
 // reply writes the RESP reply to the client (the addReply →
-// sendReplyToClient path).
+// sendReplyToClient path). In sharded mode, an inline command executing
+// ahead of its reply turn diverts its bytes into the dispatch plane's
+// capture buffer for re-sequencing.
 func (s *Server) reply(c *client, data []byte) {
+	if s.shard != nil && s.shard.capturing && c == s.shard.capClient {
+		s.shard.capBuf = append(s.shard.capBuf, data...)
+		return
+	}
 	s.proc.Core.Charge(s.params.ReplyBuildCPU)
 	c.conn.Send(data)
 }

@@ -1,0 +1,357 @@
+package server
+
+// The sharded dispatch plane (HostShards > 1): the server's original proc
+// becomes a dispatch stage that parses RESP and routes each command by key
+// hash to one of N shard procs, each pinned to its own core and owning a
+// disjoint slice of every numbered database. Completed commands merge back
+// on the dispatch proc, which propagates writes into the replication stream
+// in a single deterministic serialized order — so the backlog, offsets,
+// WAIT, PSYNC, and the Nic-KV offload path are byte-for-byte the same
+// pipeline the single-threaded server feeds.
+//
+// Ordering rules:
+//
+//   - Single-shard key commands route to their shard's proc and execute in
+//     arrival order per shard (same key ⇒ same shard ⇒ client order kept).
+//   - Replies re-sequence per client: a command's reply is held until every
+//     earlier command from that client has replied, so pipelined clients
+//     see RESP replies in request order even when shards finish out of
+//     order.
+//   - Cross-shard commands (KEYS, DBSIZE, FLUSHALL/FLUSHDB, SCAN,
+//     RANDOMKEY, multi-shard MSET/DEL/MGET, ...) and ordering-sensitive
+//     server commands (PSYNC, WAIT, SLAVEOF) are barriers: they wait until
+//     every routed command has executed AND merged (inflight == 0), then
+//     run inline on the dispatch proc. While a barrier waits, later
+//     arrivals from every client queue behind it, preserving the global
+//     arrival order around the fence.
+//   - Connection-state commands (SELECT, REPLCONF, PING, ECHO, INFO) run
+//     inline on the dispatch proc without fencing; their replies still
+//     re-sequence.
+//
+// All of this is virtual-time concurrency inside one goroutine: the shard
+// procs interleave deterministically through the engine's event queue, so
+// two identical runs merge (and therefore replicate) in identical order.
+
+import (
+	"skv/internal/metrics"
+	"skv/internal/sim"
+	"skv/internal/store"
+)
+
+// command admission classes.
+const (
+	classInline = iota
+	classRouted
+	classBarrier
+)
+
+// heldCmd is one command queued behind a pending barrier.
+type heldCmd struct {
+	c    *client
+	cmd  *store.Command
+	argv [][]byte
+}
+
+// shardEngine is the per-server sharding state: shard procs, per-shard
+// instrument registries, the barrier hold queue, and the inline reply
+// capture used for re-sequencing.
+type shardEngine struct {
+	s     *Server
+	procs []*sim.Proc
+	regs  []*metrics.Registry
+
+	// Per-shard instruments (resolved once; the hot path never rebuilds
+	// names).
+	shardCmds []*metrics.Counter
+	shardExec []*metrics.LatencyHist
+	shardKeys []*metrics.Gauge
+
+	// Dispatch-plane instruments.
+	routed  *metrics.Counter
+	inlined *metrics.Counter
+	fenced  *metrics.Counter
+
+	// inflight counts commands routed to a shard whose merge has not yet
+	// run. Barriers wait for zero.
+	inflight int
+	holding  bool
+	holdq    []heldCmd
+
+	// Inline reply capture: while an inline command executes out of reply
+	// order, s.reply diverts its bytes here instead of the connection.
+	capturing bool
+	capClient *client
+	capBuf    []byte
+}
+
+func newShardEngine(s *Server, name string, shards int) *shardEngine {
+	e := &shardEngine{s: s}
+	for i := 0; i < shards; i++ {
+		core := sim.NewCore(s.eng, shardCoreName(name, i), s.params.HostCoreSpeed)
+		e.procs = append(e.procs, sim.NewProc(s.eng, core, s.proc.WakeupCost))
+		reg := metrics.NewRegistry(shardCoreNamePrefix(name, i), s.eng.Now)
+		e.regs = append(e.regs, reg)
+		e.shardCmds = append(e.shardCmds, reg.Counter("shard.cmds"))
+		e.shardExec = append(e.shardExec, reg.Histogram("shard.exec"))
+		e.shardKeys = append(e.shardKeys, reg.Gauge("shard.keys"))
+	}
+	e.routed = s.metrics.Counter("server.shard.routed")
+	e.inlined = s.metrics.Counter("server.shard.inline")
+	e.fenced = s.metrics.Counter("server.shard.barriers")
+	return e
+}
+
+func shardCoreName(name string, i int) string {
+	return shardCoreNamePrefix(name, i) + "-core"
+}
+
+func shardCoreNamePrefix(name string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return name + "/shard" + digits[i:i+1]
+	}
+	return name + "/shard" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// route is the sharded continuation of dispatchCommand: parse cost is
+// already charged; decide where the command runs.
+func (e *shardEngine) route(c *client, cmd *store.Command, argv [][]byte) {
+	if e.holding {
+		e.holdq = append(e.holdq, heldCmd{c: c, cmd: cmd, argv: argv})
+		return
+	}
+	e.admit(c, cmd, argv)
+}
+
+func (e *shardEngine) admit(c *client, cmd *store.Command, argv [][]byte) {
+	s := e.s
+	// Write gating stays on the dispatch plane, before routing, exactly
+	// where the single-threaded server checks it.
+	if cmd != nil && cmd.Write && !cmd.Server {
+		if s.role == RoleSlave {
+			e.sequencedReply(c, readonlyError())
+			return
+		}
+		if s.WriteGate != nil {
+			if msg := s.WriteGate(); msg != "" {
+				s.ErrRepliesSent++
+				e.sequencedReply(c, gateError(msg))
+				return
+			}
+		}
+	}
+	class, si := e.classify(cmd, argv)
+	switch class {
+	case classRouted:
+		e.runShard(c, cmd, argv, si)
+	case classBarrier:
+		if e.inflight == 0 {
+			e.runBarrier(c, cmd, argv)
+			return
+		}
+		e.holding = true
+		e.holdq = append(e.holdq, heldCmd{c: c, cmd: cmd, argv: argv})
+	default:
+		e.runInline(c, cmd, argv)
+	}
+}
+
+// classify decides a command's admission class and, for routed commands,
+// its target shard.
+func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
+	if cmd == nil {
+		return classInline, 0 // unknown command: error reply, no keyspace
+	}
+	if cmd.Server {
+		switch cmd.Name {
+		case "psync", "wait", "slaveof", "replicaof":
+			// Ordering-sensitive: PSYNC snapshots the keyspace and stream
+			// offset, WAIT snapshots the replication offset, SLAVEOF flips
+			// the role. All must observe a quiesced pipeline.
+			return classBarrier, 0
+		}
+		return classInline, 0 // select, replconf
+	}
+	if cmd.FirstKey <= 0 {
+		switch cmd.Name {
+		case "ping", "echo", "info":
+			return classInline, 0
+		}
+		// Whole-keyspace commands: KEYS, DBSIZE, SCAN, RANDOMKEY,
+		// FLUSHDB, FLUSHALL.
+		return classBarrier, 0
+	}
+	si := -1
+	multi := false
+	cmd.EachKey(argv, func(k []byte) {
+		ks := store.ShardOfKey(k, len(e.procs))
+		if si == -1 {
+			si = ks
+		} else if ks != si {
+			multi = true
+		}
+	})
+	if si == -1 {
+		return classInline, 0 // too few args: store replies with arity error
+	}
+	if multi {
+		return classBarrier, 0 // keys span shards: fence and run fanned-in
+	}
+	return classRouted, si
+}
+
+// runShard posts the command to its shard proc and arranges the merge. The
+// execution-cost jitter draw happens here, at route time, so the RNG
+// sequence follows command arrival order deterministically.
+func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si int) {
+	s := e.s
+	p := s.params
+	s.proc.Core.Charge(p.ShardRouteCPU)
+	e.routed.Inc()
+	e.shardCmds[si].Inc()
+	seq := c.seqNext
+	c.seqNext++
+	dbi := c.db
+	cost := s.execCost(cmd, argv)
+	e.inflight++
+	e.procs[si].Post(cost, func() {
+		var reply []byte
+		var dirty bool
+		if s.alive {
+			reply, dirty = s.store.Dispatch(cmd, dbi, argv)
+		}
+		e.shardExec[si].Observe(cost)
+		s.proc.Post(p.ShardMergeCPU, func() {
+			// Merge stage, on the dispatch proc: replication order is
+			// merge-arrival order — a single serialized stream.
+			if s.alive && dirty && s.role == RoleMaster {
+				s.propagate(dbi, argv)
+			}
+			e.complete(c, seq, reply)
+			e.mergeDone()
+		})
+	})
+}
+
+// runInline executes a command synchronously on the dispatch proc. If
+// earlier commands from the client are still in flight, the reply is
+// captured and re-sequenced instead of sent.
+func (e *shardEngine) runInline(c *client, cmd *store.Command, argv [][]byte) {
+	e.inlined.Inc()
+	seq := c.seqNext
+	c.seqNext++
+	if seq == c.seqEmit {
+		c.seqEmit++
+		e.s.execute(c, cmd, argv)
+		return
+	}
+	e.capturing, e.capClient, e.capBuf = true, c, nil
+	e.s.execute(c, cmd, argv)
+	buf := e.capBuf
+	e.capturing, e.capClient, e.capBuf = false, nil, nil
+	e.complete(c, seq, buf)
+}
+
+// runBarrier executes a cross-shard or ordering-sensitive command inline
+// with the pipeline quiesced (inflight == 0, so every client's reply
+// sequence is already drained and replies go out directly).
+func (e *shardEngine) runBarrier(c *client, cmd *store.Command, argv [][]byte) {
+	s := e.s
+	e.fenced.Inc()
+	// Fencing costs one cross-shard synchronization per shard core.
+	s.proc.Core.Charge(s.params.ShardFenceCPU * sim.Duration(len(e.procs)))
+	seq := c.seqNext
+	c.seqNext++
+	c.seqEmit = seq + 1
+	s.execute(c, cmd, argv)
+}
+
+// sequencedReply emits a dispatch-plane reply (error paths) through the
+// per-client re-sequencer.
+func (e *shardEngine) sequencedReply(c *client, data []byte) {
+	seq := c.seqNext
+	c.seqNext++
+	if seq == c.seqEmit {
+		c.seqEmit++
+		e.s.reply(c, data)
+		return
+	}
+	e.complete(c, seq, data)
+}
+
+// complete records a command's reply (nil = none) and emits every
+// consecutive ready reply in client request order.
+func (e *shardEngine) complete(c *client, seq uint64, reply []byte) {
+	if c.pending == nil {
+		c.pending = make(map[uint64][]byte)
+	}
+	c.pending[seq] = reply
+	s := e.s
+	for {
+		data, ok := c.pending[c.seqEmit]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.seqEmit)
+		c.seqEmit++
+		if len(data) > 0 && s.alive && !c.closed {
+			s.proc.Core.Charge(s.params.ReplyBuildCPU)
+			c.conn.Send(data)
+		}
+	}
+}
+
+// mergeDone retires one routed command; when the pipeline drains with a
+// barrier waiting, the barrier runs and everything held behind it re-enters
+// admission in arrival order.
+func (e *shardEngine) mergeDone() {
+	e.inflight--
+	if e.inflight != 0 || !e.holding {
+		return
+	}
+	if !e.s.alive {
+		e.holding = false
+		e.holdq = nil
+		return
+	}
+	q := e.holdq
+	e.holdq = nil
+	e.holding = false
+	for len(q) > 0 {
+		h := q[0]
+		q = q[1:]
+		if e.holding {
+			e.holdq = append(e.holdq, h)
+			continue
+		}
+		e.admit(h.c, h.cmd, h.argv)
+	}
+}
+
+// cron posts the per-shard time event to every shard proc: each shard
+// actively expires and rehashes only the keys it owns, on its own core.
+func (e *shardEngine) cron() {
+	s := e.s
+	for i, proc := range e.procs {
+		si := i
+		proc.Post(s.params.CronCPU, func() {
+			if !s.alive {
+				return
+			}
+			s.store.ActiveExpireCycleShard(si, 20)
+			s.store.RehashStepShard(si, 100)
+			keys := 0
+			for dbi := 0; dbi < s.store.NumDBs(); dbi++ {
+				keys += s.store.ShardSize(dbi, si)
+			}
+			e.shardKeys[si].Set(int64(keys))
+		})
+	}
+}
+
+// Registries exposes the per-shard instrument registries (cluster
+// snapshots).
+func (e *shardEngine) Registries() []*metrics.Registry { return e.regs }
+
+// Procs exposes the shard procs (utilization measurements).
+func (e *shardEngine) Procs() []*sim.Proc { return e.procs }

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/tcpsim"
+)
+
+// shardedServer builds a server with a sharded dispatch plane (Shards > 1
+// spawns that many shard procs, each on its own core).
+func (w *world) shardedServer(name string, port, shards int) *Server {
+	m := w.net.NewMachine(name, false)
+	core := sim.NewCore(w.eng, name+"-core", 1.0)
+	proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+	stack := tcpsim.New(w.net, m.Host, proc)
+	return New(Options{
+		Name:   name,
+		Params: w.p,
+		Seed:   seed(name),
+		Port:   port,
+		Shards: shards,
+	}, w.eng, stack, proc)
+}
+
+func TestShardedServerBasicCommands(t *testing.T) {
+	w := newWorld(41)
+	srv := w.shardedServer("s", 6379, 4)
+	if srv.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", srv.NumShards())
+	}
+	if n := len(srv.ShardRegistries()); n != 4 {
+		t.Fatalf("ShardRegistries = %d", n)
+	}
+	if n := len(srv.ShardProcs()); n != 4 {
+		t.Fatalf("ShardProcs = %d", n)
+	}
+	c := w.dial(t, srv)
+	if v := c.do(t, "SET", "k", "v"); !v.IsOK() {
+		t.Fatalf("SET: %s", v.String())
+	}
+	if v := c.do(t, "GET", "k"); v.String() != "v" {
+		t.Fatalf("GET: %s", v.String())
+	}
+	if v := c.do(t, "PING"); v.String() != "PONG" {
+		t.Fatalf("PING: %s", v.String())
+	}
+	// SELECT stays connection-local on the dispatch plane.
+	if v := c.do(t, "SELECT", "1"); !v.IsOK() {
+		t.Fatalf("SELECT: %s", v.String())
+	}
+	if v := c.do(t, "GET", "k"); !v.Null {
+		t.Fatalf("db1 GET: %s", v.String())
+	}
+	c.do(t, "SELECT", "0")
+	// Barrier commands fan in across shards.
+	if v := c.do(t, "DBSIZE"); v.Int != 1 {
+		t.Fatalf("DBSIZE: %s", v.String())
+	}
+	if v := c.do(t, "FLUSHALL"); !v.IsOK() {
+		t.Fatalf("FLUSHALL: %s", v.String())
+	}
+	if v := c.do(t, "DBSIZE"); v.Int != 0 {
+		t.Fatalf("DBSIZE after FLUSHALL: %s", v.String())
+	}
+	if routed := srv.Metrics().Counter("server.shard.routed").Value(); routed == 0 {
+		t.Fatal("no commands were routed to shard procs")
+	}
+	if fenced := srv.Metrics().Counter("server.shard.barriers").Value(); fenced == 0 {
+		t.Fatal("no barrier commands were counted")
+	}
+}
+
+// TestShardedPipelinedRepliesInOrder is the re-sequencing contract: a
+// pipelined burst mixing routed, inline, and barrier commands must come
+// back in exact request order even though shards finish asynchronously.
+func TestShardedPipelinedRepliesInOrder(t *testing.T) {
+	w := newWorld(42)
+	srv := w.shardedServer("s", 6379, 4)
+	c := w.dial(t, srv)
+
+	var pipe []byte
+	var want []string
+	add := func(expect string, args ...string) {
+		pipe = append(pipe, resp.EncodeCommand(args...)...)
+		want = append(want, expect)
+	}
+	for i := 0; i < 12; i++ {
+		add("OK", "SET", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	add("PONG", "PING")                       // inline between routed writes
+	add("OK", "MSET", "k0", "m0", "k7", "m7") // cross-shard barrier
+	add(":12", "DBSIZE")                      // barrier: 12 keys, MSET overwrote two
+	for i := 0; i < 12; i++ {
+		exp := fmt.Sprintf("v%d", i)
+		if i == 0 {
+			exp = "m0"
+		} else if i == 7 {
+			exp = "m7"
+		}
+		add(exp, "GET", fmt.Sprintf("k%d", i))
+	}
+	add(":2", "DEL", "k0", "k7") // multi-shard DEL barrier
+	add(":10", "DBSIZE")
+
+	before := len(c.got)
+	w.eng.After(0, func() { c.conn.Send(pipe) })
+	w.run()
+	got := c.got[before:]
+	if len(got) != len(want) {
+		t.Fatalf("got %d replies, want %d", len(got), len(want))
+	}
+	for i, v := range got {
+		s := v.String()
+		if v.Type == resp.TypeInteger {
+			s = fmt.Sprintf(":%d", v.Int)
+		}
+		if s != want[i] {
+			t.Fatalf("reply %d = %q, want %q (full: %v)", i, s, want[i], renderAll(got))
+		}
+	}
+}
+
+func renderAll(vs []resp.Value) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// TestShardedTwoClientsInterleaved checks per-client sequencing is
+// independent: two pipelined clients each see their own replies in order.
+func TestShardedTwoClientsInterleaved(t *testing.T) {
+	w := newWorld(43)
+	srv := w.shardedServer("s", 6379, 4)
+	c1 := w.dial(t, srv)
+	c2 := w.dial(t, srv)
+	var p1, p2 []byte
+	for i := 0; i < 20; i++ {
+		p1 = append(p1, resp.EncodeCommand("SET", fmt.Sprintf("a%d", i), "1")...)
+		p2 = append(p2, resp.EncodeCommand("SET", fmt.Sprintf("b%d", i), "2")...)
+	}
+	p1 = append(p1, resp.EncodeCommand("DBSIZE")...)
+	p2 = append(p2, resp.EncodeCommand("GET", "b3")...)
+	b1, b2 := len(c1.got), len(c2.got)
+	w.eng.After(0, func() { c1.conn.Send(p1) })
+	w.eng.After(0, func() { c2.conn.Send(p2) })
+	w.run()
+	g1, g2 := c1.got[b1:], c2.got[b2:]
+	if len(g1) != 21 || len(g2) != 21 {
+		t.Fatalf("reply counts: %d, %d (want 21 each)", len(g1), len(g2))
+	}
+	for i := 0; i < 20; i++ {
+		if !g1[i].IsOK() || !g2[i].IsOK() {
+			t.Fatalf("SET reply %d: %s / %s", i, g1[i].String(), g2[i].String())
+		}
+	}
+	// The two bursts interleave in virtual time: c1's DBSIZE barrier sees at
+	// least its own 20 keys, at most all 40.
+	if g1[20].Int < 20 || g1[20].Int > 40 {
+		t.Fatalf("DBSIZE = %s, want 20..40", g1[20].String())
+	}
+	if g2[20].String() != "2" {
+		t.Fatalf("GET b3 = %s", g2[20].String())
+	}
+	if n := srv.Store().DBSize(0); n != 40 {
+		t.Fatalf("final DBSize = %d, want 40", n)
+	}
+}
+
+// TestShardedScanAndRandomKey exercises the shard-aware cursor through the
+// wire protocol.
+func TestShardedScanAndRandomKey(t *testing.T) {
+	w := newWorld(44)
+	srv := w.shardedServer("s", 6379, 4)
+	c := w.dial(t, srv)
+	want := map[string]bool{}
+	var pipe []byte
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		want[k] = true
+		pipe = append(pipe, resp.EncodeCommand("SET", k, "v")...)
+	}
+	w.eng.After(0, func() { c.conn.Send(pipe) })
+	w.run()
+
+	got := map[string]bool{}
+	cursor := "0"
+	for rounds := 0; ; rounds++ {
+		if rounds > 200 {
+			t.Fatal("SCAN never terminated")
+		}
+		v := c.do(t, "SCAN", cursor, "COUNT", "9")
+		for _, e := range v.Array[1].Array {
+			got[string(e.Str)] = true
+		}
+		cursor = string(v.Array[0].Str)
+		if cursor == "0" {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SCAN covered %d/%d keys", len(got), len(want))
+	}
+	if v := c.do(t, "RANDOMKEY"); v.Null || !want[v.String()] {
+		t.Fatalf("RANDOMKEY = %s", v.String())
+	}
+	if v := c.do(t, "KEYS", "key:1?"); len(v.Array) != 10 {
+		t.Fatalf("KEYS key:1? returned %d", len(v.Array))
+	}
+}
+
+// TestShardedMasterReplicates: a sharded master feeds the ordinary
+// replication pipeline; slaves (with a different shard count) converge to
+// the same keyspace, and offsets agree.
+func TestShardedMasterReplicates(t *testing.T) {
+	w := newWorld(45)
+	master := w.shardedServer("m", 6379, 4)
+	slave := w.shardedServer("sl", 6379, 2)
+	legacy := w.server("sl2", 6379)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	legacy.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	if !slave.SyncedWithMaster() || !legacy.SyncedWithMaster() {
+		t.Fatal("slaves did not sync")
+	}
+	c := w.dial(t, master)
+	var pipe []byte
+	for i := 0; i < 40; i++ {
+		pipe = append(pipe, resp.EncodeCommand("SET", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))...)
+	}
+	pipe = append(pipe, resp.EncodeCommand("DEL", "k3", "k17")...) // cross-shard write barrier
+	pipe = append(pipe, resp.EncodeCommand("LPUSH", "lst", "a", "b", "c")...)
+	w.eng.After(0, func() { c.conn.Send(pipe) })
+	w.run()
+	w.run()
+	for _, sl := range []*Server{slave, legacy} {
+		if got := sl.Store().DBSize(0); got != master.Store().DBSize(0) {
+			t.Fatalf("%s: DBSize %d, master %d", sl.Name(), got, master.Store().DBSize(0))
+		}
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("k%d", i)
+			mr, _ := master.Store().Exec(0, [][]byte{[]byte("GET"), []byte(k)})
+			sr, _ := sl.Store().Exec(0, [][]byte{[]byte("GET"), []byte(k)})
+			if string(mr) != string(sr) {
+				t.Fatalf("%s: %s diverged: %q vs %q", sl.Name(), k, sr, mr)
+			}
+		}
+		if sl.MasterOffset() != master.ReplOffset() {
+			t.Fatalf("%s: offset %d, master %d", sl.Name(), sl.MasterOffset(), master.ReplOffset())
+		}
+	}
+}
+
+// TestShardedWait: WAIT on a sharded master fences the pipeline and counts
+// acked replicas exactly like the single-threaded server.
+func TestShardedWait(t *testing.T) {
+	w := newWorld(46)
+	master := w.shardedServer("m", 6379, 4)
+	s1 := w.server("sl1", 6379)
+	s2 := w.server("sl2", 6379)
+	s1.SlaveOf(master.Stack().Endpoint(), 6379)
+	s2.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, master)
+	c.do(t, "SET", "k", "v")
+	// The WAIT reply defers until both replicas ACK (every 100ms cron), so
+	// run well past the ACK period.
+	before := len(c.got)
+	w.eng.After(0, func() { c.conn.Send(resp.EncodeCommand("WAIT", "2", "2000")) })
+	w.eng.Run(w.eng.Now().Add(700 * sim.Millisecond))
+	if len(c.got) <= before {
+		t.Fatal("no WAIT reply")
+	}
+	if v := c.got[len(c.got)-1]; v.Type != resp.TypeInteger || v.Int != 2 {
+		t.Fatalf("WAIT = %s, want :2", v.String())
+	}
+}
+
+// TestShardedFullSyncSkipsExpiredKeys is the satellite regression: a key
+// whose TTL lapsed before the slave attached must not be resurrected by the
+// full-sync RDB dump.
+func TestShardedFullSyncSkipsExpiredKeys(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		w := newWorld(47)
+		m := w.net.NewMachine("m", false)
+		core := sim.NewCore(w.eng, "m-core", 1.0)
+		proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+		stack := tcpsim.New(w.net, m.Host, proc)
+		master := New(Options{
+			Name: "m", Params: w.p, Seed: 1, Port: 6379,
+			Shards: shards, DisableCron: true, // no active expiry: the lapsed key stays resident
+		}, w.eng, stack, proc)
+		c := w.dial(t, master)
+		c.do(t, "SET", "live", "v")
+		c.do(t, "SET", "dead", "v")
+		c.do(t, "PEXPIRE", "dead", "10")
+		w.run() // 500ms of virtual time: the TTL lapses
+		if master.Store().DBSize(0) != 2 {
+			t.Fatalf("shards=%d: master should still hold the lapsed key physically, DBSize=%d",
+				shards, master.Store().DBSize(0))
+		}
+		slave := New(Options{
+			Name: "sl", Params: w.p, Seed: 2, Port: 6379, DisableCron: true,
+		}, w.eng, tcpsim.New(w.net, w.net.NewMachine("sl", false).Host,
+			sim.NewProc(w.eng, sim.NewCore(w.eng, "sl-core", 1.0), w.p.TCPWakeup)),
+			sim.NewProc(w.eng, sim.NewCore(w.eng, "sl-core2", 1.0), w.p.TCPWakeup))
+		slave.SlaveOf(master.Stack().Endpoint(), 6379)
+		w.run()
+		if !slave.SyncedWithMaster() {
+			t.Fatalf("shards=%d: slave did not sync", shards)
+		}
+		if got := slave.Store().DBSize(0); got != 1 {
+			t.Fatalf("shards=%d: slave DBSize=%d, want 1 (expired key must not ride the dump)", shards, got)
+		}
+		reply, _ := slave.Store().Exec(0, [][]byte{[]byte("EXISTS"), []byte("dead")})
+		if string(reply) != ":0\r\n" {
+			t.Fatalf("shards=%d: expired key resurrected on slave: %q", shards, reply)
+		}
+	}
+}
+
+// TestShardedReadonlySlave: write gating happens on the dispatch plane
+// before routing.
+func TestShardedReadonlySlave(t *testing.T) {
+	w := newWorld(48)
+	master := w.server("m", 6379)
+	slave := w.shardedServer("sl", 6379, 4)
+	slave.SlaveOf(master.Stack().Endpoint(), 6379)
+	w.run()
+	c := w.dial(t, slave)
+	if v := c.do(t, "SET", "k", "v"); !v.IsError() || !strings.Contains(v.String(), "READONLY") {
+		t.Fatalf("sharded slave accepted write: %s", v.String())
+	}
+	if v := c.do(t, "GET", "nope"); !v.Null {
+		t.Fatalf("sharded slave read: %s", v.String())
+	}
+}

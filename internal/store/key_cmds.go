@@ -70,10 +70,10 @@ func cmdPersist(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	if s.lookup(dbi, key) == nil {
 		return resp.AppendInt(nil, 0), false
 	}
-	if _, had := s.db(dbi).expires.Get(key); !had {
+	if _, had := s.shardDB(dbi, key).expires.Get(key); !had {
 		return resp.AppendInt(nil, 0), false
 	}
-	s.db(dbi).expires.Delete(key)
+	s.shardDB(dbi, key).expires.Delete(key)
 	s.Dirty++
 	return resp.AppendInt(nil, 1), true
 }
@@ -89,14 +89,17 @@ func cmdType(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 func cmdKeys(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	pattern := string(argv[1])
 	now := s.clock()
-	db := s.db(dbi)
 	var keys []string
-	db.dict.Each(func(k string, _ any) bool {
-		if !db.expired(k, now) && GlobMatch(pattern, k) {
-			keys = append(keys, k)
-		}
-		return true
-	})
+	// Cross-shard fan-in: collect from every shard slice in shard order, so
+	// the reply is deterministic for a given keyspace layout.
+	for _, db := range s.dbs[dbi] {
+		db.dict.Each(func(k string, _ any) bool {
+			if !db.expired(k, now) && GlobMatch(pattern, k) {
+				keys = append(keys, k)
+			}
+			return true
+		})
+	}
 	out := resp.AppendArrayHeader(nil, len(keys))
 	for _, k := range keys {
 		out = resp.AppendBulkString(out, k)
@@ -105,11 +108,44 @@ func cmdKeys(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 }
 
 func cmdRandomKey(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
-	db := s.db(dbi)
+	if s.shards == 1 {
+		// Legacy fast path, bit-for-bit: no extra RNG draws at one shard.
+		db := s.dbs[dbi][0]
+		for i := 0; i < 100; i++ {
+			k, ok := db.dict.RandomKey()
+			if !ok {
+				break
+			}
+			if s.lookup(dbi, k) != nil {
+				return resp.AppendBulkString(nil, k), false
+			}
+		}
+		return resp.AppendNullBulk(nil), false
+	}
+	// Cross-shard: pick a shard weighted by its key count (so every live key
+	// stays roughly uniform), then sample within it. Re-draw on expired hits,
+	// bounded like the single-shard loop.
 	for i := 0; i < 100; i++ {
+		total := s.DBSize(dbi)
+		if total == 0 {
+			break
+		}
+		n := s.rnd.Intn(total)
+		var db *DB
+		for _, sdb := range s.dbs[dbi] {
+			if l := sdb.dict.Len(); n < l {
+				db = sdb
+				break
+			} else {
+				n -= l
+			}
+		}
+		if db == nil {
+			break
+		}
 		k, ok := db.dict.RandomKey()
 		if !ok {
-			break
+			continue
 		}
 		if s.lookup(dbi, k) != nil {
 			return resp.AppendBulkString(nil, k), false
@@ -138,7 +174,7 @@ func cmdDBSize(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 }
 
 func cmdFlushDB(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
-	s.dbs[dbi] = &DB{dict: newDictPair(s), expires: newDictPair(s)}
+	s.flushDB(dbi)
 	s.Dirty++
 	return ok(), true
 }

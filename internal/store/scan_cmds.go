@@ -46,8 +46,16 @@ func scanReply(cursor uint64, items [][]byte) []byte {
 	return out
 }
 
+// scanShardBits is how much of the SCAN cursor's top end encodes the shard
+// being walked. Dict scan cursors are reverse-bit bucket masks bounded by
+// table size, so the top byte is free; with one shard the encoding adds
+// nothing and the wire cursor is the legacy dict cursor verbatim.
+const scanShardBits = 8
+
 // cmdScan implements SCAN cursor [MATCH pattern] [COUNT n]: an incremental,
 // rehash-safe keyspace iteration with the same guarantees as Redis SCAN.
+// In sharded stores the cursor walks shard slices in order, carrying the
+// current shard index in its top byte.
 func cmdScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	cursor, err := strconv.ParseUint(string(argv[1]), 10, 64)
 	if err != nil {
@@ -57,20 +65,28 @@ func cmdScan(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 	if errReply != nil {
 		return errReply, false
 	}
-	db := s.db(dbi)
+	si := int(cursor >> (64 - scanShardBits))
+	sub := cursor & (1<<(64-scanShardBits) - 1)
+	if si >= s.shards {
+		return resp.AppendError(nil, "ERR invalid cursor"), false
+	}
 	now := s.clock()
 	var keys [][]byte
 	for len(keys) < count {
-		cursor = db.dict.Scan(cursor, func(k string, _ any) {
+		db := s.dbs[dbi][si]
+		sub = db.dict.Scan(sub, func(k string, _ any) {
 			if !db.expired(k, now) && GlobMatch(pattern, k) {
 				keys = append(keys, []byte(k))
 			}
 		})
-		if cursor == 0 {
-			break
+		if sub == 0 {
+			si++
+			if si >= s.shards {
+				return scanReply(0, keys), false
+			}
 		}
 	}
-	return scanReply(cursor, keys), false
+	return scanReply(uint64(si)<<(64-scanShardBits)|sub, keys), false
 }
 
 // objectScan factors HSCAN/SSCAN/ZSCAN: typed lookup plus cursor stepping.

@@ -59,10 +59,19 @@ func cmdInfo(s *Store, dbi int, argv [][]byte) ([]byte, bool) {
 // is the argv index of the first key argument (0 = keyless).
 var commandTable = make(map[string]*Command)
 
-// register installs one descriptor; name must be lowercase.
+// register installs one descriptor; name must be lowercase. Single-key
+// commands get LastKey == FirstKey with stride 1.
 func register(name string, h func(*Store, int, [][]byte) ([]byte, bool), arity int, write bool, firstKey int) {
+	registerKeys(name, h, arity, write, firstKey, firstKey, 1)
+}
+
+// registerKeys installs a descriptor with an explicit key pattern for
+// multi-key commands (lastKey -1 = keys through the end of argv, step is
+// the argv stride between keys).
+func registerKeys(name string, h func(*Store, int, [][]byte) ([]byte, bool), arity int, write bool, firstKey, lastKey, step int) {
 	commandTable[name] = &Command{
-		Name: name, Arity: arity, Write: write, FirstKey: firstKey, handler: h,
+		Name: name, Arity: arity, Write: write,
+		FirstKey: firstKey, LastKey: lastKey, KeyStep: step, handler: h,
 	}
 }
 
@@ -80,8 +89,8 @@ func init() {
 	register("psetex", cmdPSetEX, 4, true, 1)
 	register("get", cmdGet, 2, false, 1)
 	register("getset", cmdGetSet, 3, true, 1)
-	register("mset", cmdMSet, -3, true, 1)
-	register("mget", cmdMGet, -2, false, 1)
+	registerKeys("mset", cmdMSet, -3, true, 1, -1, 2)
+	registerKeys("mget", cmdMGet, -2, false, 1, -1, 1)
 	register("append", cmdAppend, 3, true, 1)
 	register("strlen", cmdStrlen, 2, false, 1)
 	register("getrange", cmdGetRange, 4, false, 1)
@@ -92,8 +101,8 @@ func init() {
 	register("decrby", cmdDecrBy, 3, true, 1)
 
 	// Keyspace.
-	register("del", cmdDel, -2, true, 1)
-	register("exists", cmdExists, -2, false, 1)
+	registerKeys("del", cmdDel, -2, true, 1, -1, 1)
+	registerKeys("exists", cmdExists, -2, false, 1, -1, 1)
 	register("expire", cmdExpire, 3, true, 1)
 	register("pexpire", cmdPExpire, 3, true, 1)
 	register("ttl", cmdTTL, 2, false, 1)
@@ -102,7 +111,7 @@ func init() {
 	register("type", cmdType, 2, false, 1)
 	register("keys", cmdKeys, 2, false, 0) // argument is a pattern, not a key
 	register("randomkey", cmdRandomKey, 1, false, 0)
-	register("rename", cmdRename, 3, true, 1)
+	registerKeys("rename", cmdRename, 3, true, 1, 2, 1)
 	register("dbsize", cmdDBSize, 1, false, 0)
 	register("flushdb", cmdFlushDB, 1, true, 0)
 	register("flushall", cmdFlushAll, 1, true, 0)
@@ -117,7 +126,7 @@ func init() {
 	register("lindex", cmdLIndex, 3, false, 1)
 	register("lset", cmdLSet, 4, true, 1)
 	register("lrem", cmdLRem, 4, true, 1)
-	register("rpoplpush", cmdRPopLPush, 3, true, 1)
+	registerKeys("rpoplpush", cmdRPopLPush, 3, true, 1, 2, 1)
 
 	// Hashes.
 	register("hset", cmdHSet, -4, true, 1)
@@ -140,9 +149,9 @@ func init() {
 	register("smembers", cmdSMembers, 2, false, 1)
 	register("spop", cmdSPop, 2, true, 1)
 	register("srandmember", cmdSRandMember, 2, false, 1)
-	register("sinter", cmdSInter, -2, false, 1)
-	register("sunion", cmdSUnion, -2, false, 1)
-	register("sdiff", cmdSDiff, -2, false, 1)
+	registerKeys("sinter", cmdSInter, -2, false, 1, -1, 1)
+	registerKeys("sunion", cmdSUnion, -2, false, 1, -1, 1)
+	registerKeys("sdiff", cmdSDiff, -2, false, 1, -1, 1)
 
 	// Sorted sets.
 	register("zadd", cmdZAdd, -4, true, 1)

@@ -23,17 +23,28 @@ import (
 // Clock supplies the current time in milliseconds since an arbitrary epoch.
 type Clock func() int64
 
-// DB is one numbered keyspace.
+// DB is one shard slice of one numbered keyspace: the unit a single shard
+// core owns exclusively. An unsharded store has exactly one slice per
+// database.
 type DB struct {
 	dict    *dict.Dict // key -> *obj.Object
 	expires *dict.Dict // key -> expireAt (ms)
 }
 
 // Store is the full multi-database keyspace plus the command dispatcher.
+// Internally every numbered database is partitioned into NumShards disjoint
+// slices by key hash; with one shard (the default) the layout and every
+// RNG draw are bit-for-bit the pre-sharding single-slice store.
 type Store struct {
-	dbs   []*DB
-	clock Clock
-	rnd   *rand.Rand
+	dbs    [][]*DB // dbs[dbi][shard]
+	shards int
+	// shardRnd seeds each shard's dict pairs (and their flush-time
+	// replacements) independently, so a shard's structures never depend on
+	// what other shards did. With shards == 1 it aliases rnd to preserve
+	// the legacy draw sequence.
+	shardRnd []*rand.Rand
+	clock    Clock
+	rnd      *rand.Rand
 
 	// Dirty counts dataset modifications since startup (Redis server.dirty);
 	// the server layer uses deltas to decide propagation.
@@ -72,22 +83,49 @@ func (s *Store) InfoSections() []InfoSection {
 	return append(secs, InfoSection{Name: "Keyspace", Lines: keyspace})
 }
 
-// New creates a store with n databases. All internal randomized structures
-// derive from seed.
+// New creates a store with n databases and a single shard. All internal
+// randomized structures derive from seed.
 func New(n int, seed int64, clock Clock) *Store {
+	return NewSharded(n, 1, seed, clock)
+}
+
+// NewSharded creates a store with n databases, each partitioned into the
+// given number of disjoint key-hash shards. shards <= 1 reproduces the
+// unsharded store exactly, including the order of every RNG draw.
+func NewSharded(n, shards int, seed int64, clock Clock) *Store {
 	if n <= 0 {
 		n = 1
 	}
-	s := &Store{clock: clock, rnd: rand.New(rand.NewSource(seed))}
-	s.dbs = make([]*DB, n)
+	if shards <= 0 {
+		shards = 1
+	}
+	s := &Store{clock: clock, rnd: rand.New(rand.NewSource(seed)), shards: shards}
+	s.shardRnd = make([]*rand.Rand, shards)
+	if shards == 1 {
+		// Alias, don't re-seed: the legacy store drew dict seeds straight
+		// from s.rnd, and that exact sequence is a determinism contract.
+		s.shardRnd[0] = s.rnd
+	} else {
+		for i := range s.shardRnd {
+			s.shardRnd[i] = rand.New(rand.NewSource(s.rnd.Int63()))
+		}
+	}
+	s.dbs = make([][]*DB, n)
 	for i := range s.dbs {
-		s.dbs[i] = &DB{dict: dict.New(s.rnd.Int63()), expires: dict.New(s.rnd.Int63())}
+		s.dbs[i] = make([]*DB, shards)
+		for si := range s.dbs[i] {
+			r := s.shardRnd[si]
+			s.dbs[i][si] = &DB{dict: dict.New(r.Int63()), expires: dict.New(r.Int63())}
+		}
 	}
 	return s
 }
 
 // NumDBs reports the database count.
 func (s *Store) NumDBs() int { return len(s.dbs) }
+
+// NumShards reports how many key-hash shards each database is split into.
+func (s *Store) NumShards() int { return s.shards }
 
 // Seed returns a fresh deterministic seed for nested structures.
 func (s *Store) seed() int64 { return s.rnd.Int63() }
@@ -96,11 +134,42 @@ func (s *Store) seed() int64 { return s.rnd.Int63() }
 // the package (the RDB loader needs one per container object).
 func (s *Store) NewSeed() int64 { return s.seed() }
 
-// db panics on out-of-range index; the server validates SELECT.
-func (s *Store) db(i int) *DB { return s.dbs[i] }
+// ShardOfKey maps a key to its shard index with FNV-1a — the single hash
+// both the store's internal routing and the server's dispatch plane use, so
+// they always agree on which shard core owns a key.
+func ShardOfKey(key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}
 
-// newDictPair allocates a dict seeded from the store's RNG.
-func newDictPair(s *Store) *dict.Dict { return dict.New(s.seed()) }
+// shardOfString is ShardOfKey for string keys (no allocation either way).
+func shardOfString(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}
+
+// KeyShard reports which shard owns key in this store.
+func (s *Store) KeyShard(key []byte) int { return ShardOfKey(key, s.shards) }
+
+// shardDB resolves the shard slice owning key within database dbi; every
+// single-key access funnels through here.
+func (s *Store) shardDB(dbi int, key string) *DB {
+	return s.dbs[dbi][shardOfString(key, s.shards)]
+}
 
 // expired reports whether key is past its TTL.
 func (db *DB) expired(key string, now int64) bool {
@@ -113,7 +182,7 @@ func (db *DB) expired(key string, now int64) bool {
 
 // lookup returns the live object for key, applying lazy expiration.
 func (s *Store) lookup(dbi int, key string) *obj.Object {
-	db := s.db(dbi)
+	db := s.shardDB(dbi, key)
 	if db.expired(key, s.clock()) {
 		db.dict.Delete(key)
 		db.expires.Delete(key)
@@ -129,7 +198,7 @@ func (s *Store) lookup(dbi int, key string) *obj.Object {
 
 // setKey stores an object and clears any previous TTL (SET semantics).
 func (s *Store) setKey(dbi int, key string, o *obj.Object) {
-	db := s.db(dbi)
+	db := s.shardDB(dbi, key)
 	db.dict.Set(key, o)
 	db.expires.Delete(key)
 	s.Dirty++
@@ -137,7 +206,7 @@ func (s *Store) setKey(dbi int, key string, o *obj.Object) {
 
 // deleteKey removes a key and its TTL; reports whether it existed.
 func (s *Store) deleteKey(dbi int, key string) bool {
-	db := s.db(dbi)
+	db := s.shardDB(dbi, key)
 	if s.lookup(dbi, key) == nil {
 		return false
 	}
@@ -149,7 +218,7 @@ func (s *Store) deleteKey(dbi int, key string) bool {
 
 // setExpire sets the absolute expiry (ms) for an existing key.
 func (s *Store) setExpire(dbi int, key string, at int64) {
-	s.db(dbi).expires.Set(key, at)
+	s.shardDB(dbi, key).expires.Set(key, at)
 	s.Dirty++
 }
 
@@ -158,7 +227,7 @@ func (s *Store) ttlMillis(dbi int, key string) int64 {
 	if s.lookup(dbi, key) == nil {
 		return -2
 	}
-	v, ok := s.db(dbi).expires.Get(key)
+	v, ok := s.shardDB(dbi, key).expires.Get(key)
 	if !ok {
 		return -1
 	}
@@ -169,13 +238,25 @@ func (s *Store) ttlMillis(dbi int, key string) int64 {
 	return rem
 }
 
-// ActiveExpireCycle samples up to sample volatile keys per database and
-// deletes the expired ones (the serverCron job the paper's Fig 4 time
-// events include). Returns the number of keys expired.
+// ActiveExpireCycle samples up to sample volatile keys per shard slice per
+// database and deletes the expired ones (the serverCron job the paper's
+// Fig 4 time events include). Returns the number of keys expired.
 func (s *Store) ActiveExpireCycle(sample int) int {
+	total := 0
+	for si := 0; si < s.shards; si++ {
+		total += s.ActiveExpireCycleShard(si, sample)
+	}
+	return total
+}
+
+// ActiveExpireCycleShard runs one expiry sampling pass over shard si of
+// every database — the per-shard cron job in sharded mode, where each shard
+// core expires only the keys it owns.
+func (s *Store) ActiveExpireCycleShard(si, sample int) int {
 	now := s.clock()
 	total := 0
-	for dbi, db := range s.dbs {
+	for dbi := range s.dbs {
+		db := s.dbs[dbi][si]
 		for i := 0; i < sample; i++ {
 			key, ok := db.expires.RandomKey()
 			if !ok {
@@ -193,33 +274,61 @@ func (s *Store) ActiveExpireCycle(sample int) int {
 // RehashStep donates incremental-rehash work to every database's tables
 // (called from the server cron).
 func (s *Store) RehashStep(n int) {
-	for _, db := range s.dbs {
+	for si := 0; si < s.shards; si++ {
+		s.RehashStepShard(si, n)
+	}
+}
+
+// RehashStepShard donates rehash work to shard si's tables only (the
+// per-shard cron job in sharded mode).
+func (s *Store) RehashStepShard(si, n int) {
+	for dbi := range s.dbs {
+		db := s.dbs[dbi][si]
 		db.dict.RehashStep(n)
 		db.expires.RehashStep(n)
 	}
 }
 
-// DBSize reports the key count of a database.
-func (s *Store) DBSize(dbi int) int { return s.db(dbi).dict.Len() }
+// DBSize reports the key count of a database, summed across its shards.
+func (s *Store) DBSize(dbi int) int {
+	n := 0
+	for _, db := range s.dbs[dbi] {
+		n += db.dict.Len()
+	}
+	return n
+}
 
-// EachEntry iterates every live key of every database (for RDB dumps):
-// expireAt is 0 when the key has no TTL.
+// ShardSize reports the key count shard si holds within database dbi
+// (per-shard balance instrumentation).
+func (s *Store) ShardSize(dbi, si int) int { return s.dbs[dbi][si].dict.Len() }
+
+// EachEntry iterates every live key of every database, shard by shard (for
+// RDB dumps): expireAt is 0 when the key has no TTL. Keys whose expiry is
+// already in the past are logically dead — only lazy deletion hasn't caught
+// up with them — so they are skipped rather than dumped; emitting them
+// would resurrect expired keys on a full-syncing slave.
 func (s *Store) EachEntry(fn func(dbi int, key string, o *obj.Object, expireAt int64) bool) {
-	for dbi, db := range s.dbs {
-		stop := false
-		db.dict.Each(func(k string, v any) bool {
-			var exp int64
-			if e, ok := db.expires.Get(k); ok {
-				exp = e.(int64)
+	now := s.clock()
+	for dbi := range s.dbs {
+		for _, db := range s.dbs[dbi] {
+			stop := false
+			db.dict.Each(func(k string, v any) bool {
+				var exp int64
+				if e, ok := db.expires.Get(k); ok {
+					exp = e.(int64)
+				}
+				if exp != 0 && exp <= now {
+					return true // logically expired: never dump
+				}
+				if !fn(dbi, k, v.(*obj.Object), exp) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
 			}
-			if !fn(dbi, k, v.(*obj.Object), exp) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if stop {
-			return
 		}
 	}
 }
@@ -227,7 +336,7 @@ func (s *Store) EachEntry(fn func(dbi int, key string, o *obj.Object, expireAt i
 // SetRaw installs an object directly (RDB load path), with optional expiry
 // (0 = none). Does not count as dirty.
 func (s *Store) SetRaw(dbi int, key string, o *obj.Object, expireAt int64) {
-	db := s.db(dbi)
+	db := s.shardDB(dbi, key)
 	db.dict.Set(key, o)
 	if expireAt > 0 {
 		db.expires.Set(key, expireAt)
@@ -236,10 +345,19 @@ func (s *Store) SetRaw(dbi int, key string, o *obj.Object, expireAt int64) {
 	}
 }
 
+// flushDB replaces every shard slice of one database with fresh tables,
+// each seeded from its own shard's RNG.
+func (s *Store) flushDB(dbi int) {
+	for si := range s.dbs[dbi] {
+		r := s.shardRnd[si]
+		s.dbs[dbi][si] = &DB{dict: dict.New(r.Int63()), expires: dict.New(r.Int63())}
+	}
+}
+
 // FlushAll erases every database.
 func (s *Store) FlushAll() {
 	for i := range s.dbs {
-		s.dbs[i] = &DB{dict: dict.New(s.seed()), expires: dict.New(s.seed())}
+		s.flushDB(i)
 	}
 	s.Dirty++
 }
@@ -259,14 +377,40 @@ type Command struct {
 	// from §III-C, made before involving the SmartNIC).
 	Write bool
 	// FirstKey is the argv index of the first key argument, 0 when the
-	// command addresses no key (PING, SCAN, FLUSHALL, ...). The groundwork
-	// for routing commands to shards.
+	// command addresses no key (PING, SCAN, FLUSHALL, ...). The dispatch
+	// plane routes commands to shards by these keys.
 	FirstKey int
+	// LastKey is the argv index of the last key argument; -1 means "to the
+	// end of argv" (DEL, MSET, ...). Meaningless when FirstKey is 0.
+	LastKey int
+	// KeyStep is the argv stride between consecutive keys (2 for MSET's
+	// key/value pairs, else 1).
+	KeyStep int
 	// Server marks commands the embedding server layer handles itself
 	// (SELECT, PSYNC, WAIT, ...); the store rejects them as unknown.
 	Server bool
 
 	handler func(s *Store, dbi int, argv [][]byte) ([]byte, bool)
+}
+
+// EachKey invokes fn for every key argument of argv according to the
+// descriptor's FirstKey/LastKey/KeyStep pattern. The dispatch plane uses it
+// to compute the shard set a command touches.
+func (c *Command) EachKey(argv [][]byte, fn func(key []byte)) {
+	if c.FirstKey <= 0 {
+		return
+	}
+	last := c.LastKey
+	if last < 0 || last >= len(argv) {
+		last = len(argv) - 1
+	}
+	step := c.KeyStep
+	if step <= 0 {
+		step = 1
+	}
+	for i := c.FirstKey; i <= last; i += step {
+		fn(argv[i])
+	}
 }
 
 // FirstKeyArg extracts the command's first key from argv, or nil when the
