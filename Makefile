@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke bench-nic-smoke clean
 
 all: verify
 
@@ -29,6 +29,12 @@ bench:
 # cluster, runs, and renders. Numbers are meaningless at this scale.
 bench-smoke:
 	$(GO) run ./cmd/skv-bench -smoke
+
+# The NIC read path alone (§IV-A ablation, host- vs NIC-served reads at
+# 1/2/4 shards): the quick check that the sharded shadow replica still
+# builds, applies the stream, and serves reads.
+bench-nic-smoke:
+	$(GO) run ./cmd/skv-bench -smoke -exp ablate-niccache
 
 clean:
 	$(GO) clean ./...

@@ -103,7 +103,7 @@ func BenchmarkRESPParseCommand(b *testing.B) {
 }
 
 func BenchmarkStoreSET(b *testing.B) {
-	st := store.New(1, 1, func() int64 { return 0 })
+	st := store.New(store.Options{DBs: 1, Seed: 1})
 	argv := [][]byte{[]byte("SET"), []byte("key"), []byte("value-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -112,7 +112,7 @@ func BenchmarkStoreSET(b *testing.B) {
 }
 
 func BenchmarkStoreGET(b *testing.B) {
-	st := store.New(1, 1, func() int64 { return 0 })
+	st := store.New(store.Options{DBs: 1, Seed: 1})
 	st.Exec(0, [][]byte{[]byte("SET"), []byte("key"), []byte("value")})
 	argv := [][]byte{[]byte("GET"), []byte("key")}
 	b.ResetTimer()
@@ -122,11 +122,11 @@ func BenchmarkStoreGET(b *testing.B) {
 }
 
 func BenchmarkRDBDumpLoad(b *testing.B) {
-	st := store.New(1, 1, func() int64 { return 0 })
+	st := store.New(store.Options{DBs: 1, Seed: 1})
 	for i := 0; i < 10_000; i++ {
 		st.Exec(0, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("key:%d", i)), []byte("value-0123456789")})
 	}
-	dst := store.New(1, 2, func() int64 { return 0 })
+	dst := store.New(store.Options{DBs: 1, Seed: 2})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dump := rdb.Dump(st)

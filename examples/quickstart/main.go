@@ -16,7 +16,7 @@ import (
 
 func main() {
 	// ---- 1. The engine as a library ----
-	st := store.New(16, 42, func() int64 { return time.Now().UnixMilli() })
+	st := store.New(store.Options{Seed: 42, Clock: func() int64 { return time.Now().UnixMilli() }})
 
 	exec := func(args ...string) resp.Value {
 		argv := make([][]byte, len(args))

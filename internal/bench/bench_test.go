@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,36 @@ func TestExtShardsScalesInSmokeMode(t *testing.T) {
 	}
 	if e.Metrics["gain_pct_shards4"] <= 0 {
 		t.Fatalf("gain_pct_shards4 = %v", e.Metrics["gain_pct_shards4"])
+	}
+	// Per-caller WAIT: the probes must never trip the global barrier path.
+	for _, shards := range []int{1, 2, 4, 8} {
+		if b := e.Metrics[fmt.Sprintf("wait_barriers_shards%d", shards)]; b != 0 {
+			t.Fatalf("WAIT probes fenced the pipeline at %d shards: %v barriers", shards, b)
+		}
+	}
+}
+
+// TestAblateNICCacheScalesInSmokeMode runs the §IV-A ablation at smoke
+// scale and checks the NIC read path scales with the shard count: the
+// sharded shadow replica (4 ARM shard cores) must clear more GETs at 8
+// clients than the single-core replica.
+func TestAblateNICCacheScalesInSmokeMode(t *testing.T) {
+	savedWarmup, savedMeasure, savedSmoke := warmup, measure, smoke
+	SetSmoke()
+	defer func() { warmup, measure, smoke = savedWarmup, savedMeasure, savedSmoke }()
+	e := AblateNICCache()
+	if len(e.Rows) != 5 {
+		t.Fatalf("rows: %d", len(e.Rows))
+	}
+	n1, n4 := e.Metrics["nic_kops_8c_shards1"], e.Metrics["nic_kops_8c_shards4"]
+	if n1 <= 0 || n4 <= 0 {
+		t.Fatalf("missing NIC throughput metrics: %v", e.Metrics)
+	}
+	if n4 <= n1 {
+		t.Fatalf("NIC reads at 4 shards (%.1f kops/s) not faster than 1 (%.1f kops/s)", n4, n1)
+	}
+	if e.Metrics["nic_gain_pct_shards4"] <= 0 {
+		t.Fatalf("nic_gain_pct_shards4 = %v", e.Metrics["nic_gain_pct_shards4"])
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"skv/internal/cluster"
 	"skv/internal/core"
+	"skv/internal/model"
 )
 
 // AblateNICCache measures the design §IV-A rejects: storing data on the
@@ -13,41 +14,60 @@ import (
 // in host memory, predicting that NIC-served reads would be slower on an
 // off-path SmartNIC due to the weaker processors and the extra NIC-switch
 // hop; this experiment quantifies that.
+//
+// The shards dimension mirrors the Host-KV shard layout on the NIC: with
+// HostShards > 1 the replica is split across that many ARM shard cores
+// (reads route by key hash, the main ARM core dispatches and merges), so
+// the rejected design is measured at its best, not just single-core.
 func AblateNICCache() *Experiment {
 	e := &Experiment{
 		ID:    "ablate-niccache",
 		Title: "GET served from host (SKV's choice, §IV-A) vs from SmartNIC replica",
-		Header: []string{"clients",
+		Header: []string{"shards", "clients",
 			"host tput", "nic tput",
 			"host avg µs", "nic avg µs",
 			"host p99 µs", "nic p99 µs"},
 		Notes: []string{
 			"paper §IV-A: \"the latency of accessing data will increase significantly due to the weaker processors and relatively larger RDMA latency of the off-path SmartNIC\" — so SKV stores all key-value pairs on the host",
+			"shards > 1 splits both the host keyspace and the NIC shadow replica across that many cores (the replica mirrors the host shard layout)",
 		},
 	}
-	for _, n := range []int{1, 4, 8} {
-		host := runNICCacheVariant(n, false)
-		nic := runNICCacheVariant(n, true)
+	type point struct{ shards, clients int }
+	points := []point{{1, 1}, {1, 4}, {1, 8}, {2, 8}, {4, 8}}
+	for _, pt := range points {
+		host := runNICCacheVariant(pt.clients, pt.shards, false)
+		nic := runNICCacheVariant(pt.clients, pt.shards, true)
 		e.Rows = append(e.Rows, []string{
-			fmt.Sprint(n),
+			fmt.Sprint(pt.shards), fmt.Sprint(pt.clients),
 			kops(host.Throughput), kops(nic.Throughput),
 			f1(host.Avg.Micros()), f1(nic.Avg.Micros()),
 			f1(host.P99.Micros()), f1(nic.P99.Micros()),
 		})
-		if n == 8 {
+		if pt.clients == 8 {
+			e.metric(fmt.Sprintf("host_kops_8c_shards%d", pt.shards), host.Throughput/1000)
+			e.metric(fmt.Sprintf("nic_kops_8c_shards%d", pt.shards), nic.Throughput/1000)
+		}
+		if pt.shards == 1 && pt.clients == 8 {
 			e.metric("tput_penalty_pct_8c", (1-nic.Throughput/host.Throughput)*100)
 			e.metric("avg_latency_blowup_8c", nic.Avg.Micros()/host.Avg.Micros())
 		}
 	}
+	if base := e.Metrics["nic_kops_8c_shards1"]; base > 0 {
+		e.metric("nic_gain_pct_shards4", (e.Metrics["nic_kops_8c_shards4"]/base-1)*100)
+	}
 	return e
 }
 
-func runNICCacheVariant(clients int, fromNIC bool) cluster.Result {
-	skvCfg := core.DefaultConfig()
-	skvCfg.ServeReadsFromNIC = fromNIC
+func runNICCacheVariant(clients, shards int, fromNIC bool) cluster.Result {
+	mode := cluster.NicReadsOff
+	if fromNIC {
+		mode = cluster.NicReadsClients
+	}
+	p := model.Default()
+	p.HostShards = shards
 	cfg := cluster.Config{
 		Kind: cluster.KindSKV, Slaves: 0, Clients: clients, Seed: 61,
-		GetRatio: 1.0, SKV: skvCfg, ReadsFromNIC: fromNIC,
+		GetRatio: 1.0, Params: &p, SKV: core.DefaultConfig(), NicReads: mode,
 	}
 	c := cluster.Build(cfg)
 	// Warm both stores with the full keyspace so GETs hit real values.

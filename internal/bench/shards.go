@@ -7,7 +7,10 @@ import (
 	"skv/internal/cluster"
 	"skv/internal/core"
 	"skv/internal/model"
+	"skv/internal/rconn"
+	"skv/internal/resp"
 	"skv/internal/sim"
+	"skv/internal/transport"
 )
 
 // ExtShards is an extension experiment beyond the paper: the Host-KV
@@ -21,10 +24,12 @@ func ExtShards() *Experiment {
 	e := &Experiment{
 		ID:    "ext-shards",
 		Title: "Host-KV keyspace sharding (SET, 8 clients ×8 deep, 3 slaves) — extension",
-		Header: []string{"shards", "skv kops/s", "p99 µs", "dispatch util", "shard core utils"},
+		Header: []string{"shards", "skv kops/s", "p99 µs", "dispatch util", "shard core utils",
+			"wait0 rtt µs", "wait barriers"},
 		Notes: []string{
 			"extension beyond the paper: shards=1 is the single-threaded server bit-for-bit (no dispatch plane)",
 			"replication, WAIT and the Nic-KV offload see one serialized stream at every shard count",
+			"wait0 rtt: round-trip of WAIT 0 0 probed under full load — per-caller WAIT no longer quiesces the dispatch pipeline, so the barrier count stays 0 at every shard count",
 		},
 	}
 	base := -1.0
@@ -37,6 +42,7 @@ func ExtShards() *Experiment {
 			panic("ext-shards: sync failed")
 		}
 		r := c.Measure(warmup, measure)
+		waitRTT, waitBarriers := waitProbe(c, 5)
 		utils := make([]string, len(r.ShardUtils))
 		for i, u := range r.ShardUtils {
 			utils[i] = fmt.Sprintf("%.0f%%", u*100)
@@ -48,10 +54,13 @@ func ExtShards() *Experiment {
 		e.Rows = append(e.Rows, []string{
 			fmt.Sprint(shards), kops(r.Throughput), f1(r.P99.Micros()),
 			fmt.Sprintf("%.0f%%", r.MasterUtil*100), shardCol,
+			f1(waitRTT.Micros()), fmt.Sprint(waitBarriers),
 		})
 		e.metric(fmt.Sprintf("kops_shards%d", shards), r.Throughput/1000)
 		e.metric(fmt.Sprintf("p99_us_shards%d", shards), r.P99.Micros())
 		e.metric(fmt.Sprintf("dispatch_util_pct_shards%d", shards), r.MasterUtil*100)
+		e.metric(fmt.Sprintf("wait0_us_shards%d", shards), waitRTT.Micros())
+		e.metric(fmt.Sprintf("wait_barriers_shards%d", shards), float64(waitBarriers))
 		if shards == 1 {
 			base = r.Throughput
 		} else if base > 0 {
@@ -59,4 +68,50 @@ func ExtShards() *Experiment {
 		}
 	}
 	return e
+}
+
+// waitProbe measures WAIT's dispatch-pipeline cost while the SET load is
+// still running: a fresh client issues `WAIT 0 0` (need=0 resolves
+// immediately, so the round-trip isolates queueing and any pipeline fence,
+// not replica ack latency) `rounds` times and the probe reports the mean
+// round-trip plus how many global barriers the probes triggered — zero
+// under per-caller WAIT.
+func waitProbe(c *cluster.Cluster, rounds int) (sim.Duration, uint64) {
+	eng := c.Eng
+	m := c.Net.NewMachine("wait-probe", false)
+	proc := sim.NewProc(eng, sim.NewCore(eng, "wait-probe-core", 1.0), c.Params.ClientWakeup)
+	stack := rconn.New(c.Net, m.Host, proc)
+	before := c.Master.Metrics().Counter("server.shard.barriers").Value()
+	var total sim.Duration
+	done := 0
+	var r resp.Reader
+	var sentAt sim.Time
+	stack.Dial(c.MasterMachine.Host, core.ClientPort, func(conn transport.Conn, err error) {
+		if err != nil {
+			return
+		}
+		send := func() {
+			sentAt = eng.Now()
+			conn.Send(resp.EncodeCommand("WAIT", "0", "0"))
+		}
+		conn.SetHandler(func(data []byte) {
+			r.Feed(data)
+			for {
+				if _, ok, _ := r.ReadValue(); !ok {
+					break
+				}
+				total += eng.Now().Sub(sentAt)
+				if done++; done < rounds {
+					send()
+				}
+			}
+		})
+		send()
+	})
+	eng.Run(eng.Now().Add(500 * sim.Millisecond))
+	barriers := c.Master.Metrics().Counter("server.shard.barriers").Value() - before
+	if done == 0 {
+		return 0, barriers
+	}
+	return total / sim.Duration(done), barriers
 }

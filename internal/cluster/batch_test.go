@@ -168,7 +168,8 @@ func TestChaosScenariosBatched(t *testing.T) {
 	for _, batch := range []int{4, 64} {
 		for _, s := range ChaosScenarios() {
 			s := s
-			s.Batch = batch
+			batch := batch
+			s.Tune = func(p *model.Params) { p.ReplBatchMaxCmds = batch }
 			t.Run(fmt.Sprintf("%s/batch%d", s.Name, batch), func(t *testing.T) {
 				c, h, err := RunScenario(s)
 				if err != nil {

@@ -271,12 +271,14 @@ type Scenario struct {
 	// period after load stops, before the convergence check.
 	RunFor sim.Duration
 	Settle sim.Duration
-	// Batch overrides Params.ReplBatchMaxCmds when > 0 (0 keeps the default
-	// unbatched stream), so every scenario can also run batched.
-	Batch int
-	// Shards overrides Params.HostShards when > 0 (0 keeps the default
-	// single-threaded loop), so every scenario can also run sharded.
-	Shards int
+	// Tune, when non-nil, adjusts the model parameters after the chaos
+	// profile is applied and before the cluster is built — the one hook for
+	// running a scenario batched, sharded, or with any future knob, so new
+	// knobs don't keep growing this struct.
+	Tune func(*model.Params)
+	// NicReads enables the NIC read path for the scenario (topology, not a
+	// model parameter — see cluster.NicReadMode).
+	NicReads NicReadMode
 }
 
 // ChaosParams compresses the failure-detection timescales (probe every
@@ -299,19 +301,17 @@ func ChaosParams(retry sim.Duration) *model.Params {
 // settles, and checks convergence. The returned Chaos holds the trace.
 func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 	p := ChaosParams(s.Retry)
-	if s.Batch > 0 {
-		p.ReplBatchMaxCmds = s.Batch
-	}
-	if s.Shards > 0 {
-		p.HostShards = s.Shards
+	if s.Tune != nil {
+		s.Tune(p)
 	}
 	c := Build(Config{
-		Kind:    KindSKV,
-		Slaves:  s.Slaves,
-		Clients: s.Clients,
-		Seed:    s.Seed,
-		Params:  p,
-		SKV:     core.Config{ProgressInterval: 50 * sim.Millisecond},
+		Kind:     KindSKV,
+		Slaves:   s.Slaves,
+		Clients:  s.Clients,
+		Seed:     s.Seed,
+		Params:   p,
+		SKV:      core.Config{ProgressInterval: 50 * sim.Millisecond},
+		NicReads: s.NicReads,
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return c, nil, fmt.Errorf("%s: initial replication did not complete", s.Name)

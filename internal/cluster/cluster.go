@@ -72,16 +72,57 @@ type Config struct {
 	// default 1 = the paper's closed loop).
 	Pipeline int
 
-	// SKV-specific knobs.
+	// SKV-specific knobs. SKV.ServeReadsFromNIC is derived from NicReads by
+	// Build — setting it directly is a configuration error.
 	SKV core.Config
 
-	// ReadsFromNIC points the clients at the SmartNIC endpoint instead of
-	// the master host (requires Kind=KindSKV and SKV.ServeReadsFromNIC) —
-	// the §IV-A ablation.
-	ReadsFromNIC bool
+	// NicReads is the one authoritative NIC-read-path setting (the design
+	// §IV-A ablation). Build derives core.Config.ServeReadsFromNIC from it
+	// and rejects inconsistent combinations.
+	NicReads NicReadMode
 
 	// DisableCron switches off serverCron (microbenchmarks only).
 	DisableCron bool
+}
+
+// NicReadMode selects how the cluster exercises the NIC read path.
+type NicReadMode int
+
+const (
+	// NicReadsOff (the default) is the paper's design: all reads served by
+	// the host, no shadow replica on the SmartNIC.
+	NicReadsOff NicReadMode = iota
+	// NicReadsServe enables the Nic-KV shadow replica and its client
+	// listener, but the workload clients still target the master host —
+	// used to compare the replica's keyspace against the master's.
+	NicReadsServe
+	// NicReadsClients additionally points the workload clients at the
+	// SmartNIC endpoint, so reads are served by the ARM cores.
+	NicReadsClients
+)
+
+func (m NicReadMode) String() string {
+	switch m {
+	case NicReadsOff:
+		return "off"
+	case NicReadsServe:
+		return "serve"
+	case NicReadsClients:
+		return "clients"
+	}
+	return "?"
+}
+
+// Validate reports configuration errors Build would otherwise bake into a
+// half-configured cluster.
+func (cfg Config) Validate() error {
+	if cfg.NicReads != NicReadsOff && cfg.Kind != KindSKV {
+		return fmt.Errorf("cluster: NicReads=%s requires Kind=KindSKV (got %s): only the SKV deployment has a SmartNIC to serve reads from", cfg.NicReads, cfg.Kind)
+	}
+	if cfg.SKV.ServeReadsFromNIC && cfg.NicReads == NicReadsOff {
+		return fmt.Errorf("cluster: SKV.ServeReadsFromNIC is derived from Config.NicReads; set NicReads=NicReadsServe or NicReadsClients instead")
+	}
+	return nil
 }
 
 // Cluster is a built deployment.
@@ -105,7 +146,13 @@ type Cluster struct {
 }
 
 // Build constructs the deployment. Nothing runs until the engine does.
+// Build panics on an invalid Config (see Config.Validate) — a half-built
+// cluster would silently measure the wrong system.
 func Build(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.SKV.ServeReadsFromNIC = cfg.NicReads != NicReadsOff
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
@@ -232,7 +279,7 @@ func (c *Cluster) StartClients() {
 	}
 	c.clientsStarted = true
 	target := c.MasterMachine.Host
-	if c.Cfg.ReadsFromNIC {
+	if c.Cfg.NicReads == NicReadsClients {
 		target = c.MasterMachine.NIC
 	}
 	for _, cl := range c.Clients {

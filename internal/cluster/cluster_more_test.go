@@ -153,10 +153,9 @@ func TestKindStrings(t *testing.T) {
 func TestNicServedReadsReturnCorrectValues(t *testing.T) {
 	// The §IV-A ablation path: clients talk to the SmartNIC, which serves
 	// GETs from its shadow replica.
-	cfg := core.DefaultConfig()
-	cfg.ServeReadsFromNIC = true
 	c := Build(Config{Kind: KindSKV, Slaves: 0, Clients: 2, Seed: 28,
-		GetRatio: 1.0, KeySpace: 100, SKV: cfg, ReadsFromNIC: true})
+		GetRatio: 1.0, KeySpace: 100, SKV: core.DefaultConfig(),
+		NicReads: NicReadsClients})
 	for i := 0; i < 100; i++ {
 		key := []byte("key:000000000" + string(rune('0'+i%10)))
 		c.Master.Store().Exec(0, [][]byte{[]byte("SET"), key, []byte("val")})
@@ -174,9 +173,8 @@ func TestNicServedReadsReturnCorrectValues(t *testing.T) {
 }
 
 func TestNicReplicaTracksWrites(t *testing.T) {
-	cfg := core.DefaultConfig()
-	cfg.ServeReadsFromNIC = true
-	c := Build(Config{Kind: KindSKV, Slaves: 1, Clients: 2, Seed: 29, KeySpace: 50, SKV: cfg})
+	c := Build(Config{Kind: KindSKV, Slaves: 1, Clients: 2, Seed: 29, KeySpace: 50,
+		SKV: core.DefaultConfig(), NicReads: NicReadsServe})
 	if !c.AwaitReplication(2 * sim.Second) {
 		t.Fatal("sync failed")
 	}

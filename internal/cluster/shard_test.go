@@ -160,7 +160,8 @@ func TestChaosScenariosSharded(t *testing.T) {
 	for _, shards := range []int{2, 4} {
 		for _, s := range ChaosScenarios() {
 			s := s
-			s.Shards = shards
+			shards := shards
+			s.Tune = func(p *model.Params) { p.HostShards = shards }
 			t.Run(fmt.Sprintf("%s/shards%d", s.Name, shards), func(t *testing.T) {
 				c, h, err := RunScenario(s)
 				if err != nil {

@@ -129,8 +129,9 @@ type Config struct {
 	// Nic-KV (§III-C step ③).
 	ProgressInterval sim.Duration
 	// ServeReadsFromNIC enables the design §IV-A rejects: Nic-KV keeps a
-	// shadow replica and serves read commands from the SmartNIC. Used only
-	// by the ablate-niccache experiment.
+	// shadow replica and serves read commands from the SmartNIC. Derived
+	// from cluster.Config.NicReads when building through the cluster
+	// package — set it directly only when wiring core components by hand.
 	ServeReadsFromNIC bool
 }
 

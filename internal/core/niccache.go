@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"strconv"
+
 	"skv/internal/replstream"
 	"skv/internal/resp"
 	"skv/internal/sim"
@@ -21,25 +24,68 @@ import (
 // commands from the ARM cores. Write commands are refused with a -MOVED
 // error pointing at the master. The ablate-niccache experiment compares
 // this against the paper's host-served reads.
+//
+// The replica mirrors the host's shard layout: with Params.HostShards > 1,
+// min(HostShards, NICCores) ARM shard cores each own a key-hash slice of
+// the replica (the same store.ShardOfKey placement the host uses). The
+// main ARM core stays the dispatch stage — it decodes the stream and
+// parses client reads, then routes each single-key operation to its shard
+// core; replies and apply retirements merge back on the main core, with
+// per-client re-sequencing exactly like the host dispatch plane. One shard
+// (the default) is bit-for-bit the legacy single-core read path.
 
 // nicClient is one client connection served by the SmartNIC.
 type nicClient struct {
 	conn   transport.Conn
 	reader resp.Reader
 	db     int
+
+	// Reply re-sequencing (sharded replica only): same scheme as the host
+	// dispatch plane — seqNext numbers commands in arrival order, seqEmit
+	// is the next reply the connection may carry, pending holds completed
+	// replies that cannot be emitted yet.
+	seqNext uint64
+	seqEmit uint64
+	pending map[uint64][]byte
 }
 
-// initReadServing sets up the shadow store and the client listener. Called
-// from NewNicKV when the config asks for it.
-func (n *NicKV) initReadServing() {
-	n.replica = store.New(16, 0x51CA, func() int64 {
+// nicApplyOp is one decoded replicated command queued for the sharded
+// apply pipeline. shard < 0 marks a fence (cross-shard or keyless command)
+// that must observe a quiesced pipeline.
+type nicApplyOp struct {
+	db    int
+	argv  [][]byte
+	cmd   *store.Command
+	shard int
+}
+
+// initReadServing sets up the shadow store, the per-shard ARM cores when
+// the host runs sharded, and the client listener. Called from NewNicKV
+// when the config asks for it; name is the machine name (core naming).
+func (n *NicKV) initReadServing(name string) {
+	rshards := n.params.HostShards
+	if rshards < 1 {
+		rshards = 1
+	}
+	if rshards > n.params.NICCores {
+		rshards = n.params.NICCores
+	}
+	n.rshards = rshards
+	n.replica = store.New(store.Options{Shards: rshards, Seed: 0x51CA, Clock: func() int64 {
 		return int64(n.eng.Now() / sim.Time(sim.Millisecond))
-	})
-	n.replApplier = replstream.NewApplier(func(_ int, argv [][]byte) {
-		// Single-db ablation: SELECT context is consumed by the Applier and
-		// everything lands in db 0.
-		n.proc.Core.Charge(n.params.SlaveApplyCPU)
-		n.replica.Exec(0, argv)
+	}})
+	n.metrics.Gauge("nickv.replica.shards").Set(int64(rshards))
+	n.mReplicaGaps = n.metrics.Counter("nickv.replica.gaps")
+	if rshards > 1 {
+		n.mReplicaRouted = n.metrics.Counter("nickv.replica.routed")
+		n.mReplicaFenced = n.metrics.Counter("nickv.replica.fenced")
+		for i := 0; i < rshards; i++ {
+			c := sim.NewCore(n.eng, fmt.Sprintf("%s-nic-rshard%d", name, i), n.params.NICCoreSpeed)
+			n.rprocs = append(n.rprocs, sim.NewProc(n.eng, c, n.params.CompChannelWake))
+		}
+	}
+	n.replApplier = replstream.NewApplier(func(db int, argv [][]byte) {
+		n.applyDecoded(db, argv)
 	})
 	n.Stack.Listen(ClientPort, func(conn transport.Conn) {
 		c := &nicClient{conn: conn}
@@ -49,11 +95,99 @@ func (n *NicKV) initReadServing() {
 
 // applyToReplica mirrors replicated command bytes (possibly a whole batch)
 // into the shadow store, consuming ARM-core cycles like any other apply.
-func (n *NicKV) applyToReplica(cmd []byte) {
+// off is the stream offset the bytes start at: replayed bytes (a master
+// resending from its backlog after a reconnect) are trimmed rather than
+// double-applied, and a jump past the expected offset is counted as a gap
+// (nickv.replica.gaps) — the replica's divergence diagnostic.
+func (n *NicKV) applyToReplica(off int64, cmd []byte) {
 	if n.replica == nil {
 		return
 	}
+	if n.replicaOff > 0 {
+		switch {
+		case off > n.replicaOff:
+			n.mReplicaGaps.Inc()
+		case off < n.replicaOff:
+			skip := n.replicaOff - off
+			if skip >= int64(len(cmd)) {
+				return
+			}
+			cmd = cmd[skip:]
+			off = n.replicaOff
+		}
+	}
+	n.replicaOff = off + int64(len(cmd))
 	n.replApplier.Feed(cmd)
+}
+
+// applyDecoded is the applier's per-command sink. One shard keeps the
+// legacy path: apply synchronously on the main ARM core, honoring the
+// stream's SELECT context. Sharded, the command queues into the apply
+// pipeline and drains to its shard core.
+func (n *NicKV) applyDecoded(db int, argv [][]byte) {
+	if n.rshards <= 1 {
+		n.proc.Core.Charge(n.params.SlaveApplyCPU)
+		n.replica.Exec(db, argv)
+		return
+	}
+	cmd := store.LookupCommand(argv[0])
+	n.applyq = append(n.applyq, nicApplyOp{db: db, argv: argv, cmd: cmd, shard: n.replicaShardOf(cmd, argv)})
+	n.drainApply()
+}
+
+// replicaShardOf maps a command to the replica shard that owns all its
+// keys, or -1 when it has none or they span shards (fence).
+func (n *NicKV) replicaShardOf(cmd *store.Command, argv [][]byte) int {
+	if cmd == nil || cmd.Server || cmd.FirstKey <= 0 {
+		return -1
+	}
+	si := -1
+	multi := false
+	cmd.EachKey(argv, func(k []byte) {
+		ks := store.ShardOfKey(k, n.rshards)
+		if si == -1 {
+			si = ks
+		} else if ks != si {
+			multi = true
+		}
+	})
+	if multi {
+		return -1
+	}
+	return si
+}
+
+// drainApply admits queued apply ops in stream order: routed ops post to
+// their shard core (route cost on the main core, apply cost on the shard,
+// merge cost back on the main core); a fence waits for the pipeline to
+// drain (applyInflight == 0) and then runs inline. Per-key order is
+// preserved by shard-FIFO execution; the fence preserves global order
+// around cross-shard commands.
+func (n *NicKV) drainApply() {
+	for len(n.applyq) > 0 {
+		op := n.applyq[0]
+		if op.shard < 0 {
+			if n.applyInflight > 0 {
+				return
+			}
+			n.applyq = n.applyq[1:]
+			n.mReplicaFenced.Inc()
+			n.proc.Core.Charge(n.params.NicShardFenceCPU*sim.Duration(n.rshards) + n.params.SlaveApplyCPU)
+			n.replica.Exec(op.db, op.argv)
+			continue
+		}
+		n.applyq = n.applyq[1:]
+		n.mReplicaRouted.Inc()
+		n.proc.Core.Charge(n.params.NicShardRouteCPU)
+		n.applyInflight++
+		n.rprocs[op.shard].Post(n.params.SlaveApplyCPU, func() {
+			n.replica.Dispatch(op.cmd, op.db, op.argv)
+			n.proc.Post(n.params.NicShardMergeCPU, func() {
+				n.applyInflight--
+				n.drainApply()
+			})
+		})
+	}
 }
 
 // PreloadReplica installs a key directly in the shadow store (the ablation
@@ -65,13 +199,21 @@ func (n *NicKV) PreloadReplica(key string, value []byte) {
 	n.replica.Exec(0, [][]byte{[]byte("SET"), []byte(key), value})
 }
 
-// ReplicaSize reports the shadow store's key count (tests).
+// ReplicaSize reports the shadow store's db-0 key count (tests).
 func (n *NicKV) ReplicaSize() int {
 	if n.replica == nil {
 		return 0
 	}
 	return n.replica.DBSize(0)
 }
+
+// ReplicaStore exposes the shadow store (keyspace-equality tests); nil
+// unless read serving is enabled.
+func (n *NicKV) ReplicaStore() *store.Store { return n.replica }
+
+// ReplicaProcs exposes the per-shard replica procs (utilization reporting);
+// empty with one shard.
+func (n *NicKV) ReplicaProcs() []*sim.Proc { return n.rprocs }
 
 // onClientData serves client commands on the SmartNIC ARM core.
 func (n *NicKV) onClientData(c *nicClient, data []byte) {
@@ -91,25 +233,117 @@ func (n *NicKV) onClientData(c *nicClient, data []byte) {
 	}
 }
 
+// selectReply handles SELECT on a NIC client — the shadow replica keeps
+// every numbered database, so NIC clients switch dbs exactly like host
+// clients do. Returns the RESP reply.
+func (n *NicKV) selectReply(c *nicClient, argv [][]byte) []byte {
+	if len(argv) != 2 {
+		return resp.AppendError(nil, "ERR wrong number of arguments for 'select' command")
+	}
+	dbi, err := strconv.Atoi(string(argv[1]))
+	if err != nil || dbi < 0 || dbi >= n.replica.NumDBs() {
+		return resp.AppendError(nil, "ERR DB index is out of range")
+	}
+	c.db = dbi
+	return resp.AppendSimple(nil, "OK")
+}
+
 func (n *NicKV) serveClientCommand(c *nicClient, argv [][]byte) {
 	size := 0
 	for _, a := range argv {
 		size += len(a) + 14
 	}
-	// Everything here runs on the (slow) ARM core: parse, execute, reply.
+	// Parse runs on the (slow) main ARM core in either layout.
 	n.proc.Core.Charge(n.params.ParseCost(size))
-	if cmd := store.LookupCommand(argv[0]); cmd != nil && cmd.Write {
-		n.proc.Core.Charge(n.params.ReplyBuildCPU)
-		c.conn.Send(resp.AppendError(nil, "MOVED write commands go to the master host"))
+	cmd := store.LookupCommand(argv[0])
+	if n.rshards > 1 {
+		n.serveSharded(c, cmd, argv)
 		return
 	}
+	// Legacy single-core path: execute and reply on the main ARM core.
+	if cmd != nil && cmd.Write {
+		n.proc.Core.Charge(n.params.ReplyBuildCPU)
+		c.conn.Send(movedError())
+		return
+	}
+	if cmd != nil && cmd.Name == "select" {
+		reply := n.selectReply(c, argv)
+		n.proc.Core.Charge(n.params.ReplyBuildCPU)
+		c.conn.Send(reply)
+		return
+	}
+	n.proc.Core.Charge(n.execReadCost(argv))
+	reply, _ := n.replica.Exec(c.db, argv)
+	n.proc.Core.Charge(n.params.ReplyBuildCPU)
+	c.conn.Send(reply)
+}
+
+// serveSharded routes a parsed client command through the replica shard
+// cores: single-key reads execute on the shard core owning the key, with
+// the reply merged back and re-sequenced per client on the main core;
+// everything else (MOVED for writes, SELECT, keyless or cross-shard reads)
+// runs inline on the main core but still replies in request order.
+func (n *NicKV) serveSharded(c *nicClient, cmd *store.Command, argv [][]byte) {
+	seq := c.seqNext
+	c.seqNext++
+	if cmd != nil && cmd.Write {
+		n.completeRead(c, seq, movedError())
+		return
+	}
+	if cmd != nil && cmd.Name == "select" {
+		n.completeRead(c, seq, n.selectReply(c, argv))
+		return
+	}
+	if si := n.replicaShardOf(cmd, argv); si >= 0 {
+		n.proc.Core.Charge(n.params.NicShardRouteCPU)
+		dbi := c.db
+		cost := n.execReadCost(argv)
+		n.rprocs[si].Post(cost, func() {
+			reply, _ := n.replica.Dispatch(cmd, dbi, argv)
+			n.proc.Post(n.params.NicShardMergeCPU, func() {
+				n.completeRead(c, seq, reply)
+			})
+		})
+		return
+	}
+	n.proc.Core.Charge(n.execReadCost(argv))
+	reply, _ := n.replica.Exec(c.db, argv)
+	n.completeRead(c, seq, reply)
+}
+
+// completeRead records a reply and emits every consecutive ready reply in
+// the client's request order (reply-build cost charged per emitted reply,
+// on the main ARM core).
+func (n *NicKV) completeRead(c *nicClient, seq uint64, data []byte) {
+	if c.pending == nil {
+		c.pending = make(map[uint64][]byte)
+	}
+	c.pending[seq] = data
+	for {
+		d, ok := c.pending[c.seqEmit]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.seqEmit)
+		c.seqEmit++
+		if len(d) > 0 {
+			n.proc.Core.Charge(n.params.ReplyBuildCPU)
+			c.conn.Send(d)
+		}
+	}
+}
+
+// execReadCost is the ARM-core execution cost of one read: base GET cost
+// plus a per-byte term on the first argument.
+func (n *NicKV) execReadCost(argv [][]byte) sim.Duration {
 	var payload int
 	if len(argv) > 1 {
 		payload = len(argv[1])
 	}
-	n.proc.Core.Charge(n.params.CmdExecGetCPU +
-		sim.Duration(float64(payload)*n.params.CmdExecPerByte))
-	reply, _ := n.replica.Exec(c.db, argv)
-	n.proc.Core.Charge(n.params.ReplyBuildCPU)
-	c.conn.Send(reply)
+	return n.params.CmdExecGetCPU +
+		sim.Duration(float64(payload)*n.params.CmdExecPerByte)
+}
+
+func movedError() []byte {
+	return resp.AppendError(nil, "MOVED write commands go to the master host")
 }

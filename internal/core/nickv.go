@@ -62,9 +62,22 @@ type NicKV struct {
 
 	probeTicker *sim.Ticker
 
-	// Shadow replica for the §IV-A ablation (nil unless enabled).
-	replica     *store.Store
-	replApplier *replstream.Applier
+	// Shadow replica for the §IV-A ablation (nil unless enabled). With
+	// rshards > 1 the replica mirrors the host shard layout: rprocs are the
+	// per-shard ARM cores, applyq/applyInflight the apply pipeline, and
+	// replicaOff the stream offset the replica has consumed up to (replay
+	// trimming + gap detection). See niccache.go.
+	replica       *store.Store
+	replApplier   *replstream.Applier
+	rshards       int
+	rprocs        []*sim.Proc
+	applyq        []nicApplyOp
+	applyInflight int
+	replicaOff    int64
+
+	mReplicaGaps   *metrics.Counter
+	mReplicaRouted *metrics.Counter
+	mReplicaFenced *metrics.Counter
 
 	// Stats for tests and ablations. ReplRequests counts frames from the
 	// master, ReplCmds the commands they carried (equal unless batching);
@@ -141,7 +154,7 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 	n.Stack.Listen(NicPort, n.accept)
 	n.probeTicker = eng.Every(params.ProbePeriod, n.probeTick)
 	if cfg.ServeReadsFromNIC {
-		n.initReadServing()
+		n.initReadServing(m.Name)
 	}
 	return n
 }
@@ -365,7 +378,7 @@ func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
 	if end := off + int64(len(cmd)); end > n.streamEnd {
 		n.streamEnd = end
 	}
-	n.applyToReplica(cmd)
+	n.applyToReplica(off, cmd)
 	frame := []byte{msgCmdStream}
 	frame = appendU64(frame, uint64(off))
 	frame = append(frame, cmd...)

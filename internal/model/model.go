@@ -163,9 +163,26 @@ type Params struct {
 	// append). Charged only when HostShards > 1.
 	ShardMergeCPU sim.Duration
 	// ShardFenceCPU is the per-shard cost of a cross-shard fence (KEYS,
-	// DBSIZE, FLUSHALL, multi-shard MSET/DEL, PSYNC, WAIT): the fan-in
+	// DBSIZE, FLUSHALL, multi-shard MSET/DEL, PSYNC): the fan-in
 	// coordination each shard core pays. Charged only when HostShards > 1.
 	ShardFenceCPU sim.Duration
+
+	// ---- Nic-KV replica sharding (NIC-served reads, §IV-A ablation) ----
+	// When the shadow replica is enabled, Nic-KV mirrors the host's shard
+	// layout: min(HostShards, NICCores) ARM cores each own a key-hash slice
+	// of the replica, applying the stream and serving reads in parallel.
+	// All three knobs are charged only when that count is > 1.
+
+	// NicShardRouteCPU is the main-ARM-core cost of routing one replica
+	// apply or NIC-served read to its shard core.
+	NicShardRouteCPU sim.Duration
+	// NicShardMergeCPU is the main-ARM-core cost of merging one completed
+	// shard operation back (reply re-sequencing / apply retirement).
+	NicShardMergeCPU sim.Duration
+	// NicShardFenceCPU is the per-shard cost of quiescing the replica's
+	// apply pipeline for a cross-shard command in the stream (FLUSHALL,
+	// multi-shard MSET/DEL).
+	NicShardFenceCPU sim.Duration
 	// ForkCPU is the cost on the master of starting the persistence child
 	// (paper step 2 of initial sync).
 	ForkCPU sim.Duration
@@ -259,6 +276,10 @@ func Default() Params {
 		ShardRouteCPU: 120 * sim.Nanosecond,
 		ShardMergeCPU: 150 * sim.Nanosecond,
 		ShardFenceCPU: 200 * sim.Nanosecond,
+
+		NicShardRouteCPU: 120 * sim.Nanosecond,
+		NicShardMergeCPU: 150 * sim.Nanosecond,
+		NicShardFenceCPU: 200 * sim.Nanosecond,
 
 		CronPeriod:      100 * sim.Millisecond,
 		CronCPU:         60 * sim.Microsecond,

@@ -68,9 +68,9 @@ func New(opts Options) (*Server, error) {
 	if opts.CronInterval == 0 {
 		opts.CronInterval = 100 * time.Millisecond
 	}
-	st := store.New(opts.NumDBs, opts.Seed, func() int64 {
+	st := store.New(store.Options{DBs: opts.NumDBs, Seed: opts.Seed, Clock: func() int64 {
 		return time.Now().UnixMilli()
-	})
+	}})
 	s := &Server{
 		opts:   opts,
 		st:     st,

@@ -11,7 +11,7 @@ import (
 
 func newStore() *store.Store {
 	now := int64(1_000_000)
-	return store.New(16, 7, func() int64 { return now })
+	return store.New(store.Options{Seed: 7, Clock: func() int64 { return now }})
 }
 
 func exec(t *testing.T, s *store.Store, dbi int, line string) {
@@ -76,8 +76,8 @@ func TestRoundTripAllTypes(t *testing.T) {
 
 func TestExpirySurvivesRoundTrip(t *testing.T) {
 	now := int64(1_000_000)
-	src := store.New(1, 7, func() int64 { return now })
-	dst := store.New(1, 9, func() int64 { return now })
+	src := store.New(store.Options{DBs: 1, Seed: 7, Clock: func() int64 { return now }})
+	dst := store.New(store.Options{DBs: 1, Seed: 9, Clock: func() int64 { return now }})
 	exec(t, src, 0, "SET k v")
 	exec(t, src, 0, "PEXPIRE k 5000")
 	if err := Load(dst, Dump(src)); err != nil {

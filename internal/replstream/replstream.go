@@ -138,12 +138,16 @@ func (w *Writer) Pending() int { return len(w.pending) }
 // stream: a SELECT is injected when the stream context differs, both are
 // appended to the backlog immediately (offsets advance now, flushing only
 // defers the downstream send).
-func (w *Writer) Append(db int, argv [][]byte) {
+// Append enters one command into the stream (injecting a SELECT when the
+// db context changes) and returns the backlog end offset after the write —
+// the offset a replica must ack before this write counts as replicated.
+func (w *Writer) Append(db int, argv [][]byte) int64 {
 	if db != w.db {
 		w.db = db
 		w.add(resp.EncodeCommand("SELECT", strconv.Itoa(db)))
 	}
 	w.add(resp.EncodeCommandBytes(argv...))
+	return w.cfg.Backlog.EndOffset()
 }
 
 // AppendEncoded enters one pre-encoded command into the stream, bypassing

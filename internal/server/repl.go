@@ -15,12 +15,13 @@ import (
 
 // ---- Master side ----
 
-// propagate enters a write into the replication stream. The replstream
-// Writer owns backlog append, SELECT injection, and batching; flushed
-// batches come back through flushReplBatch.
-func (s *Server) propagate(db int, argv [][]byte) {
+// propagate enters a write into the replication stream and returns the
+// replication offset the write ends at (what WAIT must see acked). The
+// replstream Writer owns backlog append, SELECT injection, and batching;
+// flushed batches come back through flushReplBatch.
+func (s *Server) propagate(db int, argv [][]byte) int64 {
 	s.WritesPropagated++
-	s.repl.Append(db, argv)
+	return s.repl.Append(db, argv)
 }
 
 // ReplStream exposes the replication stream writer (stats, forced flushes

@@ -154,6 +154,20 @@ type client struct {
 	seqNext uint64
 	seqEmit uint64
 	pending map[uint64][]byte
+
+	// lastWriteOff is the replication offset of this client's most recent
+	// propagated write (Redis client->woff). WAIT blocks until this offset
+	// is acked, not until the whole pipeline drains.
+	lastWriteOff int64
+	// gated holds commands (sharded mode) that must run in sequence order
+	// on the dispatch proc — WAIT — parked until seqEmit reaches them.
+	gated map[uint64]gatedCmd
+}
+
+// gatedCmd is a parked sequence-ordered command (see client.gated).
+type gatedCmd struct {
+	cmd  *store.Command
+	argv [][]byte
 }
 
 // slaveHandle is the master's view of one attached slave.
@@ -200,9 +214,9 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 	if shards < 1 {
 		shards = 1
 	}
-	s.store = store.NewSharded(opts.NumDBs, shards, opts.Seed^0x57a7e, func() int64 {
+	s.store = store.New(store.Options{DBs: opts.NumDBs, Shards: shards, Seed: opts.Seed ^ 0x57a7e, Clock: func() int64 {
 		return int64(eng.Now() / sim.Time(sim.Millisecond))
-	})
+	}})
 	s.store.InfoProvider = s.infoSections
 	if shards > 1 {
 		s.shard = newShardEngine(s, opts.Name, shards)
@@ -520,7 +534,7 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 	s.proc.Core.Charge(s.execCost(cmd, argv))
 	reply, dirty := s.store.Dispatch(cmd, c.db, argv)
 	if dirty && s.role == RoleMaster {
-		s.propagate(c.db, argv)
+		c.lastWriteOff = s.propagate(c.db, argv)
 	}
 	s.reply(c, reply)
 }

@@ -19,11 +19,17 @@ package server
 //     order.
 //   - Cross-shard commands (KEYS, DBSIZE, FLUSHALL/FLUSHDB, SCAN,
 //     RANDOMKEY, multi-shard MSET/DEL/MGET, ...) and ordering-sensitive
-//     server commands (PSYNC, WAIT, SLAVEOF) are barriers: they wait until
+//     server commands (PSYNC, SLAVEOF) are barriers: they wait until
 //     every routed command has executed AND merged (inflight == 0), then
 //     run inline on the dispatch proc. While a barrier waits, later
 //     arrivals from every client queue behind it, preserving the global
 //     arrival order around the fence.
+//   - WAIT is fence-free: each write's merge records its replication
+//     offset on the issuing client (client.lastWriteOff), so WAIT only
+//     needs its own client's preceding commands merged. It runs at its
+//     reply turn in the client's sequence (parked in client.gated if
+//     earlier commands are still in flight) and never quiesces the other
+//     clients' traffic.
 //   - Connection-state commands (SELECT, REPLCONF, PING, ECHO, INFO) run
 //     inline on the dispatch proc without fencing; their replies still
 //     re-sequence.
@@ -43,6 +49,13 @@ const (
 	classInline = iota
 	classRouted
 	classBarrier
+	// classWait: WAIT is sequence-ordered but fence-free. Each write's
+	// merge already recorded its replication offset on the issuing client
+	// (client.lastWriteOff), so WAIT only needs to run after the client's
+	// preceding commands have merged — not after the whole pipeline
+	// drains. It executes on the dispatch proc at its reply turn, parked
+	// in client.gated until then.
+	classWait
 )
 
 // heldCmd is one command queued behind a pending barrier.
@@ -70,6 +83,7 @@ type shardEngine struct {
 	routed  *metrics.Counter
 	inlined *metrics.Counter
 	fenced  *metrics.Counter
+	waits   *metrics.Counter
 
 	// inflight counts commands routed to a shard whose merge has not yet
 	// run. Barriers wait for zero.
@@ -98,6 +112,7 @@ func newShardEngine(s *Server, name string, shards int) *shardEngine {
 	e.routed = s.metrics.Counter("server.shard.routed")
 	e.inlined = s.metrics.Counter("server.shard.inline")
 	e.fenced = s.metrics.Counter("server.shard.barriers")
+	e.waits = s.metrics.Counter("server.shard.waits")
 	return e
 }
 
@@ -144,6 +159,8 @@ func (e *shardEngine) admit(c *client, cmd *store.Command, argv [][]byte) {
 	switch class {
 	case classRouted:
 		e.runShard(c, cmd, argv, si)
+	case classWait:
+		e.runWait(c, cmd, argv)
 	case classBarrier:
 		if e.inflight == 0 {
 			e.runBarrier(c, cmd, argv)
@@ -164,11 +181,16 @@ func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
 	}
 	if cmd.Server {
 		switch cmd.Name {
-		case "psync", "wait", "slaveof", "replicaof":
+		case "psync", "slaveof", "replicaof":
 			// Ordering-sensitive: PSYNC snapshots the keyspace and stream
-			// offset, WAIT snapshots the replication offset, SLAVEOF flips
-			// the role. All must observe a quiesced pipeline.
+			// offset, SLAVEOF flips the role. Both must observe a quiesced
+			// pipeline.
 			return classBarrier, 0
+		case "wait":
+			// Fence-free: the target offset is the caller's own
+			// lastWriteOff, recorded at each write's merge; no global
+			// quiesce needed.
+			return classWait, 0
 		}
 		return classInline, 0 // select, replconf
 	}
@@ -223,9 +245,14 @@ func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si 
 		e.shardExec[si].Observe(cost)
 		s.proc.Post(p.ShardMergeCPU, func() {
 			// Merge stage, on the dispatch proc: replication order is
-			// merge-arrival order — a single serialized stream.
+			// merge-arrival order — a single serialized stream. The write's
+			// end offset lands on the issuing client so a later WAIT blocks
+			// on exactly this client's writes. Max, not assign: a client's
+			// writes to different shards can merge out of order.
 			if s.alive && dirty && s.role == RoleMaster {
-				s.propagate(dbi, argv)
+				if off := s.propagate(dbi, argv); off > c.lastWriteOff {
+					c.lastWriteOff = off
+				}
 			}
 			e.complete(c, seq, reply)
 			e.mergeDone()
@@ -250,6 +277,26 @@ func (e *shardEngine) runInline(c *client, cmd *store.Command, argv [][]byte) {
 	buf := e.capBuf
 	e.capturing, e.capClient, e.capBuf = false, nil, nil
 	e.complete(c, seq, buf)
+}
+
+// runWait admits a WAIT without fencing. It must still observe the
+// caller's preceding writes (their merges set lastWriteOff), so it runs at
+// its sequence turn: immediately when the client has nothing in flight,
+// otherwise parked in client.gated until complete() drains up to it. Other
+// clients' traffic keeps flowing through the shards either way.
+func (e *shardEngine) runWait(c *client, cmd *store.Command, argv [][]byte) {
+	e.waits.Inc()
+	seq := c.seqNext
+	c.seqNext++
+	if seq == c.seqEmit {
+		c.seqEmit++
+		e.s.execute(c, cmd, argv)
+		return
+	}
+	if c.gated == nil {
+		c.gated = make(map[uint64]gatedCmd)
+	}
+	c.gated[seq] = gatedCmd{cmd: cmd, argv: argv}
 }
 
 // runBarrier executes a cross-shard or ordering-sensitive command inline
@@ -280,7 +327,8 @@ func (e *shardEngine) sequencedReply(c *client, data []byte) {
 }
 
 // complete records a command's reply (nil = none) and emits every
-// consecutive ready reply in client request order.
+// consecutive ready reply in client request order. Sequence-ordered parked
+// commands (WAIT) execute when the drain reaches their turn.
 func (e *shardEngine) complete(c *client, seq uint64, reply []byte) {
 	if c.pending == nil {
 		c.pending = make(map[uint64][]byte)
@@ -288,6 +336,14 @@ func (e *shardEngine) complete(c *client, seq uint64, reply []byte) {
 	c.pending[seq] = reply
 	s := e.s
 	for {
+		if g, ok := c.gated[c.seqEmit]; ok {
+			delete(c.gated, c.seqEmit)
+			c.seqEmit++
+			if s.alive && !c.closed {
+				s.execute(c, g.cmd, g.argv)
+			}
+			continue
+		}
 		data, ok := c.pending[c.seqEmit]
 		if !ok {
 			return

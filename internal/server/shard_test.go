@@ -256,8 +256,10 @@ func TestShardedMasterReplicates(t *testing.T) {
 	}
 }
 
-// TestShardedWait: WAIT on a sharded master fences the pipeline and counts
-// acked replicas exactly like the single-threaded server.
+// TestShardedWait: WAIT on a sharded master counts acked replicas exactly
+// like the single-threaded server — but without fencing the pipeline. The
+// target offset is the caller's own last propagated write, so WAIT takes
+// the fence-free classWait path and must not touch the barrier counter.
 func TestShardedWait(t *testing.T) {
 	w := newWorld(46)
 	master := w.shardedServer("m", 6379, 4)
@@ -268,6 +270,7 @@ func TestShardedWait(t *testing.T) {
 	w.run()
 	c := w.dial(t, master)
 	c.do(t, "SET", "k", "v")
+	barriers := master.Metrics().Counter("server.shard.barriers").Value()
 	// The WAIT reply defers until both replicas ACK (every 100ms cron), so
 	// run well past the ACK period.
 	before := len(c.got)
@@ -278,6 +281,33 @@ func TestShardedWait(t *testing.T) {
 	}
 	if v := c.got[len(c.got)-1]; v.Type != resp.TypeInteger || v.Int != 2 {
 		t.Fatalf("WAIT = %s, want :2", v.String())
+	}
+	if got := master.Metrics().Counter("server.shard.barriers").Value(); got != barriers {
+		t.Fatalf("WAIT took the barrier path: barriers %d -> %d", barriers, got)
+	}
+	if got := master.Metrics().Counter("server.shard.waits").Value(); got != 1 {
+		t.Fatalf("server.shard.waits = %d, want 1", got)
+	}
+
+	// Pipelined SET+WAIT in one frame: the WAIT parks in the client's gated
+	// queue until the SET merges (recording its offset), then resolves
+	// against that write — still with no fence.
+	before = len(c.got)
+	pipe := append(resp.EncodeCommand("SET", "k2", "v2"), resp.EncodeCommand("WAIT", "2", "2000")...)
+	w.eng.After(0, func() { c.conn.Send(pipe) })
+	w.eng.Run(w.eng.Now().Add(700 * sim.Millisecond))
+	got := c.got[before:]
+	if len(got) != 2 {
+		t.Fatalf("pipelined SET+WAIT: %d replies, want 2", len(got))
+	}
+	if !got[0].IsOK() {
+		t.Fatalf("pipelined SET: %s", got[0].String())
+	}
+	if got[1].Type != resp.TypeInteger || got[1].Int != 2 {
+		t.Fatalf("pipelined WAIT = %s, want :2", got[1].String())
+	}
+	if got := master.Metrics().Counter("server.shard.barriers").Value(); got != barriers {
+		t.Fatalf("pipelined WAIT took the barrier path: barriers %d -> %d", barriers, got)
 	}
 }
 

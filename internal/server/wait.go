@@ -41,7 +41,11 @@ func (s *Server) cmdWait(c *client, argv [][]byte) {
 		s.reply(c, resp.AppendError(nil, "ERR WAIT cannot be used with replica instances"))
 		return
 	}
-	w := &waiter{c: c, target: s.ReplOffset(), need: need}
+	// Per-caller target (Redis client->woff): block until the offsets of
+	// *this client's* preceding writes are acked, not until the global
+	// replication offset is covered. A client that never wrote has target 0
+	// and returns immediately with the replica count.
+	w := &waiter{c: c, target: c.lastWriteOff, need: need}
 	if s.ackedReplicas(w.target) >= need {
 		s.reply(c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
 		return

@@ -13,7 +13,7 @@ import (
 // shardedTestStore builds an n-shard store with a controllable clock.
 func shardedTestStore(shards int) (*Store, *int64) {
 	now := int64(1_000_000)
-	s := NewSharded(16, shards, 42, func() int64 { return now })
+	s := New(Options{Shards: shards, Seed: 42, Clock: func() int64 { return now }})
 	return s, &now
 }
 

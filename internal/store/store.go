@@ -83,21 +83,36 @@ func (s *Store) InfoSections() []InfoSection {
 	return append(secs, InfoSection{Name: "Keyspace", Lines: keyspace})
 }
 
-// New creates a store with n databases and a single shard. All internal
-// randomized structures derive from seed.
-func New(n int, seed int64, clock Clock) *Store {
-	return NewSharded(n, 1, seed, clock)
+// Options configures a Store. The zero value of every field is a usable
+// default: 16 databases, one shard, seed 0, a clock pinned at zero.
+type Options struct {
+	// DBs is the number of numbered databases (SELECT targets). <= 0
+	// means the Redis default of 16.
+	DBs int
+	// Shards partitions every database into this many disjoint key-hash
+	// slices, one per owning core. <= 1 reproduces the unsharded store
+	// exactly, including the order of every RNG draw.
+	Shards int
+	// Seed drives every internal randomized structure (dict seeds, expiry
+	// sampling, rehash stepping).
+	Seed int64
+	// Clock supplies milliseconds; nil pins the store at t=0 (fine for
+	// tests that never touch expiration).
+	Clock Clock
 }
 
-// NewSharded creates a store with n databases, each partitioned into the
-// given number of disjoint key-hash shards. shards <= 1 reproduces the
-// unsharded store exactly, including the order of every RNG draw.
-func NewSharded(n, shards int, seed int64, clock Clock) *Store {
+// New creates a store from Options; see Options for field defaults.
+func New(o Options) *Store {
+	n, shards := o.DBs, o.Shards
+	seed, clock := o.Seed, o.Clock
 	if n <= 0 {
-		n = 1
+		n = 16
 	}
 	if shards <= 0 {
 		shards = 1
+	}
+	if clock == nil {
+		clock = func() int64 { return 0 }
 	}
 	s := &Store{clock: clock, rnd: rand.New(rand.NewSource(seed)), shards: shards}
 	s.shardRnd = make([]*rand.Rand, shards)

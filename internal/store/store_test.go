@@ -11,7 +11,7 @@ import (
 // testStore builds a store with a controllable millisecond clock.
 func testStore() (*Store, *int64) {
 	now := int64(1_000_000)
-	s := New(16, 42, func() int64 { return now })
+	s := New(Options{Seed: 42, Clock: func() int64 { return now }})
 	return s, &now
 }
 

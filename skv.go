@@ -36,7 +36,7 @@ type Store = store.Store
 // (wall time for real deployments, virtual time inside simulations); seed
 // drives internal randomization deterministically.
 func NewStore(n int, seed int64, clock func() int64) *Store {
-	return store.New(n, seed, clock)
+	return store.New(store.Options{DBs: n, Seed: seed, Clock: clock})
 }
 
 // NetServer serves a Store over real TCP with the RESP protocol.
