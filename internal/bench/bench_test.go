@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 )
@@ -46,30 +45,42 @@ func TestIDsAndByIDAgree(t *testing.T) {
 }
 
 // TestExtShardsScalesInSmokeMode runs the sharding ablation at smoke scale
-// and checks the acceptance property: four shard cores clear more SETs than
-// the single-threaded server.
+// and checks the acceptance properties: four shard cores clear more SETs
+// than the single-threaded server, and sharding the dispatch/parse stage
+// (listeners ≥ 2) clears more again than the dispatch-owned pipeline.
 func TestExtShardsScalesInSmokeMode(t *testing.T) {
 	savedWarmup, savedMeasure, savedSmoke := warmup, measure, smoke
 	SetSmoke()
 	defer func() { warmup, measure, smoke = savedWarmup, savedMeasure, savedSmoke }()
 	e := ExtShards()
-	if len(e.Rows) != 4 {
+	if len(e.Rows) != 8 {
 		t.Fatalf("rows: %d", len(e.Rows))
 	}
-	k1, k4 := e.Metrics["kops_shards1"], e.Metrics["kops_shards4"]
+	k1, k4 := e.Metrics["kops_shards1_l1"], e.Metrics["kops_shards4_l1"]
 	if k1 <= 0 || k4 <= 0 {
 		t.Fatalf("missing throughput metrics: %v", e.Metrics)
 	}
 	if k4 <= k1 {
 		t.Fatalf("4 shards (%.1f kops/s) not faster than 1 (%.1f kops/s)", k4, k1)
 	}
-	if e.Metrics["gain_pct_shards4"] <= 0 {
-		t.Fatalf("gain_pct_shards4 = %v", e.Metrics["gain_pct_shards4"])
+	if e.Metrics["gain_pct_shards4_l1"] <= 0 {
+		t.Fatalf("gain_pct_shards4_l1 = %v", e.Metrics["gain_pct_shards4_l1"])
+	}
+	// The tentpole: routing listeners clear the dispatch-core ceiling.
+	k4l2 := e.Metrics["kops_shards4_l2"]
+	if k4l2 <= k4 {
+		t.Fatalf("routing plane bought nothing: %.1f kops/s at 4 shards ×2 listeners vs %.1f at ×1", k4l2, k4)
+	}
+	// And the dispatch core is demoted to a thin merge stage.
+	if du := e.Metrics["dispatch_util_pct_shards4_l2"]; du >= e.Metrics["dispatch_util_pct_shards4_l1"] {
+		t.Fatalf("dispatch util did not drop: %.0f%% at ×2 listeners vs %.0f%% at ×1",
+			du, e.Metrics["dispatch_util_pct_shards4_l1"])
 	}
 	// Per-caller WAIT: the probes must never trip the global barrier path.
-	for _, shards := range []int{1, 2, 4, 8} {
-		if b := e.Metrics[fmt.Sprintf("wait_barriers_shards%d", shards)]; b != 0 {
-			t.Fatalf("WAIT probes fenced the pipeline at %d shards: %v barriers", shards, b)
+	for _, key := range []string{"shards1_l1", "shards2_l1", "shards4_l1", "shards8_l1",
+		"shards4_l2", "shards4_l4", "shards8_l2", "shards8_l4"} {
+		if b := e.Metrics["wait_barriers_"+key]; b != 0 {
+			t.Fatalf("WAIT probes fenced the pipeline at %s: %v barriers", key, b)
 		}
 	}
 }

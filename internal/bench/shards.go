@@ -15,27 +15,46 @@ import (
 
 // ExtShards is an extension experiment beyond the paper: the Host-KV
 // keyspace sharded over multiple cores behind the deterministic dispatch
-// plane. The dispatch core parses and routes; each shard core executes the
-// commands whose keys hash to it; completed writes merge back into the one
-// serialized replication stream. Throughput scales until the dispatch core
-// itself saturates — the per-core utilization columns show the bottleneck
-// migrating from execution to dispatch as the shard count grows.
+// plane, and the dispatch/parse stage itself sharded across routing
+// listeners. Listeners=1 rows are the dispatch-owned pipeline: the dispatch
+// core parses, routes, merges, and propagates — and saturates at ~575
+// kops/s regardless of shard count. Listeners≥2 rows move transport
+// receive, parse, routing, and reply emission onto per-listener cores;
+// the dispatch core keeps only the merge/order stage (with replication
+// batching amortizing the per-write offload doorbell), so the bottleneck
+// finally leaves the front end. Replication, WAIT, PSYNC and the Nic-KV
+// offload see one serialized stream in every row.
 func ExtShards() *Experiment {
 	e := &Experiment{
 		ID:    "ext-shards",
-		Title: "Host-KV keyspace sharding (SET, 8 clients ×8 deep, 3 slaves) — extension",
-		Header: []string{"shards", "skv kops/s", "p99 µs", "dispatch util", "shard core utils",
-			"wait0 rtt µs", "wait barriers"},
+		Title: "Host-KV keyspace + dispatch/parse sharding (SET, 8 clients ×8 deep, 3 slaves) — extension",
+		Header: []string{"shards", "listeners", "skv kops/s", "p99 µs", "dispatch util",
+			"route core utils", "shard core utils", "wait0 rtt µs", "wait barriers"},
 		Notes: []string{
-			"extension beyond the paper: shards=1 is the single-threaded server bit-for-bit (no dispatch plane)",
-			"replication, WAIT and the Nic-KV offload see one serialized stream at every shard count",
-			"wait0 rtt: round-trip of WAIT 0 0 probed under full load — per-caller WAIT no longer quiesces the dispatch pipeline, so the barrier count stays 0 at every shard count",
+			"extension beyond the paper: shards=1 is the single-threaded server bit-for-bit (no dispatch plane); listeners=1 is the PR-5 dispatch-owned pipeline bit-for-bit",
+			"replication, WAIT and the Nic-KV offload see one serialized stream at every shard and listener count",
+			"listeners≥2 rows batch replication flushes (8 cmds or 5µs, whichever first) — the thin merge stage amortizes the offload doorbell behind a coalescing timer; listeners=1 rows keep the legacy per-write flush",
+			"wait0 rtt: round-trip of WAIT 0 0 probed under full load — per-caller WAIT never quiesces the pipeline, so the barrier count stays 0 in every row",
 		},
 	}
 	base := -1.0
-	for _, shards := range []int{1, 2, 4, 8} {
+	rows := []struct{ shards, listeners int }{
+		{1, 1}, {2, 1}, {4, 1}, {8, 1}, {4, 2}, {4, 4}, {8, 2}, {8, 4},
+	}
+	for _, row := range rows {
 		p := model.Default()
-		p.HostShards = shards
+		p.HostShards = row.shards
+		p.RouteListeners = row.listeners
+		if row.listeners > 1 {
+			// The routed rows' merge stage is deliberately thin: batch the
+			// replication flush so the offload doorbell amortizes across
+			// writes instead of re-bottlenecking the dispatch core. The
+			// underloaded merge core quiesces between every two merges, so
+			// partial batches need the coalescing timer, not the quiesce
+			// flush, to accumulate.
+			p.ReplBatchMaxCmds = 8
+			p.ReplBatchMaxDelay = 5 * sim.Microsecond
+		}
 		c := cluster.Build(cluster.Config{Kind: cluster.KindSKV, Slaves: 3, Clients: 8,
 			Pipeline: 8, Seed: 67, Params: &p, SKV: core.DefaultConfig()})
 		if !c.AwaitReplication(5 * sim.Second) {
@@ -43,31 +62,37 @@ func ExtShards() *Experiment {
 		}
 		r := c.Measure(warmup, measure)
 		waitRTT, waitBarriers := waitProbe(c, 5)
-		utils := make([]string, len(r.ShardUtils))
-		for i, u := range r.ShardUtils {
-			utils[i] = fmt.Sprintf("%.0f%%", u*100)
-		}
-		shardCol := strings.Join(utils, "/")
-		if shardCol == "" {
-			shardCol = "-"
-		}
 		e.Rows = append(e.Rows, []string{
-			fmt.Sprint(shards), kops(r.Throughput), f1(r.P99.Micros()),
-			fmt.Sprintf("%.0f%%", r.MasterUtil*100), shardCol,
+			fmt.Sprint(row.shards), fmt.Sprint(row.listeners), kops(r.Throughput), f1(r.P99.Micros()),
+			fmt.Sprintf("%.0f%%", r.MasterUtil*100), utilCol(r.RouteUtils), utilCol(r.ShardUtils),
 			f1(waitRTT.Micros()), fmt.Sprint(waitBarriers),
 		})
-		e.metric(fmt.Sprintf("kops_shards%d", shards), r.Throughput/1000)
-		e.metric(fmt.Sprintf("p99_us_shards%d", shards), r.P99.Micros())
-		e.metric(fmt.Sprintf("dispatch_util_pct_shards%d", shards), r.MasterUtil*100)
-		e.metric(fmt.Sprintf("wait0_us_shards%d", shards), waitRTT.Micros())
-		e.metric(fmt.Sprintf("wait_barriers_shards%d", shards), float64(waitBarriers))
-		if shards == 1 {
+		key := fmt.Sprintf("shards%d_l%d", row.shards, row.listeners)
+		e.metric("kops_"+key, r.Throughput/1000)
+		e.metric("p99_us_"+key, r.P99.Micros())
+		e.metric("dispatch_util_pct_"+key, r.MasterUtil*100)
+		e.metric("wait0_us_"+key, waitRTT.Micros())
+		e.metric("wait_barriers_"+key, float64(waitBarriers))
+		if row.shards == 1 && row.listeners == 1 {
 			base = r.Throughput
 		} else if base > 0 {
-			e.metric(fmt.Sprintf("gain_pct_shards%d", shards), (r.Throughput/base-1)*100)
+			e.metric("gain_pct_"+key, (r.Throughput/base-1)*100)
 		}
 	}
 	return e
+}
+
+// utilCol renders a per-core utilization slice as "93%/94%/..." ("-" when
+// the plane is off).
+func utilCol(utils []float64) string {
+	if len(utils) == 0 {
+		return "-"
+	}
+	cols := make([]string, len(utils))
+	for i, u := range utils {
+		cols[i] = fmt.Sprintf("%.0f%%", u*100)
+	}
+	return strings.Join(cols, "/")
 }
 
 // waitProbe measures WAIT's dispatch-pipeline cost while the SET load is

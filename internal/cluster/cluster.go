@@ -194,6 +194,7 @@ func Build(cfg Config) *Cluster {
 			Port:        core.ClientPort,
 			DisableCron: cfg.DisableCron,
 			Shards:      p.HostShards,
+			Listeners:   p.RouteListeners,
 		}, eng, stack, proc)
 		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
 			rs.Device().SetMetrics(srv.Metrics())
@@ -303,6 +304,9 @@ type Result struct {
 	MasterUtil float64
 	// ShardUtils is each master shard core's busy fraction (HostShards > 1).
 	ShardUtils []float64
+	// RouteUtils is each master routing core's busy fraction
+	// (RouteListeners > 1).
+	RouteUtils []float64
 	// NicUtil is Nic-KV's main ARM core busy fraction (SKV only).
 	NicUtil float64
 }
@@ -323,7 +327,32 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 		cl.WarmupUntil = start
 	}
 	end := start.Add(duration)
+	// Utilization is reported over the measure window — the same window
+	// throughput and latency are measured over — so handshake, sync, and
+	// warmup CPU don't pollute the busy fraction. Run to the window start,
+	// snapshot each core's busy-time accumulator, then run the window.
+	c.Eng.Run(start)
+	busyAt := func(core *sim.Core) sim.Duration { return core.BusyTime() }
+	masterBusy := busyAt(c.Master.Proc().Core)
+	var shardBusy, routeBusy []sim.Duration
+	for _, sp := range c.Master.ShardProcs() {
+		shardBusy = append(shardBusy, busyAt(sp.Core))
+	}
+	for _, rp := range c.Master.RouteProcs() {
+		routeBusy = append(routeBusy, busyAt(rp.Core))
+	}
+	var nicBusy sim.Duration
+	if c.NicKV != nil {
+		nicBusy = busyAt(c.NicKV.Proc().Core)
+	}
 	c.Eng.Run(end)
+	windowUtil := func(before sim.Duration, core *sim.Core) float64 {
+		u := float64(core.BusyTime()-before) / float64(duration)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
 
 	agg := stats.NewHistogram()
 	var errs uint64
@@ -342,13 +371,16 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 		P99:        agg.Percentile(99),
 		Ops:        agg.Count(),
 		ErrReplies: errs,
-		MasterUtil: c.Master.Proc().Core.Utilization(end),
+		MasterUtil: windowUtil(masterBusy, c.Master.Proc().Core),
 	}
-	for _, sp := range c.Master.ShardProcs() {
-		res.ShardUtils = append(res.ShardUtils, sp.Core.Utilization(end))
+	for i, sp := range c.Master.ShardProcs() {
+		res.ShardUtils = append(res.ShardUtils, windowUtil(shardBusy[i], sp.Core))
+	}
+	for i, rp := range c.Master.RouteProcs() {
+		res.RouteUtils = append(res.RouteUtils, windowUtil(routeBusy[i], rp.Core))
 	}
 	if c.NicKV != nil {
-		res.NicUtil = c.NicKV.Proc().Core.Utilization(end)
+		res.NicUtil = windowUtil(nicBusy, c.NicKV.Proc().Core)
 	}
 	return res
 }
@@ -369,9 +401,15 @@ func (c *Cluster) Snapshots() []metrics.Snapshot {
 	for _, reg := range c.Master.ShardRegistries() {
 		snaps = append(snaps, reg.Snapshot())
 	}
+	for _, reg := range c.Master.RouteRegistries() {
+		snaps = append(snaps, reg.Snapshot())
+	}
 	for _, s := range c.Slaves {
 		snaps = append(snaps, s.Metrics().Snapshot())
 		for _, reg := range s.ShardRegistries() {
+			snaps = append(snaps, reg.Snapshot())
+		}
+		for _, reg := range s.RouteRegistries() {
 			snaps = append(snaps, reg.Snapshot())
 		}
 	}

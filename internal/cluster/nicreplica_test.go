@@ -54,6 +54,30 @@ func TestNicReplicaKeyspaceEqualsMasterAcrossShards(t *testing.T) {
 	}
 }
 
+// TestNicReplicaKeyspaceEqualsMasterRouted: the routing plane must not
+// perturb the replication stream the NIC shadow replica is fed from — the
+// merge stage still owns the one serialized order. Same oracle as above,
+// with 2 and 4 routing listeners in front of 4 shards.
+func TestNicReplicaKeyspaceEqualsMasterRouted(t *testing.T) {
+	for _, listeners := range []int{2, 4} {
+		c := Build(Config{Kind: KindSKV, Slaves: 2, Clients: 0, Seed: 31,
+			Params: routeParams(4, listeners), SKV: core.DefaultConfig(),
+			NicReads: NicReadsServe})
+		if !c.AwaitReplication(2 * sim.Second) {
+			t.Fatalf("listeners=%d: sync failed", listeners)
+		}
+		randomWriter(t, c, 77, 2000)
+		c.Eng.Run(c.Eng.Now().Add(200 * sim.Millisecond))
+		if c.NicKV.ReplicaSize() == 0 {
+			t.Fatalf("listeners=%d: NIC replica empty after mixed workload", listeners)
+		}
+		requireSameKeyspace(t, fmt.Sprintf("listeners=%d", listeners), c.Master.Store(), c.NicKV.ReplicaStore())
+		if gaps := c.NicKV.Metrics().Counter("nickv.replica.gaps").Value(); gaps != 0 {
+			t.Fatalf("listeners=%d: replica saw %d stream gaps", listeners, gaps)
+		}
+	}
+}
+
 // TestNicReplicaChaosKeyspaceEquality re-runs every chaos scenario with the
 // NIC shadow replica enabled at 1, 2 and 4 host shards: after the cluster
 // converges, the replica must match the master keyspace — failovers,

@@ -141,6 +141,15 @@ type Params struct {
 	// ReplBatchMaxBytes caps a replication batch in bytes so large values
 	// do not defer the flush unboundedly. 0 means 64KB.
 	ReplBatchMaxBytes int
+	// ReplBatchMaxDelay, when > 0, replaces the quiesce flush with a
+	// doorbell-coalescing timer: a partial batch flushes this long after
+	// its first command (NIC interrupt-moderation discipline). An
+	// underloaded producer — the demoted merge stage, which handles one
+	// 150ns merge per ~650ns arrival — quiesces between every two writes,
+	// so the quiesce flush degenerates to batch=1 there; the timer is what
+	// lets ReplBatchMaxCmds actually accumulate. 0 keeps the legacy
+	// quiesce flush bit-for-bit.
+	ReplBatchMaxDelay sim.Duration
 	// RDBPerByte is the serialize/load cost per byte of RDB payload during
 	// initial synchronization.
 	RDBPerByte float64 // ns per byte
@@ -166,6 +175,21 @@ type Params struct {
 	// DBSIZE, FLUSHALL, multi-shard MSET/DEL, PSYNC): the fan-in
 	// coordination each shard core pays. Charged only when HostShards > 1.
 	ShardFenceCPU sim.Duration
+	// RouteListeners is the number of per-listener routing procs a sharded
+	// Host-KV node runs in front of the dispatch proc. 1 (or 0) keeps the
+	// PR-5 pipeline bit-for-bit: the dispatch proc owns every connection,
+	// parses, routes and merges. With N > 1 (and HostShards > 1) inbound
+	// client connections are pinned round-robin to N routing procs, each on
+	// its own core: the routing proc pays the transport receive path, RESP
+	// parse, classification and the shard handoff, while the dispatch proc
+	// shrinks to the merge/order stage — the single serialized replication
+	// order, write gating and barrier admission. Ignored when HostShards <= 1.
+	RouteListeners int
+	// RouteCPU is the routing-core cost of the key-hash route decision and
+	// shard handoff for one parsed command (the routing plane's analog of
+	// ShardRouteCPU, which stays the dispatch-core cost when RouteListeners
+	// <= 1). Charged only when the routing plane is on.
+	RouteCPU sim.Duration
 
 	// ---- Nic-KV replica sharding (NIC-served reads, §IV-A ablation) ----
 	// When the shadow replica is enabled, Nic-KV mirrors the host's shard
@@ -272,10 +296,12 @@ func Default() Params {
 		RDBPerByte:        0.6,
 		ForkCPU:           2 * sim.Millisecond,
 
-		HostShards:    1,
-		ShardRouteCPU: 120 * sim.Nanosecond,
-		ShardMergeCPU: 150 * sim.Nanosecond,
-		ShardFenceCPU: 200 * sim.Nanosecond,
+		HostShards:     1,
+		ShardRouteCPU:  120 * sim.Nanosecond,
+		ShardMergeCPU:  150 * sim.Nanosecond,
+		ShardFenceCPU:  200 * sim.Nanosecond,
+		RouteListeners: 1,
+		RouteCPU:       120 * sim.Nanosecond,
 
 		NicShardRouteCPU: 120 * sim.Nanosecond,
 		NicShardMergeCPU: 150 * sim.Nanosecond,

@@ -122,6 +122,12 @@ type conn struct {
 	stack *Stack
 	qp    *rdma.QP
 
+	// proc, when non-nil, overrides the stack's process for completion
+	// delivery and this connection's CPU accounting
+	// (transport.ProcAssignable): CQ drains post here, and the QP's
+	// send/recv work-request costs charge this proc's core.
+	proc *sim.Proc
+
 	// Receive side.
 	ring        *rdma.MR
 	readOff     int
@@ -157,9 +163,9 @@ func (s *Stack) newConn(qp *rdma.QP) *conn {
 	// discovers the death through its own retry window or probe timeouts.
 	qp.OnFail(func() { c.teardown() })
 	qp.RecvCQ.OnNotify(func() {
-		// Completion event channel: hand the batch to the process. The
-		// proc charges its wakeup (comp-channel wake) only when idle.
-		s.proc.Post(0, func() { c.drainCQ() })
+		// Completion event channel: hand the batch to the owning process.
+		// The proc charges its wakeup (comp-channel wake) only when idle.
+		c.owner().Post(0, func() { c.drainCQ() })
 	})
 	qp.RecvCQ.RequestNotify()
 	// Register the receive ring and announce it. Setup runs on the owner
@@ -189,7 +195,7 @@ func (c *conn) sendCtrl(b []byte) {
 // drainCQ harvests completions on the owner process, charging completion
 // costs, then re-arms the event channel.
 func (c *conn) drainCQ() {
-	wcs := c.qp.RecvCQ.ChargePoll(c.stack.proc.Core)
+	wcs := c.qp.RecvCQ.ChargePoll(c.owner().Core)
 	for _, wc := range wcs {
 		c.postedRecvs--
 		switch {
@@ -263,7 +269,7 @@ func (c *conn) handleCtrl(b []byte) {
 		// (in-order channel), so re-register and announce the fresh MR.
 		c.RingResets++
 		old := c.ring
-		c.stack.proc.Core.Charge(c.stack.MRRegisterCPU)
+		c.owner().Core.Charge(c.stack.MRRegisterCPU)
 		c.ring = c.stack.pd.RegisterMR(c.stack.RingSize)
 		old.Deregister()
 		c.readOff = 0
@@ -339,6 +345,26 @@ type CoreAssignable interface {
 
 // AssignSendCore pins this connection's send-queue posts to the given core.
 func (c *conn) AssignSendCore(core *sim.Core) { c.qp.SetSendCore(core) }
+
+var _ transport.ProcAssignable = (*conn)(nil)
+
+// owner is the process that drains this connection's completions and pays
+// its verbs CPU costs: the assigned proc, or the stack's by default.
+func (c *conn) owner() *sim.Proc {
+	if c.proc != nil {
+		return c.proc
+	}
+	return c.stack.proc
+}
+
+// AssignProc moves completion delivery and the QP's work-request cost
+// accounting (send posts, receive-ring refills, CQ polls) to p
+// (transport.ProcAssignable). Deliveries already posted stay where they are.
+func (c *conn) AssignProc(p *sim.Proc) {
+	c.proc = p
+	c.qp.SetSendCore(p.Core)
+	c.qp.SetRecvCore(p.Core)
+}
 
 // Close notifies the peer and tears the QP down.
 func (c *conn) Close() {

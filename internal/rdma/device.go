@@ -138,6 +138,10 @@ type QP struct {
 	// accounting — the thread that drives this QP's send queue (Nic-KV's
 	// multi-threaded replication pins QPs to ARM cores).
 	sendCore *sim.Core
+	// recvCore, when non-nil, overrides the device core for receive-WR post
+	// cost accounting — the thread that refills this QP's receive ring (the
+	// sharded server's routing plane pins client QPs to routing cores).
+	recvCore *sim.Core
 
 	// PostedSends counts PostSend calls (CPU-accounting assertions in
 	// tests and the WR-count ablation read this).
@@ -371,6 +375,9 @@ func (qp *QP) PostRecvN(base uint64, n int) {
 // SetSendCore pins the QP's send-side CPU accounting to a specific core.
 func (qp *QP) SetSendCore(c *sim.Core) { qp.sendCore = c }
 
+// SetRecvCore pins the QP's receive-WR post accounting to a specific core.
+func (qp *QP) SetRecvCore(c *sim.Core) { qp.recvCore = c }
+
 // postCore is the core charged for send-queue posts.
 func (qp *QP) postCore() *sim.Core {
 	if qp.sendCore != nil {
@@ -380,8 +387,12 @@ func (qp *QP) postCore() *sim.Core {
 }
 
 func (qp *QP) chargePost() {
-	if qp.dev.core != nil {
-		qp.dev.core.Charge(qp.dev.net.Params().CPUPostWR)
+	core := qp.dev.core
+	if qp.recvCore != nil {
+		core = qp.recvCore
+	}
+	if core != nil {
+		core.Charge(qp.dev.net.Params().CPUPostWR)
 	}
 }
 

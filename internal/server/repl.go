@@ -80,6 +80,10 @@ func (s *Server) cmdPSync(c *client, argv [][]byte) {
 	// the pending batch twice (once in the backlog delta, once live).
 	s.repl.Flush()
 	c.isSlaveLink = true
+	// The replication channel belongs to the dispatch proc — the merge stage
+	// feeds it and the stream's costs stay on the serialized-order owner —
+	// so a routing-plane connection hands itself back before the snapshot.
+	s.disownClient(c)
 	sl := &slaveHandle{client: c, addr: endpointName(c.conn.RemoteAddr())}
 	// A slave that re-syncs on a fresh connection must not leave its old
 	// handle behind: feedSlaves would keep charging CPU for and sending to

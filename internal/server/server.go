@@ -62,6 +62,14 @@ type Options struct {
 	// own core, behind a dispatch/merge pipeline (model.Params.HostShards).
 	// 0 or 1 keeps the single-threaded event loop bit-for-bit.
 	Shards int
+	// Listeners splits RESP parse + key-hash routing across this many
+	// routing procs in front of the dispatch proc
+	// (model.Params.RouteListeners). Client connections pin round-robin to
+	// the routing procs, which pay the transport receive path, parse,
+	// classification and shard handoff; the dispatch proc keeps only the
+	// merge/order stage. 0 or 1 keeps the dispatch-owned pipeline
+	// bit-for-bit. Ignored unless Shards > 1.
+	Listeners int
 }
 
 // Server is one key-value node: a single-threaded process bound to a
@@ -148,6 +156,14 @@ type client struct {
 	isSlaveLink bool
 	closed      bool
 
+	// owner, when non-nil, is the routing proc this connection is pinned to
+	// (RouteListeners > 1): it delivers the connection's reads and its core
+	// is charged for parse, route, inline execution and reply emission.
+	// nil = the dispatch proc owns the connection (legacy pipeline).
+	owner *sim.Proc
+	// route is 1 + the owning routing proc's index (0 = dispatch-owned).
+	route int
+
 	// Reply re-sequencing (sharded mode only): seqNext numbers commands in
 	// arrival order, seqEmit is the next reply the connection may carry,
 	// pending holds completed-but-unemittable replies (nil = no reply).
@@ -219,7 +235,7 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 	}})
 	s.store.InfoProvider = s.infoSections
 	if shards > 1 {
-		s.shard = newShardEngine(s, opts.Name, shards)
+		s.shard = newShardEngine(s, opts.Name, shards, opts.Listeners)
 	}
 	s.repl = replstream.NewWriter(replstream.WriterConfig{
 		Backlog:  s.backlog,
@@ -231,8 +247,30 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 		// work — the event-loop quiesce point. Under load that coalesces
 		// every write processed in the same busy period; idle, it fires at
 		// the current instant, right after the producing event cascade.
+		// BusyUntil only covers the task in flight, so the timer re-arms
+		// while more work sits queued behind it: a fast core with a deep
+		// queue (the demoted merge stage) is mid-busy-period, not quiesced,
+		// and flushing there would collapse every batch to one command.
+		// With ReplBatchMaxDelay set, the quiesce flush is replaced by a
+		// doorbell-coalescing timer — an underloaded producer quiesces
+		// between every two writes, which would collapse every batch to
+		// one command.
 		Schedule: func(fn func()) {
-			eng.After(s.proc.Core.BusyUntil().Sub(eng.Now()), fn)
+			if d := p.ReplBatchMaxDelay; d > 0 {
+				eng.After(d, fn)
+				return
+			}
+			var arm func()
+			arm = func() {
+				eng.After(s.proc.Core.BusyUntil().Sub(eng.Now()), func() {
+					if s.proc.Core.QueueLen() > 0 {
+						arm()
+						return
+					}
+					fn()
+				})
+			}
+			arm()
 		},
 	})
 	stack.Listen(opts.Port, s.accept)
@@ -313,6 +351,33 @@ func (s *Server) ShardProcs() []*sim.Proc {
 	return s.shard.Procs()
 }
 
+// NumRouteListeners reports how many routing procs front the dispatch proc
+// (0 when the routing plane is off).
+func (s *Server) NumRouteListeners() int {
+	if s.shard == nil {
+		return 0
+	}
+	return len(s.shard.routeProcs)
+}
+
+// RouteRegistries exposes the per-listener instrument registries (empty
+// when the routing plane is off).
+func (s *Server) RouteRegistries() []*metrics.Registry {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.routeRegs
+}
+
+// RouteProcs exposes the routing procs (empty when the routing plane is
+// off); the bench harness reads their cores' utilization.
+func (s *Server) RouteProcs() []*sim.Proc {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.routeProcs
+}
+
 // AddInfoSection registers an extra INFO section producer (the SKV layer
 // adds its offload section through this).
 func (s *Server) AddInfoSection(fn func() store.InfoSection) {
@@ -361,8 +426,36 @@ func (s *Server) accept(conn transport.Conn) {
 	s.nextClientID++
 	c := &client{id: s.nextClientID, conn: conn}
 	s.clients[c.id] = c
+	if s.shard != nil {
+		s.shard.adoptClient(c)
+	}
 	conn.SetHandler(func(data []byte) { s.readQueryFromClient(c, data) })
 	conn.SetCloseHandler(func() { s.freeClient(c) })
+}
+
+// coreFor is the CPU core charged for work done on behalf of c: the owning
+// routing core when the routing plane has the connection, the dispatch core
+// otherwise. With RouteListeners <= 1 every client is dispatch-owned, so the
+// charge sequence is bit-for-bit the legacy pipeline's.
+func (s *Server) coreFor(c *client) *sim.Core {
+	if c != nil && c.owner != nil {
+		return c.owner.Core
+	}
+	return s.proc.Core
+}
+
+// disownClient returns a routing-plane connection to the dispatch proc:
+// replication channels (PSYNC) must live where the merge stage feeds them,
+// and their costs belong to the serialized-stream owner.
+func (s *Server) disownClient(c *client) {
+	if c.owner == nil {
+		return
+	}
+	c.owner = nil
+	c.route = 0
+	if pa, ok := c.conn.(transport.ProcAssignable); ok {
+		pa.AssignProc(s.proc)
+	}
 }
 
 func (s *Server) freeClient(c *client) {
@@ -399,7 +492,7 @@ func (s *Server) readQueryFromClient(c *client, data []byte) {
 	for {
 		argv, ok, err := c.reader.ReadCommand()
 		if err != nil {
-			s.proc.Core.Charge(s.params.ReplyBuildCPU)
+			s.coreFor(c).Charge(s.params.ReplyBuildCPU)
 			c.conn.Send(resp.AppendError(nil, "ERR Protocol error"))
 			c.conn.Close()
 			s.freeClient(c)
@@ -464,14 +557,16 @@ func (s *Server) processCommand(c *client, argv [][]byte) {
 	}
 	ci := s.cmdInstrumentsFor(name)
 	ci.calls.Inc()
-	// Service time is the CPU this command consumes on the node's core: the
+	// Service time is the CPU this command consumes on the core serving the
+	// connection (the routing core when the routing plane owns it): the
 	// busy-point advance across dispatch. Deterministic, unlike wall time.
-	busyStart := s.proc.Core.BusyUntil()
+	core := s.coreFor(c)
+	busyStart := core.BusyUntil()
 	if now := s.eng.Now(); busyStart < now {
 		busyStart = now
 	}
 	s.dispatchCommand(c, cmd, argv)
-	ci.service.Observe(s.proc.Core.BusyUntil().Sub(busyStart))
+	ci.service.Observe(core.BusyUntil().Sub(busyStart))
 }
 
 func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
@@ -479,7 +574,7 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	for _, a := range argv {
 		size += len(a) + 14 // RESP framing overhead per arg
 	}
-	s.proc.Core.Charge(s.params.ParseCost(size))
+	s.coreFor(c).Charge(s.params.ParseCost(size))
 	s.CommandsProcessed++
 
 	if s.shard != nil {
@@ -531,7 +626,7 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 		}
 	}
 
-	s.proc.Core.Charge(s.execCost(cmd, argv))
+	s.coreFor(c).Charge(s.execCost(cmd, argv))
 	reply, dirty := s.store.Dispatch(cmd, c.db, argv)
 	if dirty && s.role == RoleMaster {
 		c.lastWriteOff = s.propagate(c.db, argv)
@@ -554,7 +649,7 @@ func (s *Server) reply(c *client, data []byte) {
 		s.shard.capBuf = append(s.shard.capBuf, data...)
 		return
 	}
-	s.proc.Core.Charge(s.params.ReplyBuildCPU)
+	s.coreFor(c).Charge(s.params.ReplyBuildCPU)
 	c.conn.Send(data)
 }
 

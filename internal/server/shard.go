@@ -34,14 +34,31 @@ package server
 //     inline on the dispatch proc without fencing; their replies still
 //     re-sequence.
 //
+// The routing plane (RouteListeners > 1, requires HostShards > 1) splits
+// the front half of the dispatch stage — transport receive, RESP parse,
+// classification, shard handoff, inline execution, and reply emission —
+// across N routing procs, each on its own core, with client connections
+// pinned round-robin at accept. The dispatch proc is demoted to a thin
+// merge/order stage: it keeps ONLY the serialized replication order (merge
+// + propagate), write gating and barrier admission, and the replication
+// channels themselves (PSYNC links hand themselves back via disownClient).
+// Admission is multi-producer — routing procs call route() from their own
+// events — but order stays deterministic because every event interleaves
+// through the one engine queue, and the merge stage remains the single
+// serialization point. Barriers from a routing proc never run on the
+// routing event: they defer to the dispatch proc (holdq + drainHeld), so a
+// quiesced-pipeline command always executes where the pipeline is visible.
+//
 // All of this is virtual-time concurrency inside one goroutine: the shard
-// procs interleave deterministically through the engine's event queue, so
-// two identical runs merge (and therefore replicate) in identical order.
+// and routing procs interleave deterministically through the engine's event
+// queue, so two identical runs merge (and therefore replicate) in identical
+// order.
 
 import (
 	"skv/internal/metrics"
 	"skv/internal/sim"
 	"skv/internal/store"
+	"skv/internal/transport"
 )
 
 // command admission classes.
@@ -73,6 +90,14 @@ type shardEngine struct {
 	procs []*sim.Proc
 	regs  []*metrics.Registry
 
+	// Routing plane (RouteListeners > 1): per-listener procs, registries,
+	// and instruments. Empty slices = dispatch-owned pipeline (legacy).
+	routeProcs []*sim.Proc
+	routeRegs  []*metrics.Registry
+	routeCmds  []*metrics.Counter
+	routeConns []*metrics.Counter
+	nextRoute  int
+
 	// Per-shard instruments (resolved once; the hot path never rebuilds
 	// names).
 	shardCmds []*metrics.Counter
@@ -98,7 +123,7 @@ type shardEngine struct {
 	capBuf    []byte
 }
 
-func newShardEngine(s *Server, name string, shards int) *shardEngine {
+func newShardEngine(s *Server, name string, shards, listeners int) *shardEngine {
 	e := &shardEngine{s: s}
 	for i := 0; i < shards; i++ {
 		core := sim.NewCore(s.eng, shardCoreName(name, i), s.params.HostCoreSpeed)
@@ -108,6 +133,27 @@ func newShardEngine(s *Server, name string, shards int) *shardEngine {
 		e.shardCmds = append(e.shardCmds, reg.Counter("shard.cmds"))
 		e.shardExec = append(e.shardExec, reg.Histogram("shard.exec"))
 		e.shardKeys = append(e.shardKeys, reg.Gauge("shard.keys"))
+	}
+	// The routing plane only exists with listeners > 1: a single listener
+	// would be the dispatch proc wearing a different name, and keeping the
+	// plane strictly off preserves the legacy pipeline bit-for-bit.
+	if listeners > 1 {
+		for i := 0; i < listeners; i++ {
+			core := sim.NewCore(s.eng, routeCoreName(name, i), s.params.HostCoreSpeed)
+			e.routeProcs = append(e.routeProcs, sim.NewProc(s.eng, core, s.proc.WakeupCost))
+			reg := metrics.NewRegistry(routeCoreNamePrefix(name, i), s.eng.Now)
+			e.routeRegs = append(e.routeRegs, reg)
+			e.routeCmds = append(e.routeCmds, reg.Counter("route.cmds"))
+			e.routeConns = append(e.routeConns, reg.Counter("route.conns"))
+		}
+		// The demoted dispatch proc owns no connections: nothing arrives on
+		// an epoll fd or completion channel it could block on — only merge
+		// posts from the shard procs. A dedicated merge stage busy-polls its
+		// queue (the DPDK/SPDK reactor discipline), so it stops paying the
+		// completion-channel wake on every idle→busy transition that the
+		// connection-owning PR-5 dispatch proc had to pay. The routing procs
+		// keep the blocking wakeup — they DO own connections.
+		s.proc.WakeupCost = 0
 	}
 	e.routed = s.metrics.Counter("server.shard.routed")
 	e.inlined = s.metrics.Counter("server.shard.inline")
@@ -128,17 +174,62 @@ func shardCoreNamePrefix(name string, i int) string {
 	return name + "/shard" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
 }
 
+func routeCoreName(name string, i int) string {
+	return routeCoreNamePrefix(name, i) + "-core"
+}
+
+func routeCoreNamePrefix(name string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return name + "/route" + digits[i:i+1]
+	}
+	return name + "/route" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// routing reports whether the routing plane is on (RouteListeners > 1).
+func (e *shardEngine) routing() bool { return len(e.routeProcs) > 0 }
+
+// adoptClient pins a freshly accepted connection to a routing proc,
+// round-robin: the proc delivers the connection's reads, and its core is
+// charged for the receive path, parse, routing, inline execution, and
+// reply emission. No-op with the routing plane off.
+func (e *shardEngine) adoptClient(c *client) {
+	if !e.routing() {
+		return
+	}
+	i := e.nextRoute
+	e.nextRoute = (e.nextRoute + 1) % len(e.routeProcs)
+	c.owner = e.routeProcs[i]
+	c.route = i + 1
+	e.routeConns[i].Inc()
+	if pa, ok := c.conn.(transport.ProcAssignable); ok {
+		pa.AssignProc(c.owner)
+	}
+}
+
 // route is the sharded continuation of dispatchCommand: parse cost is
-// already charged; decide where the command runs.
+// already charged (on the routing core when the routing plane owns the
+// connection); decide where the command runs. Multi-producer: routing
+// procs call this from their own events, the dispatch proc from its own —
+// arrival order across producers is the engine's deterministic event order.
 func (e *shardEngine) route(c *client, cmd *store.Command, argv [][]byte) {
+	if c.route > 0 {
+		e.routeCmds[c.route-1].Inc()
+	}
 	if e.holding {
 		e.holdq = append(e.holdq, heldCmd{c: c, cmd: cmd, argv: argv})
 		return
 	}
-	e.admit(c, cmd, argv)
+	e.admitFrom(c, cmd, argv, false)
 }
 
-func (e *shardEngine) admit(c *client, cmd *store.Command, argv [][]byte) {
+// admitFrom classifies and launches one command. onDispatch is true when
+// the caller is the dispatch proc's own event (the barrier drain): with
+// the routing plane on, a barrier is only ever EXECUTED from there —
+// admitted from a routing proc it always defers through the hold queue,
+// even at inflight == 0, so quiesced-pipeline commands run on the stage
+// that owns the serialized order (and never re-defer themselves forever).
+func (e *shardEngine) admitFrom(c *client, cmd *store.Command, argv [][]byte, onDispatch bool) {
 	s := e.s
 	// Write gating stays on the dispatch plane, before routing, exactly
 	// where the single-threaded server checks it.
@@ -162,12 +253,16 @@ func (e *shardEngine) admit(c *client, cmd *store.Command, argv [][]byte) {
 	case classWait:
 		e.runWait(c, cmd, argv)
 	case classBarrier:
-		if e.inflight == 0 {
+		if e.inflight == 0 && (!e.routing() || onDispatch) {
 			e.runBarrier(c, cmd, argv)
 			return
 		}
 		e.holding = true
 		e.holdq = append(e.holdq, heldCmd{c: c, cmd: cmd, argv: argv})
+		if e.routing() && e.inflight == 0 {
+			// Nothing will merge to trigger the drain: hand off now.
+			e.s.proc.Post(0, e.drainHeld)
+		}
 	default:
 		e.runInline(c, cmd, argv)
 	}
@@ -228,7 +323,13 @@ func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
 func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si int) {
 	s := e.s
 	p := s.params
-	s.proc.Core.Charge(p.ShardRouteCPU)
+	if c.owner != nil {
+		// Routing plane: the route decision + shard handoff happen on the
+		// owning routing core; the dispatch core sees only the merge.
+		c.owner.Core.Charge(p.RouteCPU)
+	} else {
+		s.proc.Core.Charge(p.ShardRouteCPU)
+	}
 	e.routed.Inc()
 	e.shardCmds[si].Inc()
 	seq := c.seqNext
@@ -351,7 +452,7 @@ func (e *shardEngine) complete(c *client, seq uint64, reply []byte) {
 		delete(c.pending, c.seqEmit)
 		c.seqEmit++
 		if len(data) > 0 && s.alive && !c.closed {
-			s.proc.Core.Charge(s.params.ReplyBuildCPU)
+			s.coreFor(c).Charge(s.params.ReplyBuildCPU)
 			c.conn.Send(data)
 		}
 	}
@@ -362,6 +463,17 @@ func (e *shardEngine) complete(c *client, seq uint64, reply []byte) {
 // admission in arrival order.
 func (e *shardEngine) mergeDone() {
 	e.inflight--
+	if e.inflight == 0 && e.holding {
+		e.drainHeld()
+	}
+}
+
+// drainHeld runs on the dispatch proc with the pipeline quiesced: the held
+// barrier executes here, and everything queued behind it re-enters
+// admission in arrival order. Re-admitted routed commands raise inflight
+// again; a second barrier in the queue re-arms holding and the loop
+// re-queues the tail for the next drain.
+func (e *shardEngine) drainHeld() {
 	if e.inflight != 0 || !e.holding {
 		return
 	}
@@ -380,7 +492,7 @@ func (e *shardEngine) mergeDone() {
 			e.holdq = append(e.holdq, h)
 			continue
 		}
-		e.admit(h.c, h.cmd, h.argv)
+		e.admitFrom(h.c, h.cmd, h.argv, true)
 	}
 }
 

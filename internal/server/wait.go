@@ -107,6 +107,6 @@ func (s *Server) finishWaiter(w *waiter) {
 	if w.timer != nil {
 		w.timer.Cancel()
 	}
-	s.proc.Core.Charge(s.params.ReplyBuildCPU)
+	s.coreFor(w.c).Charge(s.params.ReplyBuildCPU)
 	s.reply(w.c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
 }

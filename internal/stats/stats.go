@@ -73,17 +73,23 @@ func (h *Histogram) Mean() sim.Duration {
 // Max reports the largest sample.
 func (h *Histogram) Max() sim.Duration { return h.max }
 
-// Percentile reports the p-th percentile (0 < p ≤ 100) to bucket
-// resolution. The rank is the ceiling of p/100·n (nearest-rank definition),
-// so p50 of {1,2,3} is the 2nd sample, not the 1st. p ≥ 100 — and any
-// percentile landing in the ≥10s overflow bucket — reports the exact
-// recorded maximum.
+// Percentile reports the p-th percentile to bucket resolution. The rank is
+// the ceiling of p/100·n (nearest-rank definition), so p50 of {1,2,3} is
+// the 2nd sample, not the 1st. p is clamped to [0, 100]: p ≤ 0 reports the
+// smallest sample's bucket (rank 1) — a negative p must NOT fall through
+// the rank arithmetic, where uint64(math.Ceil(negative)) wraps to a huge
+// rank and silently reports the maximum instead of the minimum. p ≥ 100 —
+// and any percentile landing in the ≥10s overflow bucket — reports the
+// exact recorded maximum.
 func (h *Histogram) Percentile(p float64) sim.Duration {
 	if h.n == 0 {
 		return 0
 	}
 	if p >= 100 {
 		return h.max
+	}
+	if p <= 0 {
+		p = 0
 	}
 	target := uint64(math.Ceil(p / 100 * float64(h.n)))
 	if target < 1 {

@@ -180,6 +180,37 @@ func TestHistogramOverflowBucketPercentiles(t *testing.T) {
 	}
 }
 
+// Regression: Percentile guarded p ≥ 100 but not p ≤ 0. p = 0 survived by
+// accident (Ceil(0) = 0, clamped up to rank 1), but any negative p went
+// through uint64(math.Ceil(negative)) — which wraps to an enormous rank,
+// gets clamped DOWN to n, and silently reports the maximum where the
+// minimum bucket is the only defensible answer.
+func TestHistogramPercentileLowBound(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	// Rank 1 lands in the 1µs sample's 100ns bucket.
+	want := h.Percentile(1) // ceil(0.01·10) = 1: the smallest sample
+	if want >= 2*sim.Microsecond {
+		t.Fatalf("p1 = %v, expected the smallest sample's bucket", want)
+	}
+	if p := h.Percentile(0); p != want {
+		t.Fatalf("p0 = %v, want %v (rank 1)", p, want)
+	}
+	if p := h.Percentile(-1); p != want {
+		t.Fatalf("p(-1) = %v, want %v (rank 1) — negative p must clamp, not wrap", p, want)
+	}
+	if p := h.Percentile(-1e9); p != want {
+		t.Fatalf("p(-1e9) = %v, want %v (rank 1)", p, want)
+	}
+	// Empty histogram: still zero for out-of-range p.
+	h2 := NewHistogram()
+	if p := h2.Percentile(-5); p != 0 {
+		t.Fatalf("empty p(-5) = %v, want 0", p)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Record(5 * sim.Microsecond)

@@ -292,3 +292,60 @@ func TestCommandEachKey(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedRandomKeyWeightedBySize is the distribution regression for the
+// cross-shard RANDOMKEY fan-in: the pick must be weighted by per-shard dict
+// size, NOT a uniform pick over shards followed by a pick within the shard.
+// The skew fixture puts exactly one key on its shard and hundreds on each of
+// the others; uniform-over-shards would hand the lone key ~25% of draws
+// (4 shards), weighted hands it ~1/total.
+func TestShardedRandomKeyWeightedBySize(t *testing.T) {
+	const shards = 4
+	s, _ := shardedTestStore(shards)
+
+	// One lone key on its shard, then bulk-load every OTHER shard.
+	lone := "lone-0"
+	loneShard := ShardOfKey([]byte(lone), shards)
+	run(t, s, "SET "+lone+" v")
+	bulk := 0
+	for i := 0; bulk < 1500; i++ {
+		k := fmt.Sprintf("bulk-%d", i)
+		if ShardOfKey([]byte(k), shards) == loneShard {
+			continue
+		}
+		run(t, s, "SET "+k+" v")
+		bulk++
+	}
+	total := bulk + 1
+	wantInt(t, s, "DBSIZE", int64(total))
+
+	const draws = 12000
+	loneHits := 0
+	perShard := make([]int, shards)
+	for i := 0; i < draws; i++ {
+		v := run(t, s, "RANDOMKEY")
+		if v.Null {
+			t.Fatal("RANDOMKEY nil on non-empty db")
+		}
+		k := v.String()
+		perShard[ShardOfKey([]byte(k), shards)]++
+		if k == lone {
+			loneHits++
+		}
+	}
+	// Weighted expectation: draws/total ≈ 8 hits. Uniform-over-shards bias:
+	// draws/shards = 3000. Anything near the latter is the bug.
+	if loneHits >= draws/shards/10 { // 300: 37× the weighted expectation
+		t.Fatalf("lone key drawn %d/%d times — RANDOMKEY is biased toward small shards (weighted expectation ≈ %d)",
+			loneHits, draws, draws/total)
+	}
+	// Every populated shard participates.
+	for si, n := range perShard {
+		if si == loneShard {
+			continue
+		}
+		if n == 0 {
+			t.Fatalf("shard %d never drawn across %d RANDOMKEYs", si, draws)
+		}
+	}
+}

@@ -92,7 +92,7 @@ func (s *Stack) sendOutcome(m fabric.Message, acked bool) {
 		delete(s.conns, c.id)
 		delete(s.dials, c.id)
 		if c.onClose != nil {
-			s.proc.Post(s.net.Params().TCPRxCPU, c.onClose)
+			c.owner().Post(s.net.Params().TCPRxCPU, c.onClose)
 		}
 	}
 }
@@ -172,7 +172,7 @@ func (s *Stack) recv(m fabric.Message) {
 			return
 		}
 		cost := p.TCPMsgCPURx(len(seg.data))
-		s.proc.Post(cost, func() {
+		c.owner().Post(cost, func() {
 			if c.handler != nil && !c.closed {
 				c.handler(seg.data)
 			}
@@ -184,7 +184,7 @@ func (s *Stack) recv(m fabric.Message) {
 		}
 		// Queue behind in-flight data so the close cannot overtake bytes
 		// already delivered to the process.
-		s.proc.Post(p.TCPRxCPU, func() {
+		c.owner().Post(p.TCPRxCPU, func() {
 			if c.closed {
 				return
 			}
@@ -208,12 +208,33 @@ type conn struct {
 	handler     func([]byte)
 	onClose     func()
 
+	// proc, when non-nil, overrides the stack's process for data delivery
+	// and per-message CPU accounting (transport.ProcAssignable) — the
+	// kernel steering this connection's softirq/syscall work to the CPU
+	// that owns it.
+	proc *sim.Proc
+
 	// unackedSince tracks the current streak of unacked segments
 	// (-1 = last segment acked). See Stack.sendOutcome.
 	unackedSince sim.Time
 }
 
 var _ transport.Conn = (*conn)(nil)
+var _ transport.ProcAssignable = (*conn)(nil)
+
+// owner is the process that delivers this connection's data and pays its
+// per-message CPU costs: the assigned proc, or the stack's by default.
+func (c *conn) owner() *sim.Proc {
+	if c.proc != nil {
+		return c.proc
+	}
+	return c.stack.proc
+}
+
+// AssignProc moves data delivery and per-message CPU accounting to p
+// (transport.ProcAssignable). Control segments (handshake, RST) stay on the
+// stack's process.
+func (c *conn) AssignProc(p *sim.Proc) { c.proc = p }
 
 // Send transmits one message: charges the kernel transmit cost on the
 // owner's core; the segment departs when the core finishes its current work.
@@ -223,7 +244,7 @@ func (c *conn) Send(payload []byte) {
 	}
 	s := c.stack
 	p := s.net.Params()
-	core := s.proc.Core
+	core := c.owner().Core
 	core.Charge(p.TCPMsgCPUTx(len(payload)))
 	depart := core.BusyUntil().Sub(s.net.Engine().Now())
 	if depart < 0 {

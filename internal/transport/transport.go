@@ -12,7 +12,10 @@
 // model rather than being asserted.
 package transport
 
-import "skv/internal/fabric"
+import (
+	"skv/internal/fabric"
+	"skv/internal/sim"
+)
 
 // Conn is a reliable, ordered, message-oriented connection endpoint.
 type Conn interface {
@@ -48,4 +51,16 @@ type Stack interface {
 	Endpoint() *fabric.Endpoint
 	// Transport names the implementation ("tcp" or "rdma").
 	Transport() string
+}
+
+// ProcAssignable is implemented by connections whose delivery process can be
+// reassigned after establishment: AssignProc moves the connection's receive
+// delivery (and its receive/send CPU accounting) from the stack's owning
+// process to the given one. The sharded server's routing plane uses this to
+// pin each accepted client connection to a per-listener routing proc, so the
+// transport receive path stops consuming dispatch-core cycles. Reassignment
+// only affects deliveries scheduled after the call; it must be invoked from
+// the owning engine's event context (accept callbacks qualify).
+type ProcAssignable interface {
+	AssignProc(p *sim.Proc)
 }
