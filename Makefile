@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke clean
+.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke clean
 
 all: verify
 
@@ -47,6 +47,12 @@ bench-smoke:
 # builds, applies the stream, and serves reads.
 bench-nic-smoke:
 	$(GO) run ./cmd/skv-bench -smoke -exp ablate-niccache
+
+# The multi-master hash-slot path alone (ext-cluster, masters 1/2/4):
+# the quick check that the slot plane still builds its groups, the
+# slot-aware clients route and repair their maps, and scale-out holds.
+bench-cluster-smoke:
+	$(GO) run ./cmd/skv-bench -smoke -exp ext-cluster
 
 clean:
 	$(GO) clean ./...

@@ -70,14 +70,41 @@ func (h *Chaos) TraceString() string {
 
 // snapshot captures the failure-detector and replication state in one line:
 // master validity, promotion, valid-slave count, failover/restore counters,
-// roles (M=master role, s=slave role, x=crashed), and offsets.
+// roles (M=master role, s=slave role, x=crashed), and offsets. Multi-master
+// deployments render one such block per group (g0{...} g1{...}) plus the
+// slot map's epoch and current owner addresses; the single-master format is
+// unchanged (chaos traces are a determinism oracle across refactors).
 func (h *Chaos) snapshot() string {
 	c := h.C
+	if len(c.Groups) > 0 {
+		var b strings.Builder
+		for gi, g := range c.Groups {
+			if gi > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "g%d{%s}", gi, groupSnapshot(g.Master, g.Slaves, g.SlaveAgents, g.NicKV))
+		}
+		fmt.Fprintf(&b, " ep=%d owners=[", c.SlotMap.Epoch())
+		for gi := 0; gi < c.SlotMap.Groups(); gi++ {
+			if gi > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(c.SlotMap.Addr(gi))
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	return groupSnapshot(c.Master, c.Slaves, c.SlaveAgents, c.NicKV)
+}
+
+// groupSnapshot renders one replication group's state (the legacy whole-
+// cluster snapshot format).
+func groupSnapshot(master *server.Server, slaves []*server.Server, agents []*core.SlaveAgent, nickv *core.NicKV) string {
 	var b strings.Builder
-	if c.NicKV != nil {
+	if nickv != nil {
 		fmt.Fprintf(&b, "mv=%t prom=%q vs=%d fo=%d rst=%d ",
-			c.NicKV.MasterValid(), c.NicKV.PromotedID(), c.NicKV.ValidSlaves(),
-			c.NicKV.Failovers, c.NicKV.MasterRestores)
+			nickv.MasterValid(), nickv.PromotedID(), nickv.ValidSlaves(),
+			nickv.Failovers, nickv.MasterRestores)
 	}
 	role := func(s *server.Server) byte {
 		if !s.Alive() {
@@ -88,14 +115,14 @@ func (h *Chaos) snapshot() string {
 		}
 		return 's'
 	}
-	roles := []byte{role(c.Master)}
-	for _, s := range c.Slaves {
+	roles := []byte{role(master)}
+	for _, s := range slaves {
 		roles = append(roles, role(s))
 	}
-	fmt.Fprintf(&b, "roles=%s moff=%d", roles, c.Master.ReplOffset())
-	if len(c.SlaveAgents) > 0 {
+	fmt.Fprintf(&b, "roles=%s moff=%d", roles, master.ReplOffset())
+	if len(agents) > 0 {
 		b.WriteString(" offs=[")
-		for i, a := range c.SlaveAgents {
+		for i, a := range agents {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
@@ -186,16 +213,38 @@ func (c *Cluster) RestartMaster() {
 
 // CheckConvergence verifies the deployment settled back into the healthy
 // SKV steady state. It returns nil when every invariant holds, or an error
-// listing each violation.
+// listing each violation. Multi-master deployments check every replication
+// group independently, prefixing violations with the group (g0: ...).
 func (c *Cluster) CheckConvergence() error {
+	var errs []string
+	if len(c.Groups) > 0 {
+		for gi, g := range c.Groups {
+			prefix := fmt.Sprintf("g%d: ", gi)
+			for _, e := range checkGroupConvergence(g.Master, g.Slaves, g.SlaveAgents, g.NicKV) {
+				errs = append(errs, prefix+e)
+			}
+		}
+	} else {
+		errs = checkGroupConvergence(c.Master, c.Slaves, c.SlaveAgents, c.NicKV)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("not converged: %s", strings.Join(errs, "; "))
+}
+
+// checkGroupConvergence verifies one replication group's §III-D invariants:
+// exactly one master, no leftover promotion, every alive slave valid,
+// synced, at the master's offset, and holding the master's keyspace.
+func checkGroupConvergence(master *server.Server, slaves []*server.Server, agents []*core.SlaveAgent, nickv *core.NicKV) []string {
 	var errs []string
 	add := func(format string, a ...any) { errs = append(errs, fmt.Sprintf(format, a...)) }
 
 	masters := 0
-	if c.Master.Alive() && c.Master.Role() == server.RoleMaster {
+	if master.Alive() && master.Role() == server.RoleMaster {
 		masters++
 	}
-	for i, s := range c.Slaves {
+	for i, s := range slaves {
 		if s.Alive() && s.Role() == server.RoleMaster {
 			masters++
 			add("slave%d is still in the master role", i)
@@ -205,27 +254,27 @@ func (c *Cluster) CheckConvergence() error {
 		add("%d alive masters, want exactly 1", masters)
 	}
 
-	if c.NicKV != nil {
-		if !c.NicKV.MasterValid() {
+	if nickv != nil {
+		if !nickv.MasterValid() {
 			add("Nic-KV considers the master invalid")
 		}
-		if p := c.NicKV.PromotedID(); p != "" {
+		if p := nickv.PromotedID(); p != "" {
 			add("Nic-KV still has %q promoted", p)
 		}
 		alive := 0
-		for _, s := range c.Slaves {
+		for _, s := range slaves {
 			if s.Alive() {
 				alive++
 			}
 		}
-		if v := c.NicKV.ValidSlaves(); v != alive {
+		if v := nickv.ValidSlaves(); v != alive {
 			add("Nic-KV sees %d valid slaves, want %d", v, alive)
 		}
 	}
 
-	off := c.Master.ReplOffset()
-	for i, a := range c.SlaveAgents {
-		if !c.Slaves[i].Alive() {
+	off := master.ReplOffset()
+	for i, a := range agents {
+		if !slaves[i].Alive() {
 			continue
 		}
 		if !a.Synced() {
@@ -237,8 +286,8 @@ func (c *Cluster) CheckConvergence() error {
 		}
 	}
 
-	want := c.Master.Store().DBSize(0)
-	for i, s := range c.Slaves {
+	want := master.Store().DBSize(0)
+	for i, s := range slaves {
 		if !s.Alive() {
 			continue
 		}
@@ -246,11 +295,7 @@ func (c *Cluster) CheckConvergence() error {
 			add("slave%d holds %d keys, master holds %d", i, got, want)
 		}
 	}
-
-	if len(errs) == 0 {
-		return nil
-	}
-	return fmt.Errorf("not converged: %s", strings.Join(errs, "; "))
+	return errs
 }
 
 // ---- scenarios ----------------------------------------------------------
@@ -261,6 +306,10 @@ type Scenario struct {
 	Slaves  int
 	Clients int
 	Seed    int64
+	// Masters/SlavesPerMaster build a multi-master deployment (see
+	// Config.Masters); zero values keep the legacy single-master topology.
+	Masters         int
+	SlavesPerMaster int
 	// Retry is the RC/TCP retransmission-timeout budget before a connection
 	// errors out. 0 means 10s: links park traffic but never die (pure
 	// probe-timeout scenarios). Short values force connection teardown and
@@ -305,13 +354,15 @@ func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 		s.Tune(p)
 	}
 	c := Build(Config{
-		Kind:     KindSKV,
-		Slaves:   s.Slaves,
-		Clients:  s.Clients,
-		Seed:     s.Seed,
-		Params:   p,
-		SKV:      core.Config{ProgressInterval: 50 * sim.Millisecond},
-		NicReads: s.NicReads,
+		Kind:            KindSKV,
+		Slaves:          s.Slaves,
+		Clients:         s.Clients,
+		Seed:            s.Seed,
+		Params:          p,
+		SKV:             core.Config{ProgressInterval: 50 * sim.Millisecond},
+		NicReads:        s.NicReads,
+		Masters:         s.Masters,
+		SlavesPerMaster: s.SlavesPerMaster,
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return c, nil, fmt.Errorf("%s: initial replication did not complete", s.Name)
@@ -324,6 +375,9 @@ func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 	}
 	c.Eng.RunFor(s.RunFor)
 	for _, cl := range c.Clients {
+		cl.Stop()
+	}
+	for _, cl := range c.SlotClients {
 		cl.Stop()
 	}
 	h.Note("load stopped")

@@ -23,6 +23,7 @@ import (
 	"skv/internal/rconn"
 	"skv/internal/server"
 	"skv/internal/sim"
+	"skv/internal/slots"
 	"skv/internal/stats"
 	"skv/internal/tcpsim"
 	"skv/internal/transport"
@@ -68,9 +69,25 @@ type Config struct {
 	ValueSize int     // default 64
 	GetRatio  float64 // fraction of GETs; 0 = pure SET (the paper's default)
 	Zipf      bool
+	// ZipfS is the Zipfian skew exponent (requires Zipf; must be > 1).
+	// 0 uses workload.DefaultZipfS, the evaluation's historical value.
+	ZipfS float64
 	// Pipeline keeps N requests in flight per client (redis-benchmark -P;
 	// default 1 = the paper's closed loop).
 	Pipeline int
+
+	// Masters scales the deployment out into a hash-slot cluster of that
+	// many replication groups, each a full SKV unit (master host + SmartNIC
+	// + its own slaves) owning a contiguous share of the 16384 slots.
+	// 0 or 1 builds the legacy single-master deployment bit-for-bit.
+	Masters int
+	// SlavesPerMaster is each group's slave count when Masters > 1 (the
+	// multi-master replacement for Slaves, which then must stay 0).
+	SlavesPerMaster int
+	// SlotRanges overrides the even slot split when Masters > 1; nil
+	// assigns slots.EvenSplit(Masters). Ranges must cover all 16384 slots
+	// exactly once with group indices in [0, Masters).
+	SlotRanges []slots.Range
 
 	// SKV-specific knobs. SKV.ServeReadsFromNIC is derived from NicReads by
 	// Build — setting it directly is a configuration error.
@@ -122,7 +139,65 @@ func (cfg Config) Validate() error {
 	if cfg.SKV.ServeReadsFromNIC && cfg.NicReads == NicReadsOff {
 		return fmt.Errorf("cluster: SKV.ServeReadsFromNIC is derived from Config.NicReads; set NicReads=NicReadsServe or NicReadsClients instead")
 	}
+	if cfg.ZipfS != 0 {
+		if !cfg.Zipf {
+			return fmt.Errorf("cluster: ZipfS=%v requires Zipf=true (the skew exponent only shapes the Zipfian distribution)", cfg.ZipfS)
+		}
+		if cfg.ZipfS <= 1 {
+			return fmt.Errorf("cluster: ZipfS=%v is invalid; the Zipfian exponent must be > 1", cfg.ZipfS)
+		}
+	}
+	if cfg.Masters > 1 {
+		if cfg.Kind != KindSKV {
+			return fmt.Errorf("cluster: Masters=%d requires Kind=KindSKV (got %s): only SKV groups carry the SmartNIC failover plane the slot map repairs through", cfg.Masters, cfg.Kind)
+		}
+		if cfg.Slaves != 0 {
+			return fmt.Errorf("cluster: Masters=%d conflicts with the legacy Slaves field (got %d); size groups with SlavesPerMaster instead", cfg.Masters, cfg.Slaves)
+		}
+		if cfg.SlavesPerMaster < 1 {
+			return fmt.Errorf("cluster: Masters=%d requires SlavesPerMaster >= 1 (got %d): a group without slaves has no failover target", cfg.Masters, cfg.SlavesPerMaster)
+		}
+		if cfg.NicReads == NicReadsClients {
+			return fmt.Errorf("cluster: NicReads=clients is not supported with Masters>1; slot-aware clients route to group hosts")
+		}
+		if cfg.SlotRanges != nil {
+			if err := slots.ValidateRanges(cfg.SlotRanges, cfg.Masters); err != nil {
+				return fmt.Errorf("cluster: bad SlotRanges: %w", err)
+			}
+		}
+	} else {
+		if cfg.SlavesPerMaster != 0 {
+			return fmt.Errorf("cluster: SlavesPerMaster=%d is only meaningful with Masters>1; use Slaves for the single-master deployment", cfg.SlavesPerMaster)
+		}
+		if cfg.SlotRanges != nil {
+			return fmt.Errorf("cluster: SlotRanges is only meaningful with Masters>1")
+		}
+	}
 	return nil
+}
+
+// zipfS resolves the configured skew exponent.
+func (cfg Config) zipfS() float64 {
+	if cfg.ZipfS != 0 {
+		return cfg.ZipfS
+	}
+	return workload.DefaultZipfS
+}
+
+// Group is one replication group of a multi-master deployment: a complete
+// SKV unit (master host + SmartNIC offload + slaves) owning a share of the
+// hash-slot space.
+type Group struct {
+	Index int
+
+	Master      *server.Server
+	Slaves      []*server.Server
+	SlaveAgents []*core.SlaveAgent
+	HostKV      *core.HostKV
+	NicKV       *core.NicKV
+
+	MasterMachine *fabric.Machine
+	SlaveMachines []*fabric.Machine
 }
 
 // Cluster is a built deployment.
@@ -141,6 +216,20 @@ type Cluster struct {
 
 	MasterMachine *fabric.Machine
 	SlaveMachines []*fabric.Machine
+
+	// Multi-master state (Masters > 1). Groups holds every replication
+	// group; the legacy fields above then alias group 0 (Master, HostKV,
+	// NicKV, MasterMachine) or the concatenation across groups (Slaves,
+	// SlaveAgents, SlaveMachines), so group-agnostic helpers keep working.
+	// SlotMap is the deployment's authoritative hash-slot table, mutated by
+	// per-group failover; SlotClients replace Clients as the load.
+	Groups      []*Group
+	SlotMap     *slots.Map
+	SlotClients []*workload.SlotClient
+
+	// epByName resolves slot-map addresses (endpoint names) for the
+	// slot-aware clients.
+	epByName map[string]*fabric.Endpoint
 
 	clientsStarted bool
 }
@@ -183,7 +272,7 @@ func Build(cfg Config) *Cluster {
 		serverWakeup = p.TCPWakeup
 	}
 
-	newServer := func(name string, m *fabric.Machine, seed int64) (*server.Server, transport.Stack) {
+	newServer := func(name string, m *fabric.Machine, seed int64, route *server.ClusterRouting) (*server.Server, transport.Stack) {
 		coreRes := sim.NewCore(eng, name+"-core", p.HostCoreSpeed)
 		proc := sim.NewProc(eng, coreRes, serverWakeup)
 		stack := makeStack(m.Host, proc)
@@ -195,6 +284,7 @@ func Build(cfg Config) *Cluster {
 			DisableCron: cfg.DisableCron,
 			Shards:      p.HostShards,
 			Listeners:   p.RouteListeners,
+			Cluster:     route,
 		}, eng, stack, proc)
 		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
 			rs.Device().SetMetrics(srv.Metrics())
@@ -202,9 +292,14 @@ func Build(cfg Config) *Cluster {
 		return srv, stack
 	}
 
+	if cfg.Masters > 1 {
+		c.buildMulti(newServer, makeStack)
+		return c
+	}
+
 	// Master (with SmartNIC when SKV).
 	c.MasterMachine = net.NewMachine("master", cfg.Kind == KindSKV)
-	c.Master, _ = newServer("master", c.MasterMachine, cfg.Seed+100)
+	c.Master, _ = newServer("master", c.MasterMachine, cfg.Seed+100, nil)
 
 	if cfg.Kind == KindSKV {
 		c.NicKV = core.NewNicKV(eng, net, c.MasterMachine, p, cfg.SKV)
@@ -215,7 +310,7 @@ func Build(cfg Config) *Cluster {
 	for i := 0; i < cfg.Slaves; i++ {
 		m := net.NewMachine(fmt.Sprintf("slave%d", i), false)
 		c.SlaveMachines = append(c.SlaveMachines, m)
-		srv, _ := newServer(fmt.Sprintf("slave%d", i), m, cfg.Seed+200+int64(i))
+		srv, _ := newServer(fmt.Sprintf("slave%d", i), m, cfg.Seed+200+int64(i), nil)
 		c.Slaves = append(c.Slaves, srv)
 		if cfg.Kind == KindSKV {
 			// SLAVEOF through the SmartNIC (§III-C). Delay one tick so the
@@ -233,13 +328,112 @@ func Build(cfg Config) *Cluster {
 	// bottleneck, as with redis-benchmark on its own server).
 	for i := 0; i < cfg.Clients; i++ {
 		m := net.NewMachine(fmt.Sprintf("client%d", i), false)
-		gen := workload.NewGenerator(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf)
+		gen := workload.NewGeneratorSkew(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf, cfg.zipfS())
 		wakeup := p.ClientWakeup
 		cl := workload.NewClient(fmt.Sprintf("client%d", i), eng, p, m.Host, makeStack, gen, wakeup)
 		cl.Pipeline = cfg.Pipeline
 		c.Clients = append(c.Clients, cl)
 	}
 	return c
+}
+
+// buildMulti assembles the hash-slot deployment: Masters replication
+// groups, one shared epoch-versioned slot map every server routes against,
+// and slot-aware clients. Group gi's machines are named g<gi>.master /
+// g<gi>.slave<i>; seeds are offset by 1000*gi so groups draw independent
+// but reproducible randomness. Client naming and seeding match the legacy
+// path (the load is a property of the deployment, not of the group count).
+func (c *Cluster) buildMulti(
+	newServer func(name string, m *fabric.Machine, seed int64, route *server.ClusterRouting) (*server.Server, transport.Stack),
+	makeStack func(*fabric.Endpoint, *sim.Proc) transport.Stack,
+) {
+	cfg := c.Cfg
+	p := c.Params
+	eng := c.Eng
+	net := c.Net
+	c.epByName = make(map[string]*fabric.Endpoint)
+
+	// Master machines first: the slot map's addresses are their host
+	// endpoint names, and every server is born already routing against it.
+	masterMachines := make([]*fabric.Machine, cfg.Masters)
+	addrs := make([]string, cfg.Masters)
+	for gi := range masterMachines {
+		m := net.NewMachine(fmt.Sprintf("g%d.master", gi), true)
+		masterMachines[gi] = m
+		addrs[gi] = m.Host.Name()
+		c.epByName[m.Host.Name()] = m.Host
+	}
+	slotMap, err := slots.NewMap(cfg.Masters, cfg.SlotRanges, addrs)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: slot map construction failed after validation: %v", err))
+	}
+	c.SlotMap = slotMap
+
+	for gi := 0; gi < cfg.Masters; gi++ {
+		g := &Group{Index: gi, MasterMachine: masterMachines[gi]}
+		route := &server.ClusterRouting{Self: gi, Map: slotMap, Port: core.ClientPort}
+		skvCfg := cfg.SKV
+		skvCfg.Group = fmt.Sprintf("g%d", gi)
+
+		name := fmt.Sprintf("g%d.master", gi)
+		g.Master, _ = newServer(name, g.MasterMachine, cfg.Seed+100+1000*int64(gi), route)
+		g.NicKV = core.NewNicKV(eng, net, g.MasterMachine, p, skvCfg)
+		g.HostKV = core.AttachMaster(g.Master, net, g.MasterMachine.NIC, skvCfg)
+
+		for i := 0; i < cfg.SlavesPerMaster; i++ {
+			sname := fmt.Sprintf("g%d.slave%d", gi, i)
+			m := net.NewMachine(sname, false)
+			g.SlaveMachines = append(g.SlaveMachines, m)
+			c.epByName[m.Host.Name()] = m.Host
+			srv, _ := newServer(sname, m, cfg.Seed+200+1000*int64(gi)+int64(i), route)
+			g.Slaves = append(g.Slaves, srv)
+			agent := core.AttachSlave(srv, net, g.MasterMachine.NIC, skvCfg)
+			g.SlaveAgents = append(g.SlaveAgents, agent)
+			// Per-slot failover: promotion moves the group's slots to this
+			// slave's address (epoch bump → clients repair on MOVED or
+			// reconnect); demotion on master recovery moves them back. This
+			// models the converged gossip state, not per-node propagation.
+			gidx := gi
+			slaveEP := m.Host
+			masterEP := g.MasterMachine.Host
+			srv.OnRoleChange = func(r server.Role) {
+				if r == server.RoleMaster {
+					slotMap.SetAddr(gidx, slaveEP.Name())
+				} else {
+					slotMap.SetAddr(gidx, masterEP.Name())
+				}
+			}
+		}
+		c.Groups = append(c.Groups, g)
+
+		// Legacy aliases (group 0 / concatenations) keep group-agnostic
+		// helpers like AwaitReplication working untouched.
+		if gi == 0 {
+			c.Master = g.Master
+			c.HostKV = g.HostKV
+			c.NicKV = g.NicKV
+			c.MasterMachine = g.MasterMachine
+		}
+		c.Slaves = append(c.Slaves, g.Slaves...)
+		c.SlaveAgents = append(c.SlaveAgents, g.SlaveAgents...)
+		c.SlaveMachines = append(c.SlaveMachines, g.SlaveMachines...)
+	}
+
+	resolve := func(addr string) *fabric.Endpoint {
+		ep := c.epByName[addr]
+		if ep == nil {
+			panic(fmt.Sprintf("cluster: slot map address %q resolves to no endpoint", addr))
+		}
+		return ep
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		m := net.NewMachine(fmt.Sprintf("client%d", i), false)
+		gen := workload.NewGeneratorSkew(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf, cfg.zipfS())
+		cl := workload.NewSlotClient(fmt.Sprintf("client%d", i), eng, p, m.Host, makeStack, gen,
+			p.ClientWakeup, slotMap, resolve, core.ClientPort)
+		cl.Pipeline = cfg.Pipeline
+		c.SlotClients = append(c.SlotClients, cl)
+	}
 }
 
 // AwaitReplication runs the simulation until every slave reaches the
@@ -279,6 +473,12 @@ func (c *Cluster) StartClients() {
 		return
 	}
 	c.clientsStarted = true
+	if len(c.SlotClients) > 0 {
+		for _, cl := range c.SlotClients {
+			cl.Start()
+		}
+		return
+	}
 	target := c.MasterMachine.Host
 	if c.Cfg.NicReads == NicReadsClients {
 		target = c.MasterMachine.NIC
@@ -309,6 +509,14 @@ type Result struct {
 	RouteUtils []float64
 	// NicUtil is Nic-KV's main ARM core busy fraction (SKV only).
 	NicUtil float64
+	// Masters is the replication-group count (1 for legacy deployments).
+	Masters int
+	// GroupOps is the per-group operation count over the measure window
+	// (Masters > 1 only) — the slot-load balance across groups.
+	GroupOps []uint64
+	// Moved counts MOVED redirects clients absorbed over the whole run
+	// (Masters > 1 only).
+	Moved uint64
 }
 
 func (r Result) String() string {
@@ -324,6 +532,9 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	c.StartClients()
 	start := c.Eng.Now().Add(warmup)
 	for _, cl := range c.Clients {
+		cl.WarmupUntil = start
+	}
+	for _, cl := range c.SlotClients {
 		cl.WarmupUntil = start
 	}
 	end := start.Add(duration)
@@ -345,6 +556,12 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	if c.NicKV != nil {
 		nicBusy = busyAt(c.NicKV.Proc().Core)
 	}
+	groupStart := make([]uint64, len(c.Groups))
+	for _, cl := range c.SlotClients {
+		for g, n := range cl.GroupDone {
+			groupStart[g] += n
+		}
+	}
 	c.Eng.Run(end)
 	windowUtil := func(before sim.Duration, core *sim.Core) float64 {
 		u := float64(core.BusyTime()-before) / float64(duration)
@@ -355,15 +572,30 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	}
 
 	agg := stats.NewHistogram()
-	var errs uint64
+	var errs, moved uint64
 	for _, cl := range c.Clients {
 		agg.Merge(cl.Hist)
 		errs += cl.ErrReplies
 	}
+	for _, cl := range c.SlotClients {
+		agg.Merge(cl.Hist)
+		errs += cl.ErrReplies
+		moved += cl.Moved
+	}
+	nClients := len(c.Clients)
+	if len(c.SlotClients) > 0 {
+		nClients = len(c.SlotClients)
+	}
+	masters := 1
+	if len(c.Groups) > 0 {
+		masters = len(c.Groups)
+	}
 	res := Result{
 		System:     c.Cfg.Kind.String(),
-		Clients:    len(c.Clients),
+		Clients:    nClients,
 		Slaves:     len(c.Slaves),
+		Masters:    masters,
+		Moved:      moved,
 		ValueSize:  c.Cfg.ValueSize,
 		Throughput: float64(agg.Count()) / duration.Seconds(),
 		Avg:        agg.Mean(),
@@ -382,6 +614,17 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	if c.NicKV != nil {
 		res.NicUtil = windowUtil(nicBusy, c.NicKV.Proc().Core)
 	}
+	if len(c.Groups) > 0 {
+		res.GroupOps = make([]uint64, len(c.Groups))
+		for _, cl := range c.SlotClients {
+			for g, n := range cl.GroupDone {
+				res.GroupOps[g] += n
+			}
+		}
+		for g := range res.GroupOps {
+			res.GroupOps[g] -= groupStart[g]
+		}
+	}
 	return res
 }
 
@@ -397,14 +640,7 @@ func (c *Cluster) Snapshots() []metrics.Snapshot {
 	if reg := c.Net.Metrics(); reg != nil {
 		snaps = append(snaps, reg.Snapshot())
 	}
-	snaps = append(snaps, c.Master.Metrics().Snapshot())
-	for _, reg := range c.Master.ShardRegistries() {
-		snaps = append(snaps, reg.Snapshot())
-	}
-	for _, reg := range c.Master.RouteRegistries() {
-		snaps = append(snaps, reg.Snapshot())
-	}
-	for _, s := range c.Slaves {
+	addServer := func(s *server.Server) {
 		snaps = append(snaps, s.Metrics().Snapshot())
 		for _, reg := range s.ShardRegistries() {
 			snaps = append(snaps, reg.Snapshot())
@@ -413,8 +649,24 @@ func (c *Cluster) Snapshots() []metrics.Snapshot {
 			snaps = append(snaps, reg.Snapshot())
 		}
 	}
-	if c.NicKV != nil {
-		snaps = append(snaps, c.NicKV.Metrics().Snapshot())
+	if len(c.Groups) > 0 {
+		for _, g := range c.Groups {
+			addServer(g.Master)
+			for _, s := range g.Slaves {
+				addServer(s)
+			}
+			if g.NicKV != nil {
+				snaps = append(snaps, g.NicKV.Metrics().Snapshot())
+			}
+		}
+	} else {
+		addServer(c.Master)
+		for _, s := range c.Slaves {
+			addServer(s)
+		}
+		if c.NicKV != nil {
+			snaps = append(snaps, c.NicKV.Metrics().Snapshot())
+		}
 	}
 	for i := 1; i < len(snaps); i++ {
 		for j := i; j > 0 && snaps[j].Node < snaps[j-1].Node; j-- {

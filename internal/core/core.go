@@ -133,6 +133,12 @@ type Config struct {
 	// from cluster.Config.NicReads when building through the cluster
 	// package — set it directly only when wiring core components by hand.
 	ServeReadsFromNIC bool
+	// Group labels this SKV unit's replication group in a multi-master
+	// deployment (e.g. "g1"): per-slave lag gauges become
+	// nickv.lag.<group>.<id> and the failover timeline's master label
+	// becomes <group>.master, so snapshots from N groups never collide.
+	// Empty (the single-master default) keeps every legacy metric name.
+	Group string
 }
 
 // DefaultConfig mirrors the paper's default deployment.

@@ -176,6 +176,26 @@ func (n *NicKV) EffectiveThreads() int { return n.cfg.ThreadNum }
 // addresses by its control connection rather than a node-list entry.
 const masterNode = "master"
 
+// masterLabel is the timeline label for this NIC's master: the legacy
+// "master" in a single-master deployment, group-qualified (e.g.
+// "g1.master") when the SKV unit is one replication group of many.
+func (n *NicKV) masterLabel() string {
+	if n.cfg.Group != "" {
+		return n.cfg.Group + "." + masterNode
+	}
+	return masterNode
+}
+
+// lagGaugeName namespaces the per-slave lag gauge by replication group so
+// multi-master snapshots never collide; Group == "" keeps the legacy
+// nickv.lag.<id> name bit-for-bit.
+func (n *NicKV) lagGaugeName(id string) string {
+	if n.cfg.Group != "" {
+		return "nickv.lag." + n.cfg.Group + "." + id
+	}
+	return "nickv.lag." + id
+}
+
 // markNodeDown sets the invalid flag on a node-list entry, recording the
 // transition once.
 func (n *NicKV) markNodeDown(nd *nodeEntry) {
@@ -227,7 +247,7 @@ func (n *NicKV) accept(conn transport.Conn) {
 				// considered healthy: treat it like a probe timeout.
 				n.masterValid = false
 				n.mMarkDowns.Inc()
-				n.timeline.Record(metrics.EventMarkDown, masterNode)
+				n.timeline.Record(metrics.EventMarkDown, n.masterLabel())
 				n.failover()
 			}
 		}
@@ -325,7 +345,7 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 func (n *NicKV) registerSlave(id, replID string, off int64, conn transport.Conn) {
 	nd := n.findNode(id)
 	if nd == nil {
-		nd = &nodeEntry{id: id, threadIdx: n.nextThr, lag: n.metrics.Gauge("nickv.lag." + id)}
+		nd = &nodeEntry{id: id, threadIdx: n.nextThr, lag: n.metrics.Gauge(n.lagGaugeName(id))}
 		if len(n.threads) > 0 {
 			n.nextThr = (n.nextThr + 1) % len(n.threads)
 		}
@@ -424,13 +444,13 @@ func (n *NicKV) probeTick() {
 		}
 		if n.masterConn != nil && n.masterValid && n.masterProbeAt > 0 &&
 			n.masterLastAck < n.masterProbeAt {
-			n.timeline.Record(metrics.EventProbeMiss, masterNode)
+			n.timeline.Record(metrics.EventProbeMiss, n.masterLabel())
 		}
 		if n.masterConn != nil && n.masterValid && n.masterProbeAt > 0 &&
 			now.Sub(n.masterLastAck) >= deadline {
 			n.masterValid = false
 			n.mMarkDowns.Inc()
-			n.timeline.Record(metrics.EventMarkDown, masterNode)
+			n.timeline.Record(metrics.EventMarkDown, n.masterLabel())
 			n.failover()
 		}
 
@@ -508,7 +528,7 @@ func (n *NicKV) failover() {
 func (n *NicKV) restoreMaster() {
 	n.masterValid = true
 	n.MasterRestores++
-	n.timeline.Record(metrics.EventRestore, masterNode)
+	n.timeline.Record(metrics.EventRestore, n.masterLabel())
 	if n.promotedID == "" {
 		return
 	}

@@ -209,9 +209,11 @@ func (a *SlaveAgent) onNicMessage(data []byte) {
 		a.Srv.PromoteToMaster()
 	case msgDemote:
 		// Original master recovered: downgrade and resynchronize.
+		// DemoteRole (not bare SetRole) so OnRoleChange fires and topology
+		// layers repair their routing tables symmetrically with promotion.
 		a.Demoted++
 		a.mDemoted.Inc()
-		a.Srv.SetRole(server.RoleSlave)
+		a.Srv.DemoteRole()
 		a.Resync()
 	}
 }

@@ -190,6 +190,12 @@ type Params struct {
 	// ShardRouteCPU, which stays the dispatch-core cost when RouteListeners
 	// <= 1). Charged only when the routing plane is on.
 	RouteCPU sim.Duration
+	// SlotCheckCPU is the per-command cost of the hash-slot ownership check
+	// a cluster-mode node performs at admission (CRC16 over the key's
+	// hashtag plus the routing-table lookup). Charged only when the node is
+	// part of a multi-master slot cluster; single-master deployments never
+	// pay it.
+	SlotCheckCPU sim.Duration
 
 	// ---- Nic-KV replica sharding (NIC-served reads, §IV-A ablation) ----
 	// When the shadow replica is enabled, Nic-KV mirrors the host's shard
@@ -302,6 +308,7 @@ func Default() Params {
 		ShardFenceCPU:  200 * sim.Nanosecond,
 		RouteListeners: 1,
 		RouteCPU:       120 * sim.Nanosecond,
+		SlotCheckCPU:   80 * sim.Nanosecond,
 
 		NicShardRouteCPU: 120 * sim.Nanosecond,
 		NicShardMergeCPU: 150 * sim.Nanosecond,

@@ -1,0 +1,131 @@
+package server
+
+// Cluster-mode admission: when a server is one node of a multi-master
+// hash-slot cluster (Options.Cluster non-nil), every keyed command is
+// checked against the shared epoch-versioned routing table before it is
+// routed or executed. Keys spanning slots are rejected with CROSSSLOT
+// (cross-group fan-out is the client's job, mirroring the single-master
+// fan-in semantics of the sharded dispatch plane); keys owned by another
+// replication group are redirected with MOVED. The check applies to every
+// node of the group — master and slaves alike serve only their group's
+// slots — and runs at admission, before the shard plane, so redirects
+// re-sequence through the same reply path as write-gate errors.
+//
+// The CLUSTER command (SLOTS / INFO / KEYSLOT) exposes the minimal
+// topology surface slot-aware clients need.
+
+import (
+	"fmt"
+	"strings"
+
+	"skv/internal/metrics"
+	"skv/internal/resp"
+	"skv/internal/slots"
+	"skv/internal/store"
+)
+
+// ClusterRouting attaches a server to a multi-master hash-slot cluster:
+// the shared routing table, the replication group this node belongs to,
+// and the client port MOVED redirects should name. All nodes of a
+// deployment share one *slots.Map by reference; topology layers (the
+// cluster builder) mutate it on failover, and every node observes the
+// new epoch immediately — modeling the gossip-converged steady state
+// rather than the convergence protocol itself.
+type ClusterRouting struct {
+	// Self is this node's replication group index.
+	Self int
+	// Map is the shared authoritative slot table.
+	Map *slots.Map
+	// Port is the client port redirects advertise.
+	Port int
+}
+
+// clusterInstruments are the admission-plane redirect counters.
+type clusterInstruments struct {
+	moved     *metrics.Counter
+	crossSlot *metrics.Counter
+}
+
+func newClusterInstruments(reg *metrics.Registry) *clusterInstruments {
+	return &clusterInstruments{
+		moved:     reg.Counter("server.cluster.moved"),
+		crossSlot: reg.Counter("server.cluster.crossslot"),
+	}
+}
+
+// slotCheck validates a keyed command against the slot table. It returns
+// nil when this node owns every key's slot, or the redirect/error reply
+// to emit instead of executing. The caller has already charged
+// SlotCheckCPU on the admitting core.
+func (s *Server) slotCheck(cmd *store.Command, argv [][]byte) []byte {
+	slot := -1
+	cross := false
+	cmd.EachKey(argv, func(k []byte) {
+		ks := slots.Slot(k)
+		if slot == -1 {
+			slot = ks
+		} else if ks != slot {
+			cross = true
+		}
+	})
+	if slot == -1 {
+		return nil // too few args: the store replies with an arity error
+	}
+	if cross {
+		s.clusterStats.crossSlot.Inc()
+		s.ErrRepliesSent++
+		return resp.AppendError(nil, slots.CrossSlotMessage)
+	}
+	cr := s.cluster
+	if g := cr.Map.Owner(slot); g != cr.Self {
+		s.clusterStats.moved.Inc()
+		return resp.AppendError(nil, slots.MovedMessage(slot, cr.Map.Addr(g), cr.Port))
+	}
+	return nil
+}
+
+// cmdCluster implements the minimal CLUSTER surface. Like Redis, KEYSLOT
+// and INFO answer on any node; SLOTS reports the routing table (empty
+// when cluster support is disabled).
+func (s *Server) cmdCluster(c *client, argv [][]byte) {
+	if len(argv) < 2 {
+		s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'cluster' command"))
+		return
+	}
+	switch strings.ToLower(string(argv[1])) {
+	case "keyslot":
+		if len(argv) != 3 {
+			s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'cluster|keyslot' command"))
+			return
+		}
+		s.reply(c, resp.AppendInt(nil, int64(slots.Slot(argv[2]))))
+	case "slots":
+		if s.cluster == nil {
+			s.reply(c, resp.AppendArrayHeader(nil, 0))
+			return
+		}
+		var b []byte
+		ranges := s.cluster.Map.Ranges()
+		b = resp.AppendArrayHeader(b, len(ranges))
+		for _, r := range ranges {
+			b = resp.AppendArrayHeader(b, 3)
+			b = resp.AppendInt(b, int64(r.Start))
+			b = resp.AppendInt(b, int64(r.End))
+			b = resp.AppendArrayHeader(b, 2)
+			b = resp.AppendBulkString(b, s.cluster.Map.Addr(r.Group))
+			b = resp.AppendInt(b, int64(s.cluster.Port))
+		}
+		s.reply(c, b)
+	case "info":
+		var b strings.Builder
+		if s.cluster == nil {
+			b.WriteString("cluster_enabled:0\r\ncluster_state:ok\r\ncluster_slots_assigned:0\r\ncluster_known_nodes:1\r\ncluster_size:0\r\ncluster_current_epoch:0\r\n")
+		} else {
+			fmt.Fprintf(&b, "cluster_enabled:1\r\ncluster_state:ok\r\ncluster_slots_assigned:%d\r\ncluster_known_nodes:%d\r\ncluster_size:%d\r\ncluster_current_epoch:%d\r\ncluster_my_group:%d\r\n",
+				slots.NumSlots, s.cluster.Map.Groups(), s.cluster.Map.Groups(), s.cluster.Map.Epoch(), s.cluster.Self)
+		}
+		s.reply(c, resp.AppendBulkString(nil, b.String()))
+	default:
+		s.reply(c, resp.AppendError(nil, fmt.Sprintf("ERR Unknown CLUSTER subcommand or wrong number of arguments for '%s'", string(argv[1]))))
+	}
+}

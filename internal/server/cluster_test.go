@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"skv/internal/sim"
+	"skv/internal/slots"
+	"skv/internal/tcpsim"
+)
+
+// clusterServer builds a server attached to a routing table (optionally
+// sharded, to cover the sequencedReply redirect path).
+func clusterServer(w *world, name string, shards int, cr *ClusterRouting) *Server {
+	m := w.net.NewMachine(name, false)
+	core := sim.NewCore(w.eng, name+"-core", 1.0)
+	proc := sim.NewProc(w.eng, core, w.p.TCPWakeup)
+	stack := tcpsim.New(w.net, m.Host, proc)
+	return New(Options{Name: name, Params: w.p, Seed: seed(name), Port: 6379,
+		Shards: shards, Cluster: cr}, w.eng, stack, proc)
+}
+
+// twoGroupMap splits the slot space evenly between this node (group 0,
+// address "self") and a remote group 1 at address "other".
+func twoGroupMap(t *testing.T) *slots.Map {
+	t.Helper()
+	m, err := slots.NewMap(2, nil, []string{"self", "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Golden slot facts the tests lean on (pinned in internal/slots):
+// Slot("bar")=5061 and Slot("hello")=866 → group 0 under an even 2-way
+// split; Slot("foo")=12182 → group 1.
+
+func TestClusterSlotCheckRedirects(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w := newWorld(9)
+			m := twoGroupMap(t)
+			srv := clusterServer(w, "n0", shards, &ClusterRouting{Self: 0, Map: m, Port: 6379})
+			c := w.dial(t, srv)
+
+			if v := c.do(t, "SET", "bar", "v"); !v.IsOK() {
+				t.Fatalf("SET of an owned key: %s", v.String())
+			}
+			if v := c.do(t, "GET", "bar"); v.String() != "v" {
+				t.Fatalf("GET of an owned key: %s", v.String())
+			}
+			v := c.do(t, "SET", "foo", "v")
+			if !v.IsError() || v.String() != "MOVED 12182 other:6379" {
+				t.Fatalf("SET of a foreign key: %q", v.String())
+			}
+			if got := srv.Store().DBSize(0); got != 1 {
+				t.Fatalf("foreign key executed anyway: dbsize=%d", got)
+			}
+			// Multi-key commands: same slot via hashtags works, spanning
+			// slots is CROSSSLOT.
+			if v := c.do(t, "MSET", "{bar}x", "1", "{bar}y", "2"); !v.IsOK() {
+				t.Fatalf("same-slot MSET: %s", v.String())
+			}
+			v = c.do(t, "MSET", "bar", "1", "hello", "2")
+			if !v.IsError() || !strings.HasPrefix(v.String(), "CROSSSLOT") {
+				t.Fatalf("cross-slot MSET: %q", v.String())
+			}
+			// Keyless commands are never slot-checked.
+			if v := c.do(t, "PING"); v.String() != "PONG" {
+				t.Fatalf("PING: %s", v.String())
+			}
+			if n := srv.Metrics().Counter("server.cluster.moved").Value(); n != 1 {
+				t.Fatalf("moved counter = %d, want 1", n)
+			}
+			if n := srv.Metrics().Counter("server.cluster.crossslot").Value(); n != 1 {
+				t.Fatalf("crossslot counter = %d, want 1", n)
+			}
+
+			// Resharding the slot to this node (epoch bump) makes the same
+			// key acceptable — the check reads the live shared table.
+			m.Assign(12182, 12182, 0)
+			if v := c.do(t, "SET", "foo", "v"); !v.IsOK() {
+				t.Fatalf("SET after reshard: %s", v.String())
+			}
+		})
+	}
+}
+
+func TestClusterCommand(t *testing.T) {
+	w := newWorld(11)
+	m := twoGroupMap(t)
+	srv := clusterServer(w, "n0", 0, &ClusterRouting{Self: 0, Map: m, Port: 6379})
+	c := w.dial(t, srv)
+
+	if v := c.do(t, "CLUSTER", "KEYSLOT", "foo"); v.Int != 12182 {
+		t.Fatalf("KEYSLOT foo = %s", v.String())
+	}
+	v := c.do(t, "CLUSTER", "SLOTS")
+	if len(v.Array) != 2 {
+		t.Fatalf("SLOTS returned %d ranges: %s", len(v.Array), v.String())
+	}
+	first := v.Array[0]
+	if first.Array[0].Int != 0 || first.Array[1].Int != 8191 {
+		t.Fatalf("first range: %s", first.String())
+	}
+	if got := first.Array[2].Array[0].String(); got != "self" {
+		t.Fatalf("first range addr: %q", got)
+	}
+	if got := v.Array[1].Array[2].Array[0].String(); got != "other" {
+		t.Fatalf("second range addr: %q", got)
+	}
+	info := c.do(t, "CLUSTER", "INFO").String()
+	for _, want := range []string{"cluster_enabled:1", "cluster_slots_assigned:16384",
+		"cluster_size:2", "cluster_my_group:0", "cluster_current_epoch:1"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+	if v := c.do(t, "CLUSTER", "NONSENSE"); !v.IsError() {
+		t.Fatalf("unknown subcommand accepted: %s", v.String())
+	}
+}
+
+// TestClusterCommandOutsideCluster: a single-master server still answers
+// CLUSTER (clients probe it), reporting a disabled cluster, and never
+// slot-checks commands.
+func TestClusterCommandOutsideCluster(t *testing.T) {
+	w := newWorld(13)
+	srv := w.server("plain", 6379)
+	c := w.dial(t, srv)
+
+	if v := c.do(t, "SET", "foo", "v"); !v.IsOK() { // foreign in cluster mode
+		t.Fatalf("SET: %s", v.String())
+	}
+	if v := c.do(t, "CLUSTER", "KEYSLOT", "foo"); v.Int != 12182 {
+		t.Fatalf("KEYSLOT: %s", v.String())
+	}
+	if v := c.do(t, "CLUSTER", "SLOTS"); len(v.Array) != 0 || v.Null {
+		t.Fatalf("SLOTS on plain server: %s", v.String())
+	}
+	info := c.do(t, "CLUSTER", "INFO").String()
+	if !strings.Contains(info, "cluster_enabled:0") {
+		t.Fatalf("INFO: %s", info)
+	}
+}
+
+// TestClusterRedirectGrammar round-trips the wire grammar the slot clients
+// parse.
+func TestClusterRedirectGrammar(t *testing.T) {
+	slot, addr, port, ok := slots.ParseRedirect(slots.MovedMessage(12182, "other", 6379))
+	if !ok || slot != 12182 || addr != "other" || port != 6379 {
+		t.Fatalf("parse failed: %d %q %d %t", slot, addr, port, ok)
+	}
+	if _, _, _, ok := slots.ParseRedirect("ERR something else"); ok {
+		t.Fatal("garbage parsed as a redirect")
+	}
+}

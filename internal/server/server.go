@@ -70,6 +70,12 @@ type Options struct {
 	// merge/order stage. 0 or 1 keeps the dispatch-owned pipeline
 	// bit-for-bit. Ignored unless Shards > 1.
 	Listeners int
+	// Cluster, when non-nil, makes the node one member of a multi-master
+	// hash-slot cluster: keyed commands are checked against the shared
+	// routing table at admission and redirected (MOVED) or rejected
+	// (CROSSSLOT) when this node's group does not own them. nil keeps the
+	// single-master server bit-for-bit: no slot check, no extra charge.
+	Cluster *ClusterRouting
 }
 
 // Server is one key-value node: a single-threaded process bound to a
@@ -128,6 +134,11 @@ type Server struct {
 	// shard is the multi-core dispatch plane, nil in single-threaded mode
 	// (Options.Shards <= 1).
 	shard *shardEngine
+
+	// cluster is the hash-slot routing state (nil outside cluster mode);
+	// clusterStats are the admission-plane redirect counters.
+	cluster      *ClusterRouting
+	clusterStats *clusterInstruments
 
 	// metrics is the node's instrument registry; cmdStats caches the
 	// per-command counter/histogram pair so the hot path never rebuilds
@@ -225,6 +236,10 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 		alive:    true,
 		metrics:  metrics.NewRegistry(opts.Name, eng.Now),
 		cmdStats: make(map[string]*cmdInstruments),
+		cluster:  opts.Cluster,
+	}
+	if s.cluster != nil {
+		s.clusterStats = newClusterInstruments(s.metrics)
 	}
 	shards := opts.Shards
 	if shards < 1 {
@@ -577,6 +592,21 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	s.coreFor(c).Charge(s.params.ParseCost(size))
 	s.CommandsProcessed++
 
+	// Cluster mode: verify this node's group owns every key's slot before
+	// the command enters the pipeline. Redirects re-sequence like any other
+	// admission-plane reply, so pipelined clients see them in request order.
+	if s.cluster != nil && cmd != nil && !cmd.Server && cmd.FirstKey > 0 {
+		s.coreFor(c).Charge(s.params.SlotCheckCPU)
+		if redirect := s.slotCheck(cmd, argv); redirect != nil {
+			if s.shard != nil {
+				s.shard.sequencedReply(c, redirect)
+			} else {
+				s.reply(c, redirect)
+			}
+			return
+		}
+	}
+
 	if s.shard != nil {
 		// Multi-core mode: hand the parsed command to the dispatch plane,
 		// which routes it to a shard proc, fences it, or runs it inline.
@@ -605,6 +635,8 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 			s.cmdSlaveOf(c, argv)
 		case "wait":
 			s.cmdWait(c, argv)
+		case "cluster":
+			s.cmdCluster(c, argv)
 		}
 		return
 	}
@@ -708,6 +740,20 @@ func (s *Server) PromoteToMaster() {
 	s.master = nil
 	if s.OnRoleChange != nil {
 		s.OnRoleChange(RoleMaster)
+	}
+}
+
+// DemoteRole returns a promoted node to the slave role without touching
+// replication links (the SKV slave agent resynchronizes itself) and fires
+// OnRoleChange so topology layers — the cluster slot table — observe the
+// demotion exactly like they observed the promotion.
+func (s *Server) DemoteRole() {
+	if s.role == RoleSlave {
+		return
+	}
+	s.role = RoleSlave
+	if s.OnRoleChange != nil {
+		s.OnRoleChange(RoleSlave)
 	}
 }
 

@@ -1,0 +1,289 @@
+// Package slots implements the hash-slot partitioning plane for the
+// multi-master SKV cluster: the Redis-Cluster-compatible 16384-entry
+// CRC16 slot space with `{...}` hashtag extraction, an epoch-versioned
+// routing table mapping slots to replication groups (and groups to their
+// current master address), and the MOVED/ASK/CROSSSLOT redirect error
+// grammar the server command layer and the slot-aware clients speak.
+//
+// The table is deliberately simulation-friendly: it is a plain in-memory
+// structure shared by reference between the cluster builder, every
+// server's admission check, and the clients' refresh path — all mutations
+// happen inside simulator events, so the epoch sequence is deterministic.
+package slots
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NumSlots is the size of the hash-slot space (Redis Cluster's 16384).
+const NumSlots = 16384
+
+// crc16tab is the CRC-16/XMODEM table (poly 0x1021, init 0) — the exact
+// polynomial Redis Cluster uses for key→slot mapping. Generated once at
+// package load; the golden vectors in slots_test.go pin it against the
+// Redis reference values.
+var crc16tab [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16tab[i] = crc
+	}
+}
+
+// CRC16 computes the CRC-16/XMODEM checksum of p.
+func CRC16(p []byte) uint16 {
+	var crc uint16
+	for _, b := range p {
+		crc = crc<<8 ^ crc16tab[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// HashTag extracts the slot-relevant portion of a key, following the
+// Redis Cluster hashtag rules exactly: if the key contains a '{' with a
+// later '}' and at least one character between them, only that substring
+// is hashed — so `{user}.following` and `{user}.followers` land in the
+// same slot. An empty tag (`{}`) or an unterminated brace hashes the
+// whole key. Only the FIRST '{' and the FIRST '}' after it count, so
+// `foo{{bar}}` hashes `{bar` and `foo{bar}{zap}` hashes `bar`.
+func HashTag(key []byte) []byte {
+	for s := 0; s < len(key); s++ {
+		if key[s] != '{' {
+			continue
+		}
+		for e := s + 1; e < len(key); e++ {
+			if key[e] == '}' {
+				if e == s+1 {
+					return key // empty {}: hash the whole key
+				}
+				return key[s+1 : e]
+			}
+		}
+		return key // no closing brace
+	}
+	return key
+}
+
+// Slot maps a key to its hash slot.
+func Slot(key []byte) int {
+	return int(CRC16(HashTag(key))) % NumSlots
+}
+
+// Range is a contiguous run of slots owned by one replication group.
+// Start and End are inclusive, matching CLUSTER SLOTS conventions.
+type Range struct {
+	Start, End, Group int
+}
+
+// EvenSplit partitions the slot space into n contiguous ranges, one per
+// group, as evenly as possible (the first NumSlots%n groups get one extra
+// slot) — the default assignment the cluster builder installs.
+func EvenSplit(n int) []Range {
+	if n < 1 {
+		n = 1
+	}
+	per, extra := NumSlots/n, NumSlots%n
+	ranges := make([]Range, 0, n)
+	start := 0
+	for g := 0; g < n; g++ {
+		size := per
+		if g < extra {
+			size++
+		}
+		ranges = append(ranges, Range{Start: start, End: start + size - 1, Group: g})
+		start += size
+	}
+	return ranges
+}
+
+// ValidateRanges checks that ranges cover every slot exactly once and
+// reference only groups < n.
+func ValidateRanges(ranges []Range, n int) error {
+	covered := make([]bool, NumSlots)
+	for _, r := range ranges {
+		if r.Start < 0 || r.End >= NumSlots || r.Start > r.End {
+			return fmt.Errorf("slots: invalid range [%d,%d]", r.Start, r.End)
+		}
+		if r.Group < 0 || r.Group >= n {
+			return fmt.Errorf("slots: range [%d,%d] names group %d, have %d groups", r.Start, r.End, r.Group, n)
+		}
+		for s := r.Start; s <= r.End; s++ {
+			if covered[s] {
+				return fmt.Errorf("slots: slot %d assigned twice", s)
+			}
+			covered[s] = true
+		}
+	}
+	for s, ok := range covered {
+		if !ok {
+			return fmt.Errorf("slots: slot %d unassigned", s)
+		}
+	}
+	return nil
+}
+
+// Map is the epoch-versioned routing table: which replication group owns
+// each slot, and each group's current master address. Every topology
+// mutation (slot reassignment, failover promotion, master restore) bumps
+// the epoch, so stale client copies are detectable by comparison — the
+// cluster analog of Redis Cluster's configEpoch.
+type Map struct {
+	epoch  uint64
+	owner  []uint16
+	addrs  []string
+	counts []int // slots owned per group, maintained across Assign
+}
+
+// NewMap builds a routing table over n groups with the given slot
+// assignment (nil = EvenSplit) and per-group master addresses
+// (len(addrs) == n). The initial epoch is 1.
+func NewMap(n int, ranges []Range, addrs []string) (*Map, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("slots: need at least 1 group")
+	}
+	if len(addrs) != n {
+		return nil, fmt.Errorf("slots: %d addresses for %d groups", len(addrs), n)
+	}
+	if ranges == nil {
+		ranges = EvenSplit(n)
+	}
+	if err := ValidateRanges(ranges, n); err != nil {
+		return nil, err
+	}
+	m := &Map{
+		epoch:  1,
+		owner:  make([]uint16, NumSlots),
+		addrs:  append([]string(nil), addrs...),
+		counts: make([]int, n),
+	}
+	for _, r := range ranges {
+		for s := r.Start; s <= r.End; s++ {
+			m.owner[s] = uint16(r.Group)
+		}
+		m.counts[r.Group] += r.End - r.Start + 1
+	}
+	return m, nil
+}
+
+// Groups reports the number of replication groups.
+func (m *Map) Groups() int { return len(m.addrs) }
+
+// Epoch reports the current configuration epoch. Epochs only ever
+// increase (monotonicity is a tested invariant): a client whose cached
+// epoch matches holds the current topology.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Owner reports the group owning a slot.
+func (m *Map) Owner(slot int) int { return int(m.owner[slot]) }
+
+// Count reports how many slots a group currently owns.
+func (m *Map) Count(group int) int { return m.counts[group] }
+
+// Addr reports a group's current master address.
+func (m *Map) Addr(group int) string { return m.addrs[group] }
+
+// SetAddr installs a new master address for a group (failover promotion
+// or master restore) and bumps the epoch. A no-op address change still
+// bumps: the caller observed a topology event.
+func (m *Map) SetAddr(group int, addr string) {
+	m.addrs[group] = addr
+	m.epoch++
+}
+
+// Assign transfers a slot range to a group and bumps the epoch
+// (resharding; unused by the even-split default but part of the table's
+// contract).
+func (m *Map) Assign(start, end, group int) {
+	for s := start; s <= end; s++ {
+		m.counts[m.owner[s]]--
+		m.owner[s] = uint16(group)
+		m.counts[group]++
+	}
+	m.epoch++
+}
+
+// Ranges renders the table as contiguous (start, end, group) runs in slot
+// order — the CLUSTER SLOTS payload.
+func (m *Map) Ranges() []Range {
+	var out []Range
+	for s := 0; s < NumSlots; {
+		g := m.owner[s]
+		e := s
+		for e+1 < NumSlots && m.owner[e+1] == g {
+			e++
+		}
+		out = append(out, Range{Start: s, End: e, Group: int(g)})
+		s = e + 1
+	}
+	return out
+}
+
+// CopyInto refreshes a client-side copy of the table (owner slice,
+// address slice) and returns the epoch the copy corresponds to. The
+// destination slices must have the map's dimensions.
+func (m *Map) CopyInto(owner []uint16, addrs []string) uint64 {
+	copy(owner, m.owner)
+	copy(addrs, m.addrs)
+	return m.epoch
+}
+
+// ---- redirect error grammar ---------------------------------------------
+
+// CrossSlotMessage is the error a multi-key command spanning slots gets —
+// cross-group fan-out is the client's job, mirroring Redis Cluster.
+const CrossSlotMessage = "CROSSSLOT Keys in request don't hash to the same slot"
+
+// MovedMessage formats a MOVED redirect: the slot's owner is (stably)
+// another group, reachable at addr:port.
+func MovedMessage(slot int, addr string, port int) string {
+	return fmt.Sprintf("MOVED %d %s:%d", slot, addr, port)
+}
+
+// AskMessage formats an ASK redirect (one-shot redirect during slot
+// migration; reserved — the simulated cluster does not migrate slots live
+// yet, but clients already parse it).
+func AskMessage(slot int, addr string, port int) string {
+	return fmt.Sprintf("ASK %d %s:%d", slot, addr, port)
+}
+
+// ParseRedirect decodes a MOVED or ASK error message into its slot and
+// target address. ok is false for any other error text.
+func ParseRedirect(msg string) (slot int, addr string, port int, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(msg, "MOVED "):
+		rest = msg[len("MOVED "):]
+	case strings.HasPrefix(msg, "ASK "):
+		rest = msg[len("ASK "):]
+	default:
+		return 0, "", 0, false
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, "", 0, false
+	}
+	slot, err := strconv.Atoi(rest[:sp])
+	if err != nil || slot < 0 || slot >= NumSlots {
+		return 0, "", 0, false
+	}
+	target := rest[sp+1:]
+	colon := strings.LastIndexByte(target, ':')
+	if colon <= 0 {
+		return 0, "", 0, false
+	}
+	port, err = strconv.Atoi(target[colon+1:])
+	if err != nil {
+		return 0, "", 0, false
+	}
+	return slot, target[:colon], port, true
+}

@@ -1,0 +1,173 @@
+package slots
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCRC16GoldenVectors pins the table against the CRC-16/XMODEM
+// reference values Redis Cluster uses (the "123456789" check value plus
+// slot numbers published in the Redis Cluster spec).
+func TestCRC16GoldenVectors(t *testing.T) {
+	if got := CRC16([]byte("123456789")); got != 0x31C3 {
+		t.Fatalf("CRC16(123456789) = %#04x, want 0x31C3", got)
+	}
+	if got := CRC16(nil); got != 0 {
+		t.Fatalf("CRC16(empty) = %#04x, want 0", got)
+	}
+	// Slot values from the Redis Cluster specification.
+	cases := map[string]int{
+		"foo":   12182,
+		"bar":   5061,
+		"hello": 866,
+	}
+	for key, want := range cases {
+		if got := Slot([]byte(key)); got != want {
+			t.Fatalf("Slot(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestHashTagExtraction covers the exact Redis hashtag edge cases: plain
+// tags, empty {}, unterminated braces, nested braces, and multiple tags.
+func TestHashTagExtraction(t *testing.T) {
+	cases := []struct{ key, tag string }{
+		{"{user1000}.following", "user1000"},
+		{"{user1000}.followers", "user1000"},
+		{"foo{}{bar}", "foo{}{bar}"}, // first {} is empty: whole key
+		{"foo{{bar}}zap", "{bar"},    // first { ... first }: "{bar"
+		{"foo{bar}{zap}", "bar"},     // only the first tag counts
+		{"{}", "{}"},                 // empty tag: whole key
+		{"{abc", "{abc"},             // unterminated: whole key
+		{"no-braces", "no-braces"},
+		{"", ""},
+		{"}{x}", "x"}, // '}' before any '{' is ignored
+	}
+	for _, c := range cases {
+		if got := string(HashTag([]byte(c.key))); got != c.tag {
+			t.Fatalf("HashTag(%q) = %q, want %q", c.key, got, c.tag)
+		}
+	}
+	// Same tag ⇒ same slot, and it equals the bare tag's slot.
+	if Slot([]byte("{user1000}.following")) != Slot([]byte("{user1000}.followers")) {
+		t.Fatal("hashtag keys did not co-locate")
+	}
+	if Slot([]byte("{user1000}.following")) != Slot([]byte("user1000")) {
+		t.Fatal("hashtag slot differs from the bare tag's slot")
+	}
+}
+
+// TestEvenSplitCoversEverySlot: the default assignment covers the slot
+// space exactly once for every group count the bench sweeps.
+func TestEvenSplitCoversEverySlot(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		ranges := EvenSplit(n)
+		if len(ranges) != n {
+			t.Fatalf("EvenSplit(%d) produced %d ranges", n, len(ranges))
+		}
+		if err := ValidateRanges(ranges, n); err != nil {
+			t.Fatalf("EvenSplit(%d): %v", n, err)
+		}
+	}
+}
+
+// TestValidateRangesRejectsBadMaps: gaps, overlaps, out-of-space and
+// out-of-group ranges are all configuration errors.
+func TestValidateRangesRejectsBadMaps(t *testing.T) {
+	bad := [][]Range{
+		{{Start: 0, End: NumSlots - 2, Group: 0}},                               // gap
+		{{Start: 0, End: NumSlots - 1, Group: 0}, {Start: 5, End: 5, Group: 1}}, // overlap
+		{{Start: 0, End: NumSlots, Group: 0}},                                   // out of space
+		{{Start: 0, End: NumSlots - 1, Group: 2}},                               // unknown group
+		{{Start: 10, End: 5, Group: 0}},                                         // inverted
+	}
+	for i, ranges := range bad {
+		if err := ValidateRanges(ranges, 2); err == nil {
+			t.Fatalf("case %d: bad ranges validated", i)
+		}
+	}
+}
+
+// TestMapEpochMonotonicity: every topology mutation bumps the epoch, it
+// never goes backwards, and CopyInto reports the epoch its copy matches —
+// the invariant the clients' staleness detection rides on across
+// failovers (promote bumps, restore bumps again).
+func TestMapEpochMonotonicity(t *testing.T) {
+	m, err := NewMap(2, nil, []string{"g0.master", "g1.master"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := m.Epoch()
+	if last == 0 {
+		t.Fatal("initial epoch must be nonzero")
+	}
+	bump := func(label string, do func()) {
+		do()
+		if m.Epoch() <= last {
+			t.Fatalf("%s: epoch %d did not advance past %d", label, m.Epoch(), last)
+		}
+		last = m.Epoch()
+	}
+	bump("promote", func() { m.SetAddr(1, "g1.slave0") }) // failover promotion
+	bump("restore", func() { m.SetAddr(1, "g1.master") }) // master restore
+	bump("re-promote", func() { m.SetAddr(1, "g1.slave1") })
+	bump("reshard", func() { m.Assign(0, 10, 1) })
+
+	owner := make([]uint16, NumSlots)
+	addrs := make([]string, m.Groups())
+	if got := m.CopyInto(owner, addrs); got != last {
+		t.Fatalf("CopyInto epoch %d, want %d", got, last)
+	}
+	if addrs[1] != "g1.slave1" || int(owner[5]) != 1 {
+		t.Fatalf("copy diverged: addrs=%v owner[5]=%d", addrs, owner[5])
+	}
+}
+
+// TestMapOwnerAndRanges: the slot→group mapping matches the installed
+// ranges and Ranges() reconstructs contiguous runs.
+func TestMapOwnerAndRanges(t *testing.T) {
+	m, err := NewMap(3, nil, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range EvenSplit(3) {
+		if m.Owner(r.Start) != r.Group || m.Owner(r.End) != r.Group {
+			t.Fatalf("range %+v not honored", r)
+		}
+	}
+	rs := m.Ranges()
+	if err := ValidateRanges(rs, 3); err != nil {
+		t.Fatalf("Ranges() inconsistent: %v", err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("expected 3 contiguous runs, got %d: %v", len(rs), rs)
+	}
+}
+
+// TestRedirectGrammar: MOVED/ASK round-trip through ParseRedirect, and
+// non-redirect errors do not parse.
+func TestRedirectGrammar(t *testing.T) {
+	msg := MovedMessage(12182, "g1.master", 6379)
+	if msg != "MOVED 12182 g1.master:6379" {
+		t.Fatalf("MovedMessage = %q", msg)
+	}
+	slot, addr, port, ok := ParseRedirect(msg)
+	if !ok || slot != 12182 || addr != "g1.master" || port != 6379 {
+		t.Fatalf("ParseRedirect(%q) = %d %q %d %t", msg, slot, addr, port, ok)
+	}
+	slot, addr, port, ok = ParseRedirect(AskMessage(7, "x", 6380))
+	if !ok || slot != 7 || addr != "x" || port != 6380 {
+		t.Fatalf("ASK parse = %d %q %d %t", slot, addr, port, ok)
+	}
+	for _, bad := range []string{
+		"ERR something else",
+		"MOVED",
+		"MOVED x y:1",
+		fmt.Sprintf("MOVED %d noport", 5),
+		fmt.Sprintf("MOVED %d :", NumSlots+5),
+	} {
+		if _, _, _, ok := ParseRedirect(bad); ok {
+			t.Fatalf("ParseRedirect(%q) accepted garbage", bad)
+		}
+	}
+}

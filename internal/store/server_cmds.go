@@ -177,6 +177,7 @@ func init() {
 	registerServer("slaveof", 3)
 	registerServer("replicaof", 3)
 	registerServer("wait", 3)
+	registerServer("cluster", -2)
 }
 
 // cmdHMSetCompat implements the legacy HMSET (same as HSET, replies +OK).

@@ -1,0 +1,349 @@
+package workload
+
+import (
+	"fmt"
+
+	"skv/internal/fabric"
+	"skv/internal/model"
+	"skv/internal/resp"
+	"skv/internal/sim"
+	"skv/internal/slots"
+	"skv/internal/stats"
+	"skv/internal/transport"
+)
+
+// SlotClient is the cluster-mode benchmark client: slot-aware closed loops.
+// It keeps a client-side copy of the hash-slot map, routes every command to
+// the group that owns its key's slot over one connection per group, and
+// repairs its map when a server answers MOVED (refreshing from the
+// authoritative table, standing in for a CLUSTER SLOTS round trip).
+//
+// The closed-loop window is PER GROUP, not global: each group gets its own
+// Pipeline-deep window, refilled only by completions of requests targeting
+// that group (as cluster benchmarks keep one pipeline per node connection).
+// A shared window would let a single dead group absorb every in-flight slot
+// and starve the healthy groups — exactly the blast radius the hash-slot
+// design exists to prevent. Refills draw from the shared generator and
+// discard keys owned by other groups (rejection sampling), so the key
+// distribution is preserved while the loops stay independent. Connection
+// loss, dial timeouts, and a stall watchdog re-route the affected in-flight
+// requests after a short back-off.
+type SlotClient struct {
+	Name string
+
+	eng    *sim.Engine
+	params *model.Params
+	proc   *sim.Proc
+	stack  transport.Stack
+	gen    *Generator
+
+	// table is the deployment's authoritative slot map; refreshes copy from
+	// it (the simulation's stand-in for asking any node CLUSTER SLOTS).
+	table *slots.Map
+	// resolve maps a slot-map address (an endpoint name) to its endpoint.
+	resolve func(addr string) *fabric.Endpoint
+	port    int
+
+	// Client-side view of the slot map. Bootstrapped deliberately stale —
+	// epoch 0, every slot owned by group 0, only the seed address known —
+	// exactly like a real cluster client that learns the topology through
+	// MOVED redirects from its seed node.
+	epoch uint64
+	owner []uint16
+	addrs []string
+
+	conns   map[int]*slotConn
+	running bool
+
+	// Pipeline is the number of requests kept in flight (redis-benchmark
+	// -P). 1 = classic closed loop.
+	Pipeline int
+	// DialTimeout bounds a dial whose handshake was swallowed by a downed
+	// endpoint; RetryDelay spaces reconnect attempts after a failure.
+	DialTimeout sim.Duration
+	RetryDelay  sim.Duration
+	// RequestTimeout is the stall watchdog: a connection with in-flight
+	// requests and no traffic for this long is torn down and its requests
+	// re-routed. This is what detects a wedged master — the process keeps
+	// its endpoints up and just goes silent, so no close event ever comes.
+	RequestTimeout sim.Duration
+
+	// WarmupUntil discards samples recorded before this virtual time.
+	WarmupUntil sim.Time
+	// Hist records request latencies (after warm-up).
+	Hist *stats.Histogram
+	// Series, when non-nil, counts completions over time.
+	Series *stats.TimeSeries
+
+	// Sent and Done count all requests, ErrReplies the non-redirect error
+	// replies. Moved counts MOVED redirects (each also triggers a map
+	// refresh unless the view is already current), MapRefreshes the copies
+	// taken from the authoritative table, Redials the reconnect attempts
+	// after a close or dial failure.
+	Sent         uint64
+	Done         uint64
+	ErrReplies   uint64
+	Moved        uint64
+	MapRefreshes uint64
+	Redials      uint64
+	// GroupDone / GroupErrs break completions and error replies down by the
+	// group that served them (per-slot availability during failover).
+	GroupDone []uint64
+	GroupErrs []uint64
+}
+
+// slotConn is one connection to one replication group's current address.
+type slotConn struct {
+	group    int
+	addr     string
+	conn     transport.Conn
+	reader   resp.Reader
+	inflight []slotReq // FIFO, matches reply order
+	queue    []slotReq // parked while the dial is outstanding
+	// lastActivity is the last send or receive, for the stall watchdog.
+	lastActivity sim.Time
+}
+
+// slotReq is one routed request; sentAt is the first-issue time so redirect
+// and retry hops count toward the recorded latency. target is the group
+// whose window the request occupies (its authoritative slot owner at
+// generation time) — completion refills that window, wherever the reply
+// actually came from.
+type slotReq struct {
+	cmd    []byte
+	key    string
+	target int
+	sentAt sim.Time
+}
+
+// NewSlotClient builds a slot-aware closed-loop client on its own core.
+func NewSlotClient(name string, eng *sim.Engine, params *model.Params, ep *fabric.Endpoint,
+	makeStack func(*fabric.Endpoint, *sim.Proc) transport.Stack, gen *Generator,
+	wakeup sim.Duration, table *slots.Map, resolve func(addr string) *fabric.Endpoint, port int) *SlotClient {
+	core := sim.NewCore(eng, name+"-core", params.HostCoreSpeed)
+	proc := sim.NewProc(eng, core, wakeup)
+	c := &SlotClient{
+		Name:    name,
+		eng:     eng,
+		params:  params,
+		proc:    proc,
+		stack:   makeStack(ep, proc),
+		gen:     gen,
+		table:   table,
+		resolve: resolve,
+		port:    port,
+		owner:   make([]uint16, slots.NumSlots),
+		addrs:   make([]string, table.Groups()),
+		conns:   make(map[int]*slotConn),
+		Hist:    stats.NewHistogram(),
+	}
+	c.addrs[0] = table.Addr(0) // seed node
+	c.GroupDone = make([]uint64, table.Groups())
+	c.GroupErrs = make([]uint64, table.Groups())
+	return c
+}
+
+// Start begins the per-group closed loops (dialing lazily as routes are
+// needed). Groups that own no slots get no window.
+func (c *SlotClient) Start() {
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 250 * sim.Millisecond
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 20 * sim.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 250 * sim.Millisecond
+	}
+	c.eng.Every(c.RequestTimeout, c.checkStalls)
+	c.running = true
+	for g := 0; g < c.table.Groups(); g++ {
+		for i := 0; i < c.Pipeline; i++ {
+			c.sendNextFor(g)
+		}
+	}
+}
+
+// checkStalls tears down connections whose in-flight requests have seen no
+// traffic for RequestTimeout. Groups are scanned in index order — never by
+// map iteration — so recovery ordering is deterministic across runs.
+func (c *SlotClient) checkStalls() {
+	now := c.eng.Now()
+	for g := 0; g < len(c.addrs); g++ {
+		sc := c.conns[g]
+		if sc == nil || sc.conn == nil || len(sc.inflight) == 0 {
+			continue
+		}
+		if now.Sub(sc.lastActivity) >= c.RequestTimeout {
+			c.recoverReqs(sc)
+		}
+	}
+}
+
+// Stop ends the loop after the in-flight requests complete.
+func (c *SlotClient) Stop() { c.running = false }
+
+// sendNextFor refills target group tg's window with the next generated
+// command whose key tg owns (draws for other groups are discarded — their
+// own loops will produce equivalent draws). Ownership is read from the
+// authoritative table: generation is workload synthesis, not routing — the
+// possibly-stale client view only decides where the request is SENT.
+func (c *SlotClient) sendNextFor(tg int) {
+	if !c.running || c.table.Count(tg) == 0 {
+		return
+	}
+	for {
+		cmd, _, key := c.gen.NextKeyed()
+		c.proc.Core.Charge(c.params.ClientThinkCPU)
+		if c.table.Owner(slots.Slot([]byte(key))) != tg {
+			continue
+		}
+		c.Sent++
+		c.dispatch(slotReq{cmd: cmd, key: key, target: tg, sentAt: c.eng.Now()})
+		return
+	}
+}
+
+// dispatch routes one request by its key's slot under the current view.
+func (c *SlotClient) dispatch(r slotReq) {
+	g := int(c.owner[slots.Slot([]byte(r.key))])
+	sc := c.conns[g]
+	if sc == nil {
+		sc = &slotConn{group: g, addr: c.addrs[g]}
+		c.conns[g] = sc
+		sc.queue = append(sc.queue, r)
+		c.dial(sc)
+		return
+	}
+	if sc.conn == nil {
+		sc.queue = append(sc.queue, r) // dial outstanding
+		return
+	}
+	sc.inflight = append(sc.inflight, r)
+	sc.lastActivity = c.eng.Now()
+	sc.conn.Send(r.cmd)
+}
+
+func (c *SlotClient) dial(sc *slotConn) {
+	c.Redials++
+	c.eng.After(c.DialTimeout, func() {
+		if c.conns[sc.group] == sc && sc.conn == nil {
+			// Handshake swallowed by a dead endpoint: give up on this
+			// attempt and re-route its requests.
+			c.recoverReqs(sc)
+		}
+	})
+	c.stack.Dial(c.resolve(sc.addr), c.port, func(conn transport.Conn, err error) {
+		if c.conns[sc.group] != sc || sc.conn != nil {
+			if err == nil {
+				conn.Close() // superseded
+			}
+			return
+		}
+		if err != nil {
+			c.recoverReqs(sc)
+			return
+		}
+		sc.conn = conn
+		conn.SetHandler(func(data []byte) { c.onReply(sc, conn, data) })
+		conn.SetCloseHandler(func() {
+			if c.conns[sc.group] == sc && sc.conn == conn {
+				sc.conn = nil
+				c.recoverReqs(sc)
+			}
+		})
+		q := sc.queue
+		sc.queue = nil
+		sc.lastActivity = c.eng.Now()
+		for _, r := range q {
+			sc.inflight = append(sc.inflight, r)
+			conn.Send(r.cmd)
+		}
+	})
+}
+
+// recoverReqs retires a broken connection and re-dispatches everything it
+// carried after RetryDelay, refreshing the slot map first (the group's
+// address may have moved to a promoted slave in the meantime).
+func (c *SlotClient) recoverReqs(sc *slotConn) {
+	if c.conns[sc.group] != sc {
+		return
+	}
+	delete(c.conns, sc.group)
+	reqs := append(sc.inflight, sc.queue...)
+	sc.inflight, sc.queue = nil, nil
+	if sc.conn != nil {
+		conn := sc.conn
+		sc.conn = nil
+		conn.Close()
+	}
+	c.eng.After(c.RetryDelay, func() {
+		c.refreshMap()
+		for _, r := range reqs {
+			c.dispatch(r)
+		}
+	})
+}
+
+// refreshMap copies the authoritative table if it is newer than our view,
+// then retires connections whose group address changed.
+func (c *SlotClient) refreshMap() {
+	if c.epoch == c.table.Epoch() {
+		return
+	}
+	c.proc.Core.Charge(c.params.ClientThinkCPU)
+	c.epoch = c.table.CopyInto(c.owner, c.addrs)
+	c.MapRefreshes++
+	for g := 0; g < len(c.addrs); g++ { // index order: deterministic
+		if sc := c.conns[g]; sc != nil && sc.addr != c.addrs[g] {
+			c.recoverReqs(sc)
+		}
+	}
+}
+
+func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
+	if c.conns[sc.group] != sc || sc.conn != conn {
+		return
+	}
+	sc.lastActivity = c.eng.Now()
+	sc.reader.Feed(data)
+	for {
+		v, ok, err := sc.reader.ReadValue()
+		if err != nil {
+			panic(fmt.Sprintf("workload: slot client %s got protocol garbage: %v", c.Name, err))
+		}
+		if !ok {
+			return
+		}
+		if len(sc.inflight) == 0 {
+			continue // reply for a request already re-routed elsewhere
+		}
+		req := sc.inflight[0]
+		sc.inflight = sc.inflight[1:]
+		if v.IsError() {
+			if _, _, _, redirect := slots.ParseRedirect(string(v.Str)); redirect {
+				// Stale view: repair the map and re-issue the same request
+				// (sentAt preserved — the extra hop is real latency).
+				c.Moved++
+				c.refreshMap()
+				c.dispatch(req)
+				continue
+			}
+			c.ErrReplies++
+			c.GroupErrs[sc.group]++
+		}
+		now := c.eng.Now()
+		c.Done++
+		c.GroupDone[sc.group]++
+		if now >= c.WarmupUntil {
+			c.Hist.Record(now.Sub(req.sentAt))
+			if c.Series != nil {
+				c.Series.Record(now)
+			}
+		}
+		c.sendNextFor(req.target)
+	}
+}

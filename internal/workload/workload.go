@@ -34,15 +34,27 @@ type Generator struct {
 	ValueSize int
 	// SetRatio is the fraction of SETs (1.0 = pure SET, 0.0 = pure GET).
 	SetRatio float64
-	// Zipf enables a Zipfian key distribution (s=1.1) instead of uniform.
+	// Zipf enables a Zipfian key distribution instead of uniform.
 	Zipf bool
 
 	zipf  *rand.Zipf
 	value []byte
 }
 
-// NewGenerator creates a generator with deterministic randomness.
+// DefaultZipfS is the Zipfian skew exponent used when none is given — the
+// value the evaluation has always used.
+const DefaultZipfS = 1.1
+
+// NewGenerator creates a generator with deterministic randomness and the
+// default Zipfian skew.
 func NewGenerator(seed int64, keySpace, valueSize int, setRatio float64, zipfian bool) *Generator {
+	return NewGeneratorSkew(seed, keySpace, valueSize, setRatio, zipfian, DefaultZipfS)
+}
+
+// NewGeneratorSkew is NewGenerator with an explicit Zipfian skew exponent s
+// (must be > 1; ignored for uniform distributions). The same seed and
+// s = DefaultZipfS reproduce NewGenerator's stream bit-for-bit.
+func NewGeneratorSkew(seed int64, keySpace, valueSize int, setRatio float64, zipfian bool, s float64) *Generator {
 	rnd := rand.New(rand.NewSource(seed))
 	g := &Generator{
 		rnd:       rnd,
@@ -52,7 +64,7 @@ func NewGenerator(seed int64, keySpace, valueSize int, setRatio float64, zipfian
 		Zipf:      zipfian,
 	}
 	if zipfian {
-		g.zipf = rand.NewZipf(rnd, 1.1, 1, uint64(keySpace-1))
+		g.zipf = rand.NewZipf(rnd, s, 1, uint64(keySpace-1))
 	}
 	g.value = make([]byte, valueSize)
 	for i := range g.value {
@@ -73,10 +85,20 @@ func (g *Generator) key() string {
 
 // Next produces the next encoded command and its kind.
 func (g *Generator) Next() ([]byte, Op) {
+	cmd, op, _ := g.NextKeyed()
+	return cmd, op
+}
+
+// NextKeyed is Next plus the key the command targets, for routing layers
+// (slot-aware clients) that must know where a command goes. It draws from
+// the same RNG stream as Next — interleaving the two is safe.
+func (g *Generator) NextKeyed() ([]byte, Op, string) {
 	if g.rnd.Float64() < g.SetRatio {
-		return resp.EncodeCommandBytes([]byte("SET"), []byte(g.key()), g.value), OpSet
+		k := g.key()
+		return resp.EncodeCommandBytes([]byte("SET"), []byte(k), g.value), OpSet, k
 	}
-	return resp.EncodeCommandBytes([]byte("GET"), []byte(g.key())), OpGet
+	k := g.key()
+	return resp.EncodeCommandBytes([]byte("GET"), []byte(k)), OpGet, k
 }
 
 // Client is one closed-loop benchmark connection: send a command, wait for
