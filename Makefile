@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke clean
+.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke bench-reshard-smoke clean
 
 all: verify
 
@@ -53,6 +53,11 @@ bench-nic-smoke:
 # slot-aware clients route and repair their maps, and scale-out holds.
 bench-cluster-smoke:
 	$(GO) run ./cmd/skv-bench -smoke -exp ext-cluster
+
+# the quick check that live slot migration moves a range under load: the
+# ASK/ASKING window, the per-key CAS transfer, and the final NODE flip.
+bench-reshard-smoke:
+	$(GO) run ./cmd/skv-bench -smoke -exp ext-reshard
 
 clean:
 	$(GO) clean ./...

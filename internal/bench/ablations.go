@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(), ExtReshard(),
 	}
 }
 
@@ -158,6 +158,8 @@ func ByID(id string) *Experiment {
 		return ExtShards()
 	case "ext-cluster":
 		return ExtCluster()
+	case "ext-reshard":
+		return ExtReshard()
 	}
 	return nil
 }
@@ -166,7 +168,7 @@ func ByID(id string) *Experiment {
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
 		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
-		"ext-batch", "ext-failover", "ext-shards", "ext-cluster"}
+		"ext-batch", "ext-failover", "ext-shards", "ext-cluster", "ext-reshard"}
 }
 
 // unused placeholder to keep sim imported if windows change.

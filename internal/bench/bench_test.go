@@ -39,8 +39,8 @@ func TestIDsAndByIDAgree(t *testing.T) {
 	if ByID("nonsense") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(IDs()))
+	if len(IDs()) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(IDs()))
 	}
 }
 

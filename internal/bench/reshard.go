@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/sim"
+)
+
+// reshardSlots is the migrated range: the low 512 slots of group 0's half
+// (1/32 of the keyspace under the even 2-way split).
+const reshardSlots = 511
+
+// ExtReshard measures live slot migration under load: a 2-group deployment
+// serves a mixed GET/SET workload while a SlotMigrator reshards slots
+// 0..511 from group 0 to group 1 through the CLUSTER protocol (SETSLOT
+// IMPORTING/MIGRATING, per-key DUMP / ASKING+RESTORE IFEQ / MIGRATEDEL,
+// final NODE flip). The steady row is the identical deployment with no
+// migration — the delta is the migration's whole client-visible cost, and
+// the reshard row additionally reports what the mover did: keys moved, CAS
+// retries (a client write raced the transfer and won), ASK redirects the
+// clients absorbed, and the wall-clock (virtual) migration duration.
+func ExtReshard() *Experiment {
+	e := &Experiment{
+		ID:    "ext-reshard",
+		Title: "Live slot migration under load (2 masters, 50% GET, slots 0-511 rehomed) — extension",
+		Header: []string{"phase", "kops/s", "p99 µs", "keys moved", "cas retries",
+			"asks", "migration ms", "err replies"},
+		Notes: []string{
+			"extension beyond the paper: Redis-Cluster-style live resharding (ASK/ASKING window, per-key optimistic CAS transfer, atomic SETSLOT NODE flip) on the multi-master SKV deployment",
+			"steady and reshard rows run the identical deployment and seed; only the mover differs, so the column deltas isolate the migration's cost",
+			"cas retries: MIGRATEDEL found the source value changed since DUMP — the racing client write survived and the mover re-dumped",
+			"asks: one-shot ASK redirects absorbed by slot-aware clients without refreshing their maps (MOVED, by contrast, refreshes)",
+		},
+	}
+	for _, migrate := range []bool{false, true} {
+		p := model.Default()
+		p.HostShards = 4
+		p.RouteListeners = 2
+		p.ReplBatchMaxCmds = 8
+		p.ReplBatchMaxDelay = 5 * sim.Microsecond
+		c := cluster.Build(cluster.Config{Kind: cluster.KindSKV,
+			Masters: 2, SlavesPerMaster: 1, Clients: 8, Pipeline: 8,
+			GetRatio: 0.5, Seed: 73, Params: &p, SKV: core.DefaultConfig()})
+		if !c.AwaitReplication(5 * sim.Second) {
+			panic("ext-reshard: sync failed")
+		}
+		var m *cluster.SlotMigrator
+		var started sim.Time
+		var doneIn sim.Duration
+		done := false
+		c.StartClients()
+		if migrate {
+			m = cluster.NewSlotMigrator(c, nil)
+			c.Eng.At(c.Eng.Now().Add(warmup), func() {
+				started = c.Eng.Now()
+				m.Reshard(0, reshardSlots, 1, func() {
+					done = true
+					doneIn = c.Eng.Now().Sub(started)
+				})
+			})
+		}
+		r := c.Measure(warmup, measure)
+		if r.ErrReplies != 0 {
+			panic(fmt.Sprintf("ext-reshard: %d error replies (migrate=%t)", r.ErrReplies, migrate))
+		}
+		phase, moved, retries, asks, ms := "steady", "-", "-", "-", "-"
+		if migrate {
+			// Let a migration that outlives the measure window finish, so
+			// the moved/duration columns describe the complete reshard.
+			deadline := c.Eng.Now().Add(2 * sim.Second)
+			for !done && c.Eng.Now() < deadline {
+				c.Eng.Run(c.Eng.Now().Add(5 * sim.Millisecond))
+			}
+			if !done {
+				panic("ext-reshard: migration did not finish within 2s of the measure window")
+			}
+			var asked uint64
+			for _, cl := range c.SlotClients {
+				asked += cl.Asked
+			}
+			phase = "reshard"
+			moved = fmt.Sprint(m.KeysMoved)
+			retries = fmt.Sprint(m.KeyRetries)
+			asks = fmt.Sprint(asked)
+			ms = f1(float64(doneIn) / float64(sim.Millisecond))
+			e.metric("keys_moved", float64(m.KeysMoved))
+			e.metric("cas_retries", float64(m.KeyRetries))
+			e.metric("asks", float64(asked))
+			e.metric("migration_ms", float64(doneIn)/float64(sim.Millisecond))
+			e.metric("kops_reshard", r.Throughput/1000)
+			e.metric("p99_us_reshard", r.P99.Micros())
+		} else {
+			e.metric("kops_steady", r.Throughput/1000)
+			e.metric("p99_us_steady", r.P99.Micros())
+		}
+		e.Rows = append(e.Rows, []string{phase, kops(r.Throughput), f1(r.P99.Micros()),
+			moved, retries, asks, ms, fmt.Sprint(r.ErrReplies)})
+	}
+	return e
+}

@@ -79,7 +79,9 @@ func TestClusterSlotCheckRedirects(t *testing.T) {
 
 			// Resharding the slot to this node (epoch bump) makes the same
 			// key acceptable — the check reads the live shared table.
-			m.Assign(12182, 12182, 0)
+			if err := m.Assign(12182, 12182, 0); err != nil {
+				t.Fatalf("Assign: %v", err)
+			}
 			if v := c.do(t, "SET", "foo", "v"); !v.IsOK() {
 				t.Fatalf("SET after reshard: %s", v.String())
 			}
@@ -142,6 +144,169 @@ func TestClusterCommandOutsideCluster(t *testing.T) {
 	info := c.do(t, "CLUSTER", "INFO").String()
 	if !strings.Contains(info, "cluster_enabled:0") {
 		t.Fatalf("INFO: %s", info)
+	}
+}
+
+// TestClusterMigrationWindowSource covers the source side of a live slot
+// migration at both pipeline shapes: present keys serve locally, absent
+// keys ASK to the target, half-present multi-key commands get TRYAGAIN,
+// the mover's data commands are exempt, and the SETSLOT NODE flip turns
+// the slot's traffic into MOVED.
+func TestClusterMigrationWindowSource(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w := newWorld(17)
+			m := twoGroupMap(t)
+			srv := clusterServer(w, "n0", shards, &ClusterRouting{Self: 0, Map: m, Port: 6379})
+			c := w.dial(t, srv)
+
+			// Slot("bar") = 5061 is owned by group 0. Seed one present key.
+			if v := c.do(t, "SET", "bar", "v"); !v.IsOK() {
+				t.Fatalf("SET: %s", v.String())
+			}
+			if v := c.do(t, "CLUSTER", "SETSLOT", "5061", "MIGRATING", "1"); !v.IsOK() {
+				t.Fatalf("SETSLOT MIGRATING: %s", v.String())
+			}
+			// Present key: served at the source, no redirect.
+			if v := c.do(t, "GET", "bar"); v.String() != "v" {
+				t.Fatalf("GET of a present migrating key: %s", v.String())
+			}
+			// Absent key in the migrating slot ({bar}gone co-locates): ASK.
+			v := c.do(t, "GET", "{bar}gone")
+			if !v.IsError() || v.String() != "ASK 5061 other:6379" {
+				t.Fatalf("GET of an absent migrating key: %q", v.String())
+			}
+			// Writes to absent keys redirect too — new keys are born at the
+			// target during the window.
+			v = c.do(t, "SET", "{bar}new", "x")
+			if !v.IsError() || v.String() != "ASK 5061 other:6379" {
+				t.Fatalf("SET of an absent migrating key: %q", v.String())
+			}
+			// Half-present multi-key command: TRYAGAIN.
+			v = c.do(t, "MGET", "bar", "{bar}gone")
+			if !v.IsError() || !strings.HasPrefix(v.String(), "TRYAGAIN") {
+				t.Fatalf("half-present MGET: %q", v.String())
+			}
+			// The mover's data plane answers absence directly.
+			if v := c.do(t, "DUMP", "{bar}gone"); !v.Null {
+				t.Fatalf("DUMP of an absent migrating key: %s", v.String())
+			}
+			// The migration surface reports the slot's keys.
+			if v := c.do(t, "CLUSTER", "COUNTKEYSINSLOT", "5061"); v.Int != 1 {
+				t.Fatalf("COUNTKEYSINSLOT: %s", v.String())
+			}
+			v = c.do(t, "CLUSTER", "GETKEYSINSLOT", "5061", "10")
+			if len(v.Array) != 1 || v.Array[0].String() != "bar" {
+				t.Fatalf("GETKEYSINSLOT: %s", v.String())
+			}
+			// Move the one key the way the mover does: DUMP + MIGRATEDEL.
+			payload := c.do(t, "DUMP", "bar")
+			if payload.Null {
+				t.Fatal("DUMP of a present key returned nil")
+			}
+			if v := c.do(t, "MIGRATEDEL", "bar", string(payload.Str)); v.Int != 1 {
+				t.Fatalf("MIGRATEDEL: %s", v.String())
+			}
+			// Now the key is absent: reads ASK.
+			v = c.do(t, "GET", "bar")
+			if !v.IsError() || v.String() != "ASK 5061 other:6379" {
+				t.Fatalf("GET after the move: %q", v.String())
+			}
+			// The flip: subsequent traffic is MOVED, not ASK.
+			epoch := m.Epoch()
+			if v := c.do(t, "CLUSTER", "SETSLOT", "5061", "NODE", "1"); !v.IsOK() {
+				t.Fatalf("SETSLOT NODE: %s", v.String())
+			}
+			if m.Epoch() <= epoch {
+				t.Fatal("flip did not bump the epoch")
+			}
+			v = c.do(t, "GET", "bar")
+			if !v.IsError() || v.String() != "MOVED 5061 other:6379" {
+				t.Fatalf("GET after the flip: %q", v.String())
+			}
+			if n := srv.Metrics().Counter("server.cluster.asked").Value(); n != 3 {
+				t.Fatalf("asked counter = %d, want 3", n)
+			}
+			if n := srv.Metrics().Counter("server.cluster.tryagain").Value(); n != 1 {
+				t.Fatalf("tryagain counter = %d, want 1", n)
+			}
+		})
+	}
+}
+
+// TestClusterMigrationWindowTarget covers the import side: without ASKING
+// the un-owned slot redirects MOVED; after ASKING exactly one command is
+// admitted (the flag is one-shot).
+func TestClusterMigrationWindowTarget(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w := newWorld(19)
+			m := twoGroupMap(t)
+			srv := clusterServer(w, "n0", shards, &ClusterRouting{Self: 0, Map: m, Port: 6379})
+			c := w.dial(t, srv)
+
+			// Slot("foo") = 12182 is owned by group 1; this node imports it.
+			if v := c.do(t, "CLUSTER", "SETSLOT", "12182", "IMPORTING", "1"); !v.IsOK() {
+				t.Fatalf("SETSLOT IMPORTING: %s", v.String())
+			}
+			// Without ASKING the table still rules: MOVED.
+			v := c.do(t, "SET", "foo", "v1")
+			if !v.IsError() || v.String() != "MOVED 12182 other:6379" {
+				t.Fatalf("SET without ASKING: %q", v.String())
+			}
+			// ASKING admits the next command...
+			if v := c.do(t, "ASKING"); !v.IsOK() {
+				t.Fatalf("ASKING: %s", v.String())
+			}
+			if v := c.do(t, "SET", "foo", "v1"); !v.IsOK() {
+				t.Fatalf("SET with ASKING: %s", v.String())
+			}
+			// ...and only the next command: the flag is one-shot.
+			v = c.do(t, "GET", "foo")
+			if !v.IsError() || v.String() != "MOVED 12182 other:6379" {
+				t.Fatalf("GET after the one-shot expired: %q", v.String())
+			}
+			if v := c.do(t, "ASKING"); !v.IsOK() {
+				t.Fatalf("ASKING: %s", v.String())
+			}
+			if v := c.do(t, "GET", "foo"); v.String() != "v1" {
+				t.Fatalf("GET with ASKING: %s", v.String())
+			}
+			// ASKING does not bypass slots that are not importing.
+			if v := c.do(t, "ASKING"); !v.IsOK() {
+				t.Fatalf("ASKING: %s", v.String())
+			}
+			// Slot("qux") = 9995: group 1's, but not importing here.
+			v = c.do(t, "SET", "qux", "x")
+			if !v.IsError() || !strings.HasPrefix(v.String(), "MOVED") {
+				t.Fatalf("ASKING admitted a non-importing foreign slot: %q", v.String())
+			}
+			if n := srv.Metrics().Counter("server.cluster.imported").Value(); n != 2 {
+				t.Fatalf("imported counter = %d, want 2", n)
+			}
+			// SETSLOT validation: cannot import an owned slot or migrate a
+			// foreign one.
+			if v := c.do(t, "CLUSTER", "SETSLOT", "5061", "IMPORTING", "1"); !v.IsError() {
+				t.Fatalf("IMPORTING an owned slot accepted: %s", v.String())
+			}
+			if v := c.do(t, "CLUSTER", "SETSLOT", "12182", "MIGRATING", "0"); !v.IsError() {
+				t.Fatalf("MIGRATING a foreign slot accepted: %s", v.String())
+			}
+			if v := c.do(t, "CLUSTER", "SETSLOT", "99999", "NODE", "0"); !v.IsError() {
+				t.Fatalf("NODE with an invalid slot accepted: %s", v.String())
+			}
+			// STABLE clears the import mark: ASKING no longer admits.
+			if v := c.do(t, "CLUSTER", "SETSLOT", "12182", "STABLE"); !v.IsOK() {
+				t.Fatalf("SETSLOT STABLE: %s", v.String())
+			}
+			if v := c.do(t, "ASKING"); !v.IsOK() {
+				t.Fatalf("ASKING: %s", v.String())
+			}
+			v = c.do(t, "GET", "foo")
+			if !v.IsError() || !strings.HasPrefix(v.String(), "MOVED") {
+				t.Fatalf("GET after STABLE: %q", v.String())
+			}
+		})
 	}
 }
 

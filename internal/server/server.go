@@ -189,6 +189,11 @@ type client struct {
 	// gated holds commands (sharded mode) that must run in sequence order
 	// on the dispatch proc — WAIT — parked until seqEmit reaches them.
 	gated map[uint64]gatedCmd
+
+	// asking is the one-shot ASK escape: the previous command on this
+	// connection was ASKING, so the next keyed command may address an
+	// importing slot this node does not own. Consumed by slotCheck.
+	asking bool
 }
 
 // gatedCmd is a parked sequence-ordered command (see client.gated).
@@ -592,12 +597,27 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 	s.coreFor(c).Charge(s.params.ParseCost(size))
 	s.CommandsProcessed++
 
+	// ASKING is handled at admission, not execution: its flag must be
+	// visible to the NEXT command's slot check, which also runs at
+	// admission — deferring ASKING behind a barrier hold queue while the
+	// next command's check reads a stale flag would break the protocol.
+	if s.cluster != nil && cmd != nil && cmd.Server && cmd.Name == "asking" {
+		c.asking = true
+		ack := resp.AppendSimple(nil, "OK")
+		if s.shard != nil {
+			s.shard.sequencedReply(c, ack)
+		} else {
+			s.reply(c, ack)
+		}
+		return
+	}
+
 	// Cluster mode: verify this node's group owns every key's slot before
 	// the command enters the pipeline. Redirects re-sequence like any other
 	// admission-plane reply, so pipelined clients see them in request order.
 	if s.cluster != nil && cmd != nil && !cmd.Server && cmd.FirstKey > 0 {
 		s.coreFor(c).Charge(s.params.SlotCheckCPU)
-		if redirect := s.slotCheck(cmd, argv); redirect != nil {
+		if redirect := s.slotCheck(c, cmd, argv); redirect != nil {
 			if s.shard != nil {
 				s.shard.sequencedReply(c, redirect)
 			} else {
@@ -637,6 +657,11 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 			s.cmdWait(c, argv)
 		case "cluster":
 			s.cmdCluster(c, argv)
+		case "asking":
+			// Outside cluster mode (or when reaching execution through a
+			// barrier drain) ASKING is a harmless no-op acknowledgement; in
+			// cluster mode the admission path answers it before this point.
+			s.reply(c, resp.AppendSimple(nil, "OK"))
 		}
 		return
 	}
@@ -656,6 +681,14 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 				return
 			}
 		}
+	}
+
+	// Live migration: a key in a MIGRATING slot that is no longer here has
+	// moved to the target — answer ASK (or TRYAGAIN for a half-present
+	// multi-key command) at execution time, when presence is definitive.
+	if redirect := s.migrationCheck(cmd, c.db, argv); redirect != nil {
+		s.reply(c, redirect)
+		return
 	}
 
 	s.coreFor(c).Charge(s.execCost(cmd, argv))

@@ -286,8 +286,21 @@ func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
 			// lastWriteOff, recorded at each write's merge; no global
 			// quiesce needed.
 			return classWait, 0
+		case "cluster":
+			if len(argv) >= 2 {
+				switch string(argv[1]) {
+				case "setslot", "SETSLOT", "getkeysinslot", "GETKEYSINSLOT",
+					"countkeysinslot", "COUNTKEYSINSLOT":
+					// Migration control plane: SETSLOT NODE flips slot
+					// ownership and GETKEYSINSLOT decides the mover's
+					// termination — both must observe a quiesced pipeline so
+					// no in-flight command straddles the state change.
+					return classBarrier, 0
+				}
+			}
+			return classInline, 0 // keyslot, slots, info
 		}
-		return classInline, 0 // select, replconf
+		return classInline, 0 // select, replconf, asking
 	}
 	if cmd.FirstKey <= 0 {
 		switch cmd.Name {
@@ -341,7 +354,14 @@ func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si 
 		var reply []byte
 		var dirty bool
 		if s.alive {
-			reply, dirty = s.store.Dispatch(cmd, dbi, argv)
+			// Live migration: decide ASK/TRYAGAIN here, on the shard proc at
+			// execution time — an admission-time presence check would race
+			// writes already queued ahead of this command in the shard FIFO.
+			if redirect := s.migrationCheck(cmd, dbi, argv); redirect != nil {
+				reply = redirect
+			} else {
+				reply, dirty = s.store.Dispatch(cmd, dbi, argv)
+			}
 		}
 		e.shardExec[si].Observe(cost)
 		s.proc.Post(p.ShardMergeCPU, func() {

@@ -142,6 +142,13 @@ type Map struct {
 	owner  []uint16
 	addrs  []string
 	counts []int // slots owned per group, maintained across Assign
+	// migrating/importing hold per-slot live-migration marks: the value is
+	// group+1 (0 = no mark) so the zero value means "stable". A slot being
+	// resharded is MIGRATING at its current owner (value = target group) and
+	// IMPORTING at the target (value = source group) for the duration of the
+	// key move; the final Assign flip clears both marks.
+	migrating []uint16
+	importing []uint16
 }
 
 // NewMap builds a routing table over n groups with the given slot
@@ -161,10 +168,12 @@ func NewMap(n int, ranges []Range, addrs []string) (*Map, error) {
 		return nil, err
 	}
 	m := &Map{
-		epoch:  1,
-		owner:  make([]uint16, NumSlots),
-		addrs:  append([]string(nil), addrs...),
-		counts: make([]int, n),
+		epoch:     1,
+		owner:     make([]uint16, NumSlots),
+		addrs:     append([]string(nil), addrs...),
+		counts:    make([]int, n),
+		migrating: make([]uint16, NumSlots),
+		importing: make([]uint16, NumSlots),
 	}
 	for _, r := range ranges {
 		for s := r.Start; s <= r.End; s++ {
@@ -200,16 +209,91 @@ func (m *Map) SetAddr(group int, addr string) {
 	m.epoch++
 }
 
-// Assign transfers a slot range to a group and bumps the epoch
-// (resharding; unused by the even-split default but part of the table's
-// contract).
-func (m *Map) Assign(start, end, group int) {
+// AssignError reports an Assign call that named slots or groups outside
+// the table. The owner table is left untouched: silently clamping (or
+// worse, writing through an out-of-range index) would corrupt the
+// per-group slot counts that CLUSTER INFO and the rebalancer rely on.
+type AssignError struct {
+	Start, End, Group, Groups int
+}
+
+func (e *AssignError) Error() string {
+	return fmt.Sprintf("slots: invalid assignment [%d,%d]→group %d (have %d groups, %d slots)",
+		e.Start, e.End, e.Group, e.Groups, NumSlots)
+}
+
+// Assign transfers a slot range to a group, clears any live-migration
+// marks on the moved slots, and bumps the epoch — the atomic ownership
+// flip that ends a slot migration (subsequent traffic at the old owner
+// becomes MOVED). Returns an *AssignError, with no table mutation, when
+// the range is inverted or names a slot or group outside the table.
+func (m *Map) Assign(start, end, group int) error {
+	if start < 0 || end >= NumSlots || start > end || group < 0 || group >= len(m.addrs) {
+		return &AssignError{Start: start, End: end, Group: group, Groups: len(m.addrs)}
+	}
 	for s := start; s <= end; s++ {
 		m.counts[m.owner[s]]--
 		m.owner[s] = uint16(group)
 		m.counts[group]++
+		m.migrating[s] = 0
+		m.importing[s] = 0
 	}
 	m.epoch++
+	return nil
+}
+
+// SetMigrating marks a slot as migrating toward a target group: the
+// current owner keeps serving keys still present but answers ASK for
+// absent ones. The mark is epoch-bumped like every topology mutation.
+func (m *Map) SetMigrating(slot, target int) error {
+	if slot < 0 || slot >= NumSlots || target < 0 || target >= len(m.addrs) {
+		return &AssignError{Start: slot, End: slot, Group: target, Groups: len(m.addrs)}
+	}
+	m.migrating[slot] = uint16(target) + 1
+	m.epoch++
+	return nil
+}
+
+// SetImporting marks a slot as importing from a source group: the target
+// admits ASKING-prefixed commands for the slot even though it does not
+// own it yet.
+func (m *Map) SetImporting(slot, source int) error {
+	if slot < 0 || slot >= NumSlots || source < 0 || source >= len(m.addrs) {
+		return &AssignError{Start: slot, End: slot, Group: source, Groups: len(m.addrs)}
+	}
+	m.importing[slot] = uint16(source) + 1
+	m.epoch++
+	return nil
+}
+
+// ClearMigration removes both migration marks from a slot (SETSLOT
+// STABLE — aborting a migration without moving ownership).
+func (m *Map) ClearMigration(slot int) {
+	if slot < 0 || slot >= NumSlots {
+		return
+	}
+	if m.migrating[slot] == 0 && m.importing[slot] == 0 {
+		return
+	}
+	m.migrating[slot] = 0
+	m.importing[slot] = 0
+	m.epoch++
+}
+
+// Migrating reports the target group a slot is migrating to, if any.
+func (m *Map) Migrating(slot int) (target int, ok bool) {
+	if v := m.migrating[slot]; v != 0 {
+		return int(v) - 1, true
+	}
+	return 0, false
+}
+
+// Importing reports the source group a slot is importing from, if any.
+func (m *Map) Importing(slot int) (source int, ok bool) {
+	if v := m.importing[slot]; v != 0 {
+		return int(v) - 1, true
+	}
+	return 0, false
 }
 
 // Ranges renders the table as contiguous (start, end, group) runs in slot
@@ -249,41 +333,70 @@ func MovedMessage(slot int, addr string, port int) string {
 	return fmt.Sprintf("MOVED %d %s:%d", slot, addr, port)
 }
 
-// AskMessage formats an ASK redirect (one-shot redirect during slot
-// migration; reserved — the simulated cluster does not migrate slots live
-// yet, but clients already parse it).
+// AskMessage formats an ASK redirect: the key's slot is mid-migration and
+// this key has already moved (or never existed here) — retry once at the
+// target, prefixed with ASKING, without refreshing the routing table.
 func AskMessage(slot int, addr string, port int) string {
 	return fmt.Sprintf("ASK %d %s:%d", slot, addr, port)
 }
 
+// TryAgainMessage is the error a multi-key command gets when its keys are
+// split across the two sides of a migrating slot — some already moved,
+// some still at the source. The client retries the whole command shortly;
+// the split is transient by construction (the mover drains the slot).
+const TryAgainMessage = "TRYAGAIN Multiple keys request during rehashing of slot"
+
+// RedirectKind distinguishes the two redirect verbs a cluster node emits.
+type RedirectKind int
+
+const (
+	// RedirectNone: the message is not a redirect.
+	RedirectNone RedirectKind = iota
+	// RedirectMoved: permanent — the client should refresh its map.
+	RedirectMoved
+	// RedirectAsk: one-shot during migration — retry at the target with
+	// ASKING, do NOT refresh the map (ownership has not changed yet).
+	RedirectAsk
+)
+
 // ParseRedirect decodes a MOVED or ASK error message into its slot and
 // target address. ok is false for any other error text.
 func ParseRedirect(msg string) (slot int, addr string, port int, ok bool) {
+	kind, slot, addr, port := ParseRedirectKind(msg)
+	return slot, addr, port, kind != RedirectNone
+}
+
+// ParseRedirectKind decodes a redirect error message, additionally
+// reporting which verb it carried — clients treat MOVED (refresh the map)
+// and ASK (one-shot, no refresh) differently. Malformed payloads (missing
+// or out-of-range slot, missing host or port, non-numeric or non-positive
+// port, trailing tokens) all return RedirectNone.
+func ParseRedirectKind(msg string) (kind RedirectKind, slot int, addr string, port int) {
 	var rest string
 	switch {
 	case strings.HasPrefix(msg, "MOVED "):
-		rest = msg[len("MOVED "):]
+		kind, rest = RedirectMoved, msg[len("MOVED "):]
 	case strings.HasPrefix(msg, "ASK "):
-		rest = msg[len("ASK "):]
+		kind, rest = RedirectAsk, msg[len("ASK "):]
 	default:
-		return 0, "", 0, false
+		return RedirectNone, 0, "", 0
 	}
 	sp := strings.IndexByte(rest, ' ')
 	if sp < 0 {
-		return 0, "", 0, false
+		return RedirectNone, 0, "", 0
 	}
 	slot, err := strconv.Atoi(rest[:sp])
 	if err != nil || slot < 0 || slot >= NumSlots {
-		return 0, "", 0, false
+		return RedirectNone, 0, "", 0
 	}
 	target := rest[sp+1:]
 	colon := strings.LastIndexByte(target, ':')
 	if colon <= 0 {
-		return 0, "", 0, false
+		return RedirectNone, 0, "", 0
 	}
 	port, err = strconv.Atoi(target[colon+1:])
-	if err != nil {
-		return 0, "", 0, false
+	if err != nil || port <= 0 || port > 65535 {
+		return RedirectNone, 0, "", 0
 	}
-	return slot, target[:colon], port, true
+	return kind, slot, target[:colon], port
 }

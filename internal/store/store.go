@@ -211,6 +211,12 @@ func (s *Store) lookup(dbi int, key string) *obj.Object {
 	return v.(*obj.Object)
 }
 
+// Has reports whether a key is live (applying lazy expiration) — the
+// presence probe behind the migration plane's ASK/TRYAGAIN decision.
+func (s *Store) Has(dbi int, key string) bool {
+	return s.lookup(dbi, key) != nil
+}
+
 // setKey stores an object and clears any previous TTL (SET semantics).
 func (s *Store) setKey(dbi int, key string, o *obj.Object) {
 	db := s.shardDB(dbi, key)

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"skv/internal/fabric"
 	"skv/internal/model"
@@ -77,13 +78,18 @@ type SlotClient struct {
 
 	// Sent and Done count all requests, ErrReplies the non-redirect error
 	// replies. Moved counts MOVED redirects (each also triggers a map
-	// refresh unless the view is already current), MapRefreshes the copies
-	// taken from the authoritative table, Redials the reconnect attempts
-	// after a close or dial failure.
+	// refresh unless the view is already current), Asked the ASK redirects
+	// (one-shot retries that deliberately do NOT refresh the map — the
+	// migration window is transient and the source still owns the slot),
+	// TryAgain the TRYAGAIN replies retried after a back-off, MapRefreshes
+	// the copies taken from the authoritative table, Redials the reconnect
+	// attempts after a close or dial failure.
 	Sent         uint64
 	Done         uint64
 	ErrReplies   uint64
 	Moved        uint64
+	Asked        uint64
+	TryAgain     uint64
 	MapRefreshes uint64
 	Redials      uint64
 	// GroupDone / GroupErrs break completions and error replies down by the
@@ -91,6 +97,9 @@ type SlotClient struct {
 	GroupDone []uint64
 	GroupErrs []uint64
 }
+
+// askingCmd is the one-shot admission prefix sent before an ASK retry.
+var askingCmd = resp.EncodeCommand("ASKING")
 
 // slotConn is one connection to one replication group's current address.
 type slotConn struct {
@@ -108,12 +117,17 @@ type slotConn struct {
 // and retry hops count toward the recorded latency. target is the group
 // whose window the request occupies (its authoritative slot owner at
 // generation time) — completion refills that window, wherever the reply
-// actually came from.
+// actually came from. marker requests are protocol filler (the ASKING that
+// precedes an ASK retry): their replies are consumed without accounting,
+// and they are dropped — not re-dispatched — when a connection is recovered
+// (the paired data request re-routes by slot and earns a fresh ASK if the
+// migration is still open).
 type slotReq struct {
 	cmd    []byte
 	key    string
 	target int
 	sentAt sim.Time
+	marker bool
 }
 
 // NewSlotClient builds a slot-aware closed-loop client on its own core.
@@ -209,7 +223,12 @@ func (c *SlotClient) sendNextFor(tg int) {
 
 // dispatch routes one request by its key's slot under the current view.
 func (c *SlotClient) dispatch(r slotReq) {
-	g := int(c.owner[slots.Slot([]byte(r.key))])
+	c.sendTo(int(c.owner[slots.Slot([]byte(r.key))]), r)
+}
+
+// sendTo queues one request on group g's connection, dialing if needed.
+// dispatch computes g from the slot map; the ASK path forces it.
+func (c *SlotClient) sendTo(g int, r slotReq) {
 	sc := c.conns[g]
 	if sc == nil {
 		sc = &slotConn{group: g, addr: c.addrs[g]}
@@ -283,9 +302,43 @@ func (c *SlotClient) recoverReqs(sc *slotConn) {
 	c.eng.After(c.RetryDelay, func() {
 		c.refreshMap()
 		for _, r := range reqs {
+			if r.marker {
+				continue // ASKING filler: its data request re-routes alone
+			}
 			c.dispatch(r)
 		}
 	})
+}
+
+// askRetry performs the one-shot ASK protocol: send ASKING then the same
+// request to the redirect's address. Unlike MOVED this must NOT refresh the
+// slot map — the source still owns the slot until the migration finishes,
+// and adopting the target early would bounce every other key in the slot.
+// The address is resolved to a group through the authoritative table (the
+// simulation's stand-in for a real client keying connections by address).
+func (c *SlotClient) askRetry(addr string, req slotReq) bool {
+	g := -1
+	for i := 0; i < c.table.Groups(); i++ {
+		if c.table.Addr(i) == addr {
+			g = i
+			break
+		}
+	}
+	if g < 0 {
+		return false // address not in the deployment: caller falls back
+	}
+	if c.addrs[g] != addr {
+		// Our view has a stale (or unlearned) address for this group; an
+		// ASK names the live endpoint, so adopt it. Any connection to the
+		// old address is retired and its requests re-route normally.
+		if sc := c.conns[g]; sc != nil && sc.addr != addr {
+			c.recoverReqs(sc)
+		}
+		c.addrs[g] = addr
+	}
+	c.sendTo(g, slotReq{cmd: askingCmd, marker: true})
+	c.sendTo(g, req)
+	return true
 }
 
 // refreshMap copies the authoritative table if it is newer than our view,
@@ -323,13 +376,36 @@ func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 		}
 		req := sc.inflight[0]
 		sc.inflight = sc.inflight[1:]
+		if req.marker {
+			continue // +OK for an ASKING prefix: no accounting, no refill
+		}
 		if v.IsError() {
-			if _, _, _, redirect := slots.ParseRedirect(string(v.Str)); redirect {
+			msg := string(v.Str)
+			kind, _, addr, _ := slots.ParseRedirectKind(msg)
+			switch kind {
+			case slots.RedirectMoved:
 				// Stale view: repair the map and re-issue the same request
 				// (sentAt preserved — the extra hop is real latency).
 				c.Moved++
 				c.refreshMap()
 				c.dispatch(req)
+				continue
+			case slots.RedirectAsk:
+				c.Asked++
+				if c.askRetry(addr, req) {
+					continue
+				}
+				// Unknown address (should not happen in a converged
+				// deployment): fall back to a map refresh and re-route.
+				c.refreshMap()
+				c.dispatch(req)
+				continue
+			}
+			if strings.HasPrefix(msg, "TRYAGAIN") {
+				// Half-migrated multi-key window: back off and retry the
+				// same request (sentAt preserved).
+				c.TryAgain++
+				c.eng.After(c.RetryDelay, func() { c.dispatch(req) })
 				continue
 			}
 			c.ErrReplies++
