@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke bench-reshard-smoke clean
+.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke bench-reshard-smoke bench-quorum-smoke clean
 
 all: verify
 
@@ -58,6 +58,9 @@ bench-cluster-smoke:
 # ASK/ASKING window, the per-key CAS transfer, and the final NODE flip.
 bench-reshard-smoke:
 	$(GO) run ./cmd/skv-bench -smoke -exp ext-reshard
+
+bench-quorum-smoke:
+	$(GO) run ./cmd/skv-bench -smoke -exp ext-quorum
 
 clean:
 	$(GO) clean ./...

@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(), ExtReshard(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(), ExtReshard(), ExtQuorum(),
 	}
 }
 
@@ -160,6 +160,8 @@ func ByID(id string) *Experiment {
 		return ExtCluster()
 	case "ext-reshard":
 		return ExtReshard()
+	case "ext-quorum":
+		return ExtQuorum()
 	}
 	return nil
 }
@@ -168,7 +170,7 @@ func ByID(id string) *Experiment {
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
 		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
-		"ext-batch", "ext-failover", "ext-shards", "ext-cluster", "ext-reshard"}
+		"ext-batch", "ext-failover", "ext-shards", "ext-cluster", "ext-reshard", "ext-quorum"}
 }
 
 // unused placeholder to keep sim imported if windows change.

@@ -39,8 +39,8 @@ func TestIDsAndByIDAgree(t *testing.T) {
 	if ByID("nonsense") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(IDs()))
+	if len(IDs()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(IDs()))
 	}
 }
 

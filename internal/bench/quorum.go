@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"skv/internal/cluster"
+	"skv/internal/consistency"
+	"skv/internal/core"
+	"skv/internal/model"
+	"skv/internal/sim"
+)
+
+// ExtQuorum prices the consistency plane: the identical SKV deployment
+// (1 master, 3 slaves, SET-only closed-loop load) measured at each write
+// consistency level. Under async the reply fires from the host the moment
+// the write executes; under quorum/all the Nic-KV withholds it until W
+// slaves report the write's offset, so the client pays the replication
+// apply latency — the gate releases column counts the NIC's msgAckRelease
+// watermarks that fired the parked replies. The async↔quorum delta is the
+// paper-level trade the ack-loss probe motivates: what zero acked-write
+// loss under failover costs in throughput and tail latency.
+func ExtQuorum() *Experiment {
+	e := &Experiment{
+		ID:    "ext-quorum",
+		Title: "Tunable write consistency (SKV, 3 slaves, SET-only) — extension",
+		Header: []string{"level", "kops/s", "p99 µs", "gate releases", "err replies"},
+		Notes: []string{
+			"extension beyond the paper: NIC-enforced quorum acknowledgments — the master gates each write's reply behind a msgGate frame and the Nic-KV releases a watermark once W slaves report the offset",
+			"async is the legacy reply-on-execute path (zero gates); all waits for every attached slave",
+			"rows share the deployment, seed and load; only the consistency level differs",
+			"the ack-loss probe (internal/cluster/ackloss.go) demonstrates what the async rows risk: acked writes die with a crashed master, while quorum/all rows survive failover losslessly",
+		},
+	}
+	for _, lv := range []struct {
+		label string
+		level consistency.Level
+		w     int
+	}{
+		{"async", consistency.Async, 0},
+		{"quorum W=1", consistency.Quorum, 1},
+		{"quorum W=2", consistency.Quorum, 2},
+		{"all", consistency.All, 0},
+	} {
+		p := model.Default()
+		c := cluster.Build(cluster.Config{
+			Kind: cluster.KindSKV, Slaves: 3, Clients: 8, Pipeline: 4,
+			GetRatio: 0, Seed: 91, Params: &p, SKV: core.DefaultConfig(),
+			WriteConsistency: lv.level, WriteQuorum: lv.w,
+		})
+		if !c.AwaitReplication(5 * sim.Second) {
+			panic("ext-quorum: sync failed")
+		}
+		r := c.Measure(warmup, measure)
+		if r.ErrReplies != 0 {
+			panic(fmt.Sprintf("ext-quorum: %d error replies (%s)", r.ErrReplies, lv.label))
+		}
+		releases := c.NicKV.Metrics().Counter("nickv.gate.releases").Value()
+		if lv.level == consistency.Async && releases != 0 {
+			panic("ext-quorum: async rows must not gate")
+		}
+		if lv.level != consistency.Async && releases == 0 {
+			panic(fmt.Sprintf("ext-quorum: %s released no gates — the NIC quorum path never engaged", lv.label))
+		}
+		e.Rows = append(e.Rows, []string{lv.label, kops(r.Throughput), f1(r.P99.Micros()),
+			fmt.Sprint(releases), fmt.Sprint(r.ErrReplies)})
+		key := map[string]string{"async": "async", "quorum W=1": "q1", "quorum W=2": "q2", "all": "all"}[lv.label]
+		e.metric("kops_"+key, r.Throughput/1000)
+		e.metric("p99_us_"+key, r.P99.Micros())
+	}
+	return e
+}

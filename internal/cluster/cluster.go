@@ -13,9 +13,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"skv/internal/consistency"
 	"skv/internal/core"
 	"skv/internal/fabric"
 	"skv/internal/metrics"
@@ -98,6 +100,20 @@ type Config struct {
 	// and rejects inconsistent combinations.
 	NicReads NicReadMode
 
+	// WriteConsistency is the deployment's default write acknowledgment
+	// level. Async — the zero value — is the legacy fire-and-forget default:
+	// the master replies as soon as the write executes. Quorum withholds each
+	// write's reply until WriteQuorum slaves have replicated it; All waits
+	// for every attached slave. On SKV the NIC enforces the quorum (the host
+	// CPU never sees the wait); baselines park the reply on the master's
+	// consistency tracker like WAIT. Per-command overrides ride
+	// SKV.CONSISTENCY. Build derives core.Config.WriteConsistency from this
+	// field — setting SKV.WriteConsistency directly is a configuration error.
+	WriteConsistency consistency.Level
+	// WriteQuorum is the slave-ack count a quorum write needs (only
+	// meaningful with WriteConsistency=Quorum; 0 defaults to 1).
+	WriteQuorum int
+
 	// DisableCron switches off serverCron (microbenchmarks only).
 	DisableCron bool
 }
@@ -129,6 +145,22 @@ func (m NicReadMode) String() string {
 	}
 	return "?"
 }
+
+// Typed consistency-configuration errors, matchable with errors.Is: tooling
+// that sweeps configurations (benches, chaos harnesses) can tell "this
+// combination is meaningless" apart from other validation failures.
+var (
+	// ErrQuorumTooLarge: WriteQuorum asks for more slave acks than the
+	// topology has slaves — no write could ever be acknowledged.
+	ErrQuorumTooLarge = errors.New("write quorum exceeds the deployment's slave count")
+	// ErrQuorumNoSlaves: quorum/all consistency on a slave-less (legacy
+	// single-node) topology — there is nobody to ack.
+	ErrQuorumNoSlaves = errors.New("quorum/all write consistency requires at least one slave")
+	// ErrQuorumWithoutLevel: WriteQuorum set while the consistency level
+	// isn't quorum (async never parks; all derives its need from the
+	// replica count).
+	ErrQuorumWithoutLevel = errors.New("WriteQuorum is only meaningful with WriteConsistency=quorum")
+)
 
 // Validate reports configuration errors Build would otherwise bake into a
 // half-configured cluster.
@@ -172,6 +204,25 @@ func (cfg Config) Validate() error {
 		if cfg.SlotRanges != nil {
 			return fmt.Errorf("cluster: SlotRanges is only meaningful with Masters>1")
 		}
+	}
+	if cfg.SKV.WriteConsistency != consistency.Async {
+		return fmt.Errorf("cluster: SKV.WriteConsistency is derived from Config.WriteConsistency; set the cluster-level field instead")
+	}
+	replicas := cfg.Slaves
+	if cfg.Masters > 1 {
+		replicas = cfg.SlavesPerMaster
+	}
+	if cfg.WriteConsistency != consistency.Async && replicas == 0 {
+		return fmt.Errorf("cluster: WriteConsistency=%s on a topology with no slaves: %w", cfg.WriteConsistency, ErrQuorumNoSlaves)
+	}
+	if cfg.WriteQuorum < 0 {
+		return fmt.Errorf("cluster: WriteQuorum=%d is invalid; the quorum must be >= 1", cfg.WriteQuorum)
+	}
+	if cfg.WriteQuorum != 0 && cfg.WriteConsistency != consistency.Quorum {
+		return fmt.Errorf("cluster: WriteQuorum=%d with WriteConsistency=%s: %w", cfg.WriteQuorum, cfg.WriteConsistency, ErrQuorumWithoutLevel)
+	}
+	if cfg.WriteConsistency == consistency.Quorum && cfg.WriteQuorum > replicas {
+		return fmt.Errorf("cluster: WriteQuorum=%d but the topology has %d slaves per master: %w", cfg.WriteQuorum, replicas, ErrQuorumTooLarge)
 	}
 	return nil
 }
@@ -242,6 +293,7 @@ func Build(cfg Config) *Cluster {
 		panic(err)
 	}
 	cfg.SKV.ServeReadsFromNIC = cfg.NicReads != NicReadsOff
+	cfg.SKV.WriteConsistency = cfg.WriteConsistency
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
@@ -285,6 +337,10 @@ func Build(cfg Config) *Cluster {
 			Shards:      p.HostShards,
 			Listeners:   p.RouteListeners,
 			Cluster:     route,
+			// Every node gets the consistency defaults — slaves too, since a
+			// promoted slave must keep enforcing the deployment's level.
+			WriteConsistency: cfg.WriteConsistency,
+			WriteQuorum:      cfg.WriteQuorum,
 		}, eng, stack, proc)
 		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
 			rs.Device().SetMetrics(srv.Metrics())
@@ -297,8 +353,12 @@ func Build(cfg Config) *Cluster {
 		return c
 	}
 
-	// Master (with SmartNIC when SKV).
+	// Master (with SmartNIC when SKV). Host endpoints register in epByName
+	// so control processes (respPool users like the ack-loss ledger) can dial
+	// nodes by name on the legacy topology too.
+	c.epByName = make(map[string]*fabric.Endpoint)
 	c.MasterMachine = net.NewMachine("master", cfg.Kind == KindSKV)
+	c.epByName[c.MasterMachine.Host.Name()] = c.MasterMachine.Host
 	c.Master, _ = newServer("master", c.MasterMachine, cfg.Seed+100, nil)
 
 	if cfg.Kind == KindSKV {
@@ -310,6 +370,7 @@ func Build(cfg Config) *Cluster {
 	for i := 0; i < cfg.Slaves; i++ {
 		m := net.NewMachine(fmt.Sprintf("slave%d", i), false)
 		c.SlaveMachines = append(c.SlaveMachines, m)
+		c.epByName[m.Host.Name()] = m.Host
 		srv, _ := newServer(fmt.Sprintf("slave%d", i), m, cfg.Seed+200+int64(i), nil)
 		c.Slaves = append(c.Slaves, srv)
 		if cfg.Kind == KindSKV {

@@ -24,6 +24,7 @@ package core
 import (
 	"encoding/binary"
 
+	"skv/internal/consistency"
 	"skv/internal/sim"
 )
 
@@ -54,6 +55,9 @@ const (
 	msgStatus         = 'S' // NIC → master: valid slave count, min offset
 	msgPromote        = 'F' // NIC → slave: become master (failover)
 	msgDemote         = 'D' // NIC → node: resume slave role
+	msgGate           = 'E' // master → NIC: endOff, need — gate the reply until need slaves reach endOff
+	msgAckRelease     = 'K' // NIC → master: released watermark (every gated reply ≤ it may fire)
+	msgCmdStreamAck   = 'c' // NIC → slave: like msgCmdStream but demands an immediate progress report
 )
 
 // ---- frame encoding helpers ----
@@ -139,6 +143,15 @@ type Config struct {
 	// becomes <group>.master, so snapshots from N groups never collide.
 	// Empty (the single-master default) keeps every legacy metric name.
 	Group string
+	// WriteConsistency selects the cluster's write acknowledgment level.
+	// Nic-KV consults it in two places: failover policy (quorum/all promote
+	// the valid slave with the highest reported offset, so every released
+	// write survives the master's crash) and stream fan-out (gated writes go
+	// out as msgCmdStreamAck, demanding an immediate progress report instead
+	// of waiting for the slave's ProgressInterval cron). Async — the zero
+	// value — keeps the legacy first-valid-node promotion and plain stream
+	// frames bit-for-bit.
+	WriteConsistency consistency.Level
 }
 
 // DefaultConfig mirrors the paper's default deployment.

@@ -78,7 +78,13 @@ func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoin
 	srv.OnPropagate = h.propagate
 	srv.AddInfoSection(h.infoSection)
 	srv.WriteGate = h.gate
-	srv.WaitOffsets = func() []int64 { return h.slaveOffsets }
+	// SKV masters learn replica progress from Nic-KV status frames, not from
+	// per-slave REPLCONF ACK links: the tracker's replica set is bulk-sourced.
+	srv.Acks().UseBulkSource()
+	// Quorum/all writes tell the NIC where the reply is gated; the NIC holds
+	// it until enough slaves report past the write ("the host CPU never sees
+	// the wait").
+	srv.OnWriteGate = h.writeGate
 	srv.Stack().Dial(nicEP, NicPort, func(conn transport.Conn, err error) {
 		if err != nil {
 			panic("core: master cannot reach Nic-KV: " + err.Error())
@@ -158,6 +164,23 @@ func (h *HostKV) propagate(b replstream.Batch) {
 	h.nicConn.Send(frame)
 }
 
+// writeGate posts one gate frame to Nic-KV for a quorum/all write: the
+// reply parked at endOff may only fire once `need` slaves (0 = all the NIC
+// considers valid) have replicated past it. The NIC answers with msgAckRelease watermarks; the frame rides
+// the same FIFO connection as the replication requests, so a gate never
+// overtakes the stream bytes it covers. One extra WR per gated write — the
+// host still never polls or blocks.
+func (h *HostKV) writeGate(endOff int64, need int) {
+	if h.nicConn == nil {
+		return // handshake in flight; the status-frame fallback releases it
+	}
+	h.Srv.Proc().Core.Charge(h.Srv.Params().ReplOffloadReqCPU)
+	frame := []byte{msgGate}
+	frame = appendU64(frame, uint64(endOff))
+	frame = appendU64(frame, uint64(need))
+	h.nicConn.Send(frame)
+}
+
 // infoSection is the SKV block of the master's INFO output: the offload
 // accounting plus the slave availability picture Nic-KV last reported.
 func (h *HostKV) infoSection() store.InfoSection {
@@ -230,7 +253,17 @@ func (h *HostKV) onNicMessage(data []byte) {
 		h.validSlaves = count
 		h.slaveOffsets = offs
 		h.statusSeen = true
-		h.Srv.CheckWaiters()
+		// Feed the consistency plane: SetAll re-evaluates WAITers and parked
+		// replies, so even if a gate release frame were lost the next status
+		// report unblocks whatever the offsets now satisfy.
+		h.Srv.Acks().SetAll(offs)
+	case msgAckRelease:
+		off := r.i64()
+		if r.bad {
+			return
+		}
+		// The NIC released every gated reply at or below this watermark.
+		h.Srv.Acks().ReleaseUpTo(off)
 	}
 }
 

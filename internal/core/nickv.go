@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"skv/internal/consistency"
 	"skv/internal/fabric"
 	"skv/internal/metrics"
 	"skv/internal/model"
@@ -12,6 +13,18 @@ import (
 	"skv/internal/store"
 	"skv/internal/transport"
 )
+
+// nicGate is one reply the master parked on a quorum: the write ending at
+// end may be acknowledged once need valid slaves have replicated past it
+// (need 0 = every slave the NIC considers valid at release time).
+// Gates arrive in stream-offset order (the master's writes are sequenced),
+// so the queue releases strictly FIFO: a later, weaker gate never releases
+// ahead of an unsatisfied stricter one — the msgAckRelease watermark is a
+// plain high-water mark and the master trusts it unconditionally.
+type nicGate struct {
+	end  int64
+	need int
+}
 
 // nodeEntry is one slave in the node list Nic-KV maintains on the SmartNIC
 // ("a node list storing the corresponding relationship between the master
@@ -60,6 +73,10 @@ type NicKV struct {
 	masterProbeAt sim.Time
 	promotedID    string
 
+	// gates is the FIFO of reply gates the master posted (quorum/all writes).
+	// Empty in async deployments, so the legacy fan-out path is untouched.
+	gates []nicGate
+
 	probeTicker *sim.Ticker
 
 	// Shadow replica for the §IV-A ablation (nil unless enabled). With
@@ -104,6 +121,9 @@ type NicKV struct {
 	mProbeAcks    *metrics.Counter
 	mMarkDowns    *metrics.Counter
 	mMarkUps      *metrics.Counter
+	mGatesQueued  *metrics.Counter
+	mGateReleases *metrics.Counter
+	gGatesPending *metrics.Gauge
 	probeRTT      *metrics.LatencyHist
 }
 
@@ -141,6 +161,9 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 		mProbeAcks:    reg.Counter("nickv.probe.acks"),
 		mMarkDowns:    reg.Counter("nickv.node.mark_down"),
 		mMarkUps:      reg.Counter("nickv.node.mark_up"),
+		mGatesQueued:  reg.Counter("nickv.gate.queued"),
+		mGateReleases: reg.Counter("nickv.gate.releases"),
+		gGatesPending: reg.Gauge("nickv.gate.pending"),
 		probeRTT:      reg.Histogram("nickv.probe.rtt"),
 	}
 	n.Stack.Device().SetMetrics(reg)
@@ -242,6 +265,10 @@ func (n *NicKV) accept(conn transport.Conn) {
 		delete(n.byConn, conn)
 		if conn == n.masterConn {
 			n.masterConn = nil
+			// Gated replies died with the master's client connections; a
+			// restarted master re-posts gates for whatever it re-parks.
+			n.gates = nil
+			n.gGatesPending.Set(0)
 			if n.masterValid {
 				// The master's control connection died while it was still
 				// considered healthy: treat it like a probe timeout.
@@ -310,7 +337,27 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 			nd.offset = r.i64()
 			nd.lastAck = n.eng.Now()
 			nd.lag.Set(lagBehind(n.streamEnd, nd.offset))
+			n.checkGates()
 		}
+	case msgGate:
+		end := r.i64()
+		need := int(r.u64()) // 0 = all: resolved against the NIC's live valid-slave view
+		if r.bad || need < 0 {
+			return
+		}
+		n.proc.Core.Charge(n.params.NicParseReqCPU)
+		n.mGatesQueued.Inc()
+		n.gates = append(n.gates, nicGate{end: end, need: need})
+		n.gGatesPending.Set(int64(len(n.gates)))
+		if n.checkGates() {
+			return
+		}
+		// The gate's stream bytes may already have fanned out as plain
+		// msgCmdStream frames (gate frames trail the flush on the same FIFO
+		// connection), in which case the slaves would sit on their
+		// ProgressInterval cron before reporting. Demand a progress report
+		// now from every valid slave still behind the gate.
+		n.demandAcks(end)
 	case msgProbeAck:
 		n.mProbeAcks.Inc()
 		if conn == n.masterConn {
@@ -334,9 +381,77 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 				nd.valid = true
 				n.mMarkUps.Inc()
 				n.timeline.Record(metrics.EventMarkUp, nd.id)
+				// A recovered node may tip a pending quorum over its need.
+				n.checkGates()
 			}
 		}
 	}
+}
+
+// checkGates pops every satisfied gate off the FIFO head and reports the
+// highest released offset to the master in a single msgAckRelease frame.
+// Returns whether anything was released. A gate is satisfied when `need`
+// valid slaves have reported offsets at or past its end; the strict FIFO
+// order means a stricter gate blocks weaker ones behind it, which keeps the
+// release watermark sound (see nicGate).
+func (n *NicKV) checkGates() bool {
+	if len(n.gates) == 0 {
+		return false
+	}
+	released := int64(-1)
+	for len(n.gates) > 0 {
+		g := n.gates[0]
+		valid, cnt := 0, 0
+		n.eachValidSlave(func(nd *nodeEntry) {
+			valid++
+			if nd.offset >= g.end {
+				cnt++
+			}
+		})
+		need := g.need
+		if need == 0 {
+			// "All": every slave the NIC currently considers valid. With no
+			// valid slave the gate holds — the strictest level never
+			// degrades to async when the replica set empties.
+			if valid == 0 {
+				break
+			}
+			need = valid
+		}
+		if cnt < need {
+			break
+		}
+		released = g.end
+		n.gates = n.gates[1:]
+	}
+	if released < 0 {
+		return false
+	}
+	n.gGatesPending.Set(int64(len(n.gates)))
+	if n.masterConn != nil {
+		n.mGateReleases.Inc()
+		n.proc.Core.Charge(n.params.NicFeedSlaveCPU)
+		frame := []byte{msgAckRelease}
+		frame = appendU64(frame, uint64(released))
+		n.masterConn.Send(frame)
+	}
+	return true
+}
+
+// demandAcks pings every valid slave still behind `end` with an empty
+// msgCmdStreamAck frame at the slave's own reported offset: a no-op for the
+// stream (entirely before the slave's offset) that makes the agent report
+// progress immediately instead of on its ProgressInterval cron.
+func (n *NicKV) demandAcks(end int64) {
+	n.eachValidSlave(func(nd *nodeEntry) {
+		if nd.conn == nil || nd.offset >= end {
+			return
+		}
+		n.proc.Core.Charge(n.params.NicFeedSlaveCPU)
+		frame := []byte{msgCmdStreamAck}
+		frame = appendU64(frame, uint64(nd.offset))
+		nd.conn.Send(frame)
+	})
 }
 
 // registerSlave implements §III-C step ①: create a client object for the
@@ -372,6 +487,8 @@ func (n *NicKV) registerSlave(id, replID string, off int64, conn transport.Conn)
 		frame = appendU64(frame, uint64(off))
 		n.masterConn.Send(frame)
 	}
+	// A (re-)joining slave that kept its offset may satisfy a pending gate.
+	n.checkGates()
 }
 
 func (n *NicKV) findNode(id string) *nodeEntry {
@@ -399,7 +516,16 @@ func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
 		n.streamEnd = end
 	}
 	n.applyToReplica(off, cmd)
-	frame := []byte{msgCmdStream}
+	// While reply gates are pending, the stream goes out tagged
+	// msgCmdStreamAck: each slave reports progress as soon as it applies the
+	// chunk, so the gate releases at apply latency instead of the
+	// ProgressInterval cron. Async deployments never queue gates and keep
+	// the legacy frame byte-for-byte.
+	tag := byte(msgCmdStream)
+	if len(n.gates) > 0 {
+		tag = msgCmdStreamAck
+	}
+	frame := []byte{tag}
 	frame = appendU64(frame, uint64(off))
 	frame = append(frame, cmd...)
 	n.eachValidSlave(func(nd *nodeEntry) {
@@ -506,21 +632,40 @@ func statusFrame(offs []int64, threads int) []byte {
 	return frame
 }
 
-// failover promotes the first available slave when the master is declared
-// crashed (§III-D).
+// failover promotes a slave when the master is declared crashed (§III-D).
+// Async keeps the legacy policy — the first available slave in node-list
+// order. Quorum/all promote the valid slave with the highest reported
+// offset: a gate only releases once `need` slaves' NIC-reported offsets
+// cover the write, and the stream applies contiguously, so the max-offset
+// node holds every write whose reply was released — the quorum's durability
+// guarantee across master loss.
 func (n *NicKV) failover() {
 	if n.promotedID != "" {
 		return // a promotion is already in effect; never stack a second one
 	}
+	var best *nodeEntry
 	for _, nd := range n.nodes {
-		if nd.valid && nd.conn != nil {
-			n.Failovers++
-			n.promotedID = nd.id
-			n.timeline.Record(metrics.EventPromote, nd.id)
-			nd.conn.Send([]byte{msgPromote})
-			return
+		if !nd.valid || nd.conn == nil {
+			continue
+		}
+		if best == nil {
+			best = nd
+			if n.cfg.WriteConsistency == consistency.Async {
+				break
+			}
+			continue
+		}
+		if nd.offset > best.offset {
+			best = nd
 		}
 	}
+	if best == nil {
+		return
+	}
+	n.Failovers++
+	n.promotedID = best.id
+	n.timeline.Record(metrics.EventPromote, best.id)
+	best.conn.Send([]byte{msgPromote})
 }
 
 // restoreMaster handles the original master's recovery: it continues as

@@ -202,6 +202,18 @@ func (a *SlaveAgent) onNicMessage(data []byte) {
 			return
 		}
 		a.onStream(off, cmd)
+	case msgCmdStreamAck:
+		// A gated stream chunk (or an empty ack-demand ping at our own
+		// offset): apply like a normal chunk, then report progress right
+		// away — a master reply is parked on this offset, and the next
+		// ProgressInterval cron tick is too far away.
+		off := r.i64()
+		cmd := r.rest()
+		if r.bad {
+			return
+		}
+		a.onStream(off, cmd)
+		a.reportProgress()
 	case msgPromote:
 		// Failover: become the master (§III-D).
 		a.Promoted++

@@ -42,28 +42,23 @@ func (s *Server) infoClients() store.InfoSection {
 	}
 	return store.InfoSection{Name: "Clients", Lines: []string{
 		fmt.Sprintf("connected_clients:%d", connected),
-		fmt.Sprintf("blocked_clients:%d", len(s.waiters)),
+		fmt.Sprintf("blocked_clients:%d", s.acks.Waiting()),
 	}}
 }
 
 // infoReplication mirrors Redis's Replication section. On a master the
 // per-replica lines carry the acknowledged offset and its lag behind
-// master_repl_offset; an SKV master (no direct slave links — replication is
-// offloaded) reads the offsets Nic-KV reports through WaitOffsets.
+// master_repl_offset; both the baseline (REPLCONF ACK) and SKV (Nic-KV
+// status frames) feed the consistency tracker this reads. The section also
+// exposes the consistency plane itself: the acked-offset watermark every
+// replica has covered, and the write replies currently parked on a quorum.
 func (s *Server) infoReplication() store.InfoSection {
 	lines := []string{"role:" + s.role.String()}
 	if s.role == RoleMaster {
 		masterOff := s.ReplOffset()
-		var offs []int64
-		var addrs []string
-		if s.WaitOffsets != nil {
-			offs = s.WaitOffsets()
-		} else {
-			for _, sl := range s.slaves {
-				offs = append(offs, sl.ackOff)
-				addrs = append(addrs, sl.addr)
-			}
-		}
+		ids, offs := s.acks.Replicas()
+		// Bulk-sourced offsets (Nic-KV status frames) carry no identities.
+		withAddrs := !s.acks.BulkSource()
 		lines = append(lines,
 			fmt.Sprintf("connected_slaves:%d", len(offs)),
 			"master_replid:"+s.replID,
@@ -74,12 +69,17 @@ func (s *Server) infoReplication() store.InfoSection {
 			if lag < 0 {
 				lag = 0
 			}
-			if addrs != nil {
-				lines = append(lines, fmt.Sprintf("slave%d:addr=%s,offset=%d,lag=%d", i, addrs[i], off, lag))
+			if withAddrs {
+				lines = append(lines, fmt.Sprintf("slave%d:addr=%s,offset=%d,lag=%d", i, ids[i], off, lag))
 			} else {
 				lines = append(lines, fmt.Sprintf("slave%d:offset=%d,lag=%d", i, off, lag))
 			}
 		}
+		lines = append(lines,
+			fmt.Sprintf("min_ack_offset:%d", s.acks.MinAckOffset()),
+			fmt.Sprintf("parked_writes:%d", s.acks.Parked()),
+			"write_consistency:"+s.defLevel.String(),
+		)
 		return store.InfoSection{Name: "Replication", Lines: lines}
 	}
 	status := "down"

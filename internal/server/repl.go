@@ -92,7 +92,7 @@ func (s *Server) cmdPSync(c *client, argv [][]byte) {
 	if wantID == s.replID {
 		if delta, okRange := s.backlog.Range(wantOff); okRange {
 			// Partial resynchronization.
-			sl.ackOff = wantOff
+			s.acks.SetReplica(sl.addr, wantOff)
 			s.slaves = append(s.slaves, sl)
 			s.reply(c, resp.AppendSimple(nil, "CONTINUE"))
 			if len(delta) > 0 {
@@ -108,7 +108,7 @@ func (s *Server) cmdPSync(c *client, argv [][]byte) {
 	s.proc.Core.Charge(s.params.ForkCPU)
 	dump := rdb.Dump(s.store)
 	s.proc.Core.Charge(sim.Duration(float64(len(dump)) * s.params.RDBPerByte))
-	sl.ackOff = s.ReplOffset()
+	s.acks.SetReplica(sl.addr, s.ReplOffset())
 	s.slaves = append(s.slaves, sl)
 	c.conn.Send(dump)
 }
@@ -134,6 +134,7 @@ func (s *Server) dropSlaveHandle(addr string) {
 		kept = append(kept, sl)
 	}
 	s.slaves = kept
+	s.acks.DropReplica(addr)
 }
 
 // cmdReplConf handles REPLCONF; ACK carries the slave's replication
@@ -144,10 +145,11 @@ func (s *Server) cmdReplConf(c *client, argv [][]byte) {
 		if err == nil {
 			for _, sl := range s.slaves {
 				if sl.client == c {
-					sl.ackOff = off
+					// Ack pushes progress into the consistency plane, which
+					// fires whatever WAITs and parked replies it satisfies.
+					s.acks.Ack(sl.addr, off)
 				}
 			}
-			s.CheckWaiters()
 		}
 		return // ACK gets no reply
 	}
@@ -165,14 +167,9 @@ func (s *Server) cmdSlaveOf(c *client, argv [][]byte) {
 	s.reply(c, resp.AppendError(nil, "ERR use the SlaveOf API in simulation"))
 }
 
-// SlaveAckOffsets reports each attached slave's acknowledged offset.
-func (s *Server) SlaveAckOffsets() []int64 {
-	out := make([]int64, len(s.slaves))
-	for i, sl := range s.slaves {
-		out[i] = sl.ackOff
-	}
-	return out
-}
+// SlaveAckOffsets reports each attached slave's acknowledged offset (from
+// the consistency tracker, in attach order).
+func (s *Server) SlaveAckOffsets() []int64 { return s.acks.Offsets() }
 
 // ---- Slave side ----
 

@@ -253,7 +253,7 @@ func TestPSyncFlushesPendingBatch(t *testing.T) {
 		t.Fatalf("psync registered %d slave handles", sent)
 	}
 	// The handle's ack offset must cover the flushed batch.
-	if off := master.slaves[0].ackOff; off != master.ReplOffset() {
+	if off := master.SlaveAckOffsets()[0]; off != master.ReplOffset() {
 		t.Fatalf("snapshot offset %d, stream end %d", off, master.ReplOffset())
 	}
 	_ = sc

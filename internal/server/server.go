@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"skv/internal/backlog"
+	"skv/internal/consistency"
 	"skv/internal/fabric"
 	"skv/internal/metrics"
 	"skv/internal/model"
@@ -76,6 +77,12 @@ type Options struct {
 	// (CROSSSLOT) when this node's group does not own them. nil keeps the
 	// single-master server bit-for-bit: no slot check, no extra charge.
 	Cluster *ClusterRouting
+	// WriteConsistency is the default write consistency level (per-client
+	// overrides via SKV.CONSISTENCY). Async — the zero value — keeps the
+	// legacy reply-before-replication path bit-for-bit.
+	WriteConsistency consistency.Level
+	// WriteQuorum is W for Quorum consistency (min 1).
+	WriteQuorum int
 }
 
 // Server is one key-value node: a single-threaded process bound to a
@@ -117,11 +124,20 @@ type Server struct {
 	// OnRoleChange is invoked after promotion/demotion (failover tests).
 	OnRoleChange func(Role)
 
-	// WaitOffsets, when non-nil, supplies per-replica acknowledged offsets
-	// for WAIT (SKV wires Nic-KV's status reports here; the default reads
-	// the slaves' REPLCONF ACKs).
-	WaitOffsets func() []int64
-	waiters     []*waiter
+	// acks is the consistency plane: per-replica acknowledged offsets
+	// (REPLCONF ACKs on the baseline, Nic-KV status frames on SKV),
+	// per-client last-write offsets, blocked WAITs, and parked write
+	// replies (internal/consistency).
+	acks *consistency.AckTracker
+	// defLevel/defW are the configured write consistency defaults.
+	defLevel consistency.Level
+	defW     int
+	// OnWriteGate, when non-nil, is told about every parked write reply
+	// (end offset, required ack count; 0 = all valid slaves) so an offload
+	// layer can enforce the gate off-host: the SKV Host-KV forwards it to
+	// Nic-KV, which releases the reply once W slaves acknowledged — the
+	// host CPU never polls.
+	OnWriteGate func(endOff int64, need int)
 
 	alive bool
 	cron  *sim.Ticker
@@ -182,10 +198,6 @@ type client struct {
 	seqEmit uint64
 	pending map[uint64][]byte
 
-	// lastWriteOff is the replication offset of this client's most recent
-	// propagated write (Redis client->woff). WAIT blocks until this offset
-	// is acked, not until the whole pipeline drains.
-	lastWriteOff int64
 	// gated holds commands (sharded mode) that must run in sequence order
 	// on the dispatch proc — WAIT — parked until seqEmit reaches them.
 	gated map[uint64]gatedCmd
@@ -194,6 +206,25 @@ type client struct {
 	// connection was ASKING, so the next keyed command may address an
 	// importing slot this node does not own. Consumed by slotCheck.
 	asking bool
+
+	// consOv, when set, overrides the server's write consistency defaults
+	// for this connection (SKV.CONSISTENCY).
+	consOv    bool
+	consLevel consistency.Level
+	consW     int
+
+	// outq (single-threaded mode) preserves per-connection RESP reply
+	// order while an earlier write reply sits parked on the consistency
+	// tracker: later replies queue as ready slots behind the parked one
+	// and drain in order when it fires. Empty in async mode — replies go
+	// straight out, bit-for-bit legacy.
+	outq []*outSlot
+}
+
+// outSlot is one queued reply: a placeholder until ready.
+type outSlot struct {
+	data  []byte
+	ready bool
 }
 
 // gatedCmd is a parked sequence-ordered command (see client.gated).
@@ -202,10 +233,10 @@ type gatedCmd struct {
 	argv [][]byte
 }
 
-// slaveHandle is the master's view of one attached slave.
+// slaveHandle is the master's view of one attached slave; its acknowledged
+// offset lives on the consistency tracker, keyed by addr.
 type slaveHandle struct {
 	client *client
-	ackOff int64
 	addr   string
 }
 
@@ -242,7 +273,10 @@ func New(opts Options, eng *sim.Engine, stack transport.Stack, proc *sim.Proc) *
 		metrics:  metrics.NewRegistry(opts.Name, eng.Now),
 		cmdStats: make(map[string]*cmdInstruments),
 		cluster:  opts.Cluster,
+		defLevel: opts.WriteConsistency,
+		defW:     opts.WriteQuorum,
 	}
+	s.acks = consistency.NewTracker(s.metrics)
 	if s.cluster != nil {
 		s.clusterStats = newClusterInstruments(s.metrics)
 	}
@@ -343,6 +377,16 @@ func (s *Server) SlaveCount() int { return len(s.slaves) }
 
 // Metrics exposes the node's instrument registry.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Acks exposes the consistency plane: replica ack offsets, per-client write
+// offsets, blocked WAITs, and parked write replies. The SKV Host-KV pushes
+// Nic-KV status offsets and ack-release watermarks through this.
+func (s *Server) Acks() *consistency.AckTracker { return s.acks }
+
+// CheckWaiters re-evaluates blocked WAITs and parked writes against the
+// tracker's current replica offsets (kept for layers and tests that push
+// progress out of band; Ack/SetAll already check internally).
+func (s *Server) CheckWaiters() { s.acks.Check() }
 
 // NumShards reports how many shard procs execute keyspace commands (1 in
 // single-threaded mode).
@@ -484,22 +528,15 @@ func (s *Server) freeClient(c *client) {
 	for i, sl := range s.slaves {
 		if sl.client == c {
 			s.slaves = append(s.slaves[:i], s.slaves[i+1:]...)
+			s.acks.DropReplica(sl.addr)
 			break
 		}
 	}
-	// Retire any WAIT blocked on this client.
-	remaining := s.waiters[:0]
-	for _, w := range s.waiters {
-		if w.c == c {
-			w.done = true
-			if w.timer != nil {
-				w.timer.Cancel()
-			}
-			continue
-		}
-		remaining = append(remaining, w)
-	}
-	s.waiters = remaining
+	// Retire everything the consistency plane holds for this client:
+	// blocked WAITs (timers cancelled, nothing replied — the connection is
+	// gone) and parked write replies.
+	s.acks.DropOwner(c.id)
+	c.outq = nil
 }
 
 // readQueryFromClient is the file-event read callback (paper Fig 4): feed
@@ -655,6 +692,8 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 			s.cmdSlaveOf(c, argv)
 		case "wait":
 			s.cmdWait(c, argv)
+		case "skv.consistency":
+			s.cmdConsistency(c, argv)
 		case "cluster":
 			s.cmdCluster(c, argv)
 		case "asking":
@@ -694,7 +733,12 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 	s.coreFor(c).Charge(s.execCost(cmd, argv))
 	reply, dirty := s.store.Dispatch(cmd, c.db, argv)
 	if dirty && s.role == RoleMaster {
-		c.lastWriteOff = s.propagate(c.db, argv)
+		off := s.propagate(c.db, argv)
+		s.acks.NoteWrite(c.id, off)
+		if need, wire := s.gateNeed(c); need > 0 {
+			s.parkWrite(c, off, need, wire, reply)
+			return
+		}
 	}
 	s.reply(c, reply)
 }
@@ -714,8 +758,85 @@ func (s *Server) reply(c *client, data []byte) {
 		s.shard.capBuf = append(s.shard.capBuf, data...)
 		return
 	}
+	if len(c.outq) > 0 {
+		// An earlier write reply is parked on the consistency tracker:
+		// queue behind it so the connection still sees replies in request
+		// order. The build cost is charged when the slot drains.
+		c.outq = append(c.outq, &outSlot{data: data, ready: true})
+		return
+	}
 	s.coreFor(c).Charge(s.params.ReplyBuildCPU)
 	c.conn.Send(data)
+}
+
+// levelFor resolves the effective write consistency for a connection.
+func (s *Server) levelFor(c *client) (consistency.Level, int) {
+	if c.consOv {
+		return c.consLevel, c.consW
+	}
+	return s.defLevel, s.defW
+}
+
+// gateNeed maps the connection's consistency level to the replica-ack count
+// a write reply must wait for; need 0 (async) means reply immediately.
+// wire is the count encoded into the msgGate frame for the offload layer:
+// for "all" it is the 0 sentinel — the NIC resolves it against its live
+// valid-slave view, which is authoritative in SKV mode (the host's bulk
+// tracker only refreshes on ProbePeriod status frames and may lag or be
+// empty), while need keeps a host-side fallback for the tracker.
+func (s *Server) gateNeed(c *client) (need, wire int) {
+	lvl, w := s.levelFor(c)
+	switch lvl {
+	case consistency.Quorum:
+		if w < 1 {
+			w = 1
+		}
+		return w, w
+	case consistency.All:
+		n := s.acks.ReplicaCount()
+		if n < 1 {
+			n = 1
+		}
+		return n, 0
+	}
+	return 0, 0
+}
+
+// parkWrite withholds a write reply until need replicas acknowledge off.
+// Single-threaded mode parks a placeholder slot in the client's reply queue;
+// a sharded barrier write (the only sharded path that reaches execute's
+// gating) reclaims its re-sequencer turn instead. Either way the offload
+// layer is told about the gate so Nic-KV can release it off-host.
+func (s *Server) parkWrite(c *client, off int64, need, wire int, reply []byte) {
+	if s.shard != nil && s.shard.barrierC == c {
+		e := s.shard
+		seq := e.barrierSeq
+		e.barrierParked = true
+		s.acks.ParkWrite(c.id, off, need, func() { e.complete(c, seq, reply) })
+	} else {
+		slot := &outSlot{}
+		c.outq = append(c.outq, slot)
+		s.acks.ParkWrite(c.id, off, need, func() {
+			slot.data, slot.ready = reply, true
+			s.drainOut(c)
+		})
+	}
+	if s.OnWriteGate != nil {
+		s.OnWriteGate(off, wire)
+	}
+}
+
+// drainOut emits every consecutive ready reply at the head of the client's
+// queue (single-threaded parked-write path).
+func (s *Server) drainOut(c *client) {
+	for len(c.outq) > 0 && c.outq[0].ready {
+		slot := c.outq[0]
+		c.outq = c.outq[1:]
+		if s.alive && !c.closed {
+			s.coreFor(c).Charge(s.params.ReplyBuildCPU)
+			c.conn.Send(slot.data)
+		}
+	}
 }
 
 func (s *Server) cmdSelect(c *client, argv [][]byte) {

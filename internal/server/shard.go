@@ -25,11 +25,15 @@ package server
 //     arrivals from every client queue behind it, preserving the global
 //     arrival order around the fence.
 //   - WAIT is fence-free: each write's merge records its replication
-//     offset on the issuing client (client.lastWriteOff), so WAIT only
-//     needs its own client's preceding commands merged. It runs at its
-//     reply turn in the client's sequence (parked in client.gated if
-//     earlier commands are still in flight) and never quiesces the other
-//     clients' traffic.
+//     offset on the issuing client (the consistency tracker's per-owner
+//     write offset), so WAIT only needs its own client's preceding
+//     commands merged. It runs at its reply turn in the client's sequence
+//     (parked in client.gated if earlier commands are still in flight) and
+//     never quiesces the other clients' traffic.
+//   - Quorum writes (WriteConsistency != async) are likewise
+//     sequence-ordered but fence-free: the write executes and merges
+//     normally, but its reply parks on the consistency tracker holding its
+//     re-sequencer turn until W replicas acknowledge the write's offset.
 //   - Connection-state commands (SELECT, REPLCONF, PING, ECHO, INFO) run
 //     inline on the dispatch proc without fencing; their replies still
 //     re-sequence.
@@ -68,10 +72,10 @@ const (
 	classBarrier
 	// classWait: WAIT is sequence-ordered but fence-free. Each write's
 	// merge already recorded its replication offset on the issuing client
-	// (client.lastWriteOff), so WAIT only needs to run after the client's
-	// preceding commands have merged — not after the whole pipeline
-	// drains. It executes on the dispatch proc at its reply turn, parked
-	// in client.gated until then.
+	// (the consistency tracker), so WAIT only needs to run after the
+	// client's preceding commands have merged — not after the whole
+	// pipeline drains. It executes on the dispatch proc at its reply turn,
+	// parked in client.gated until then.
 	classWait
 )
 
@@ -121,6 +125,14 @@ type shardEngine struct {
 	capturing bool
 	capClient *client
 	capBuf    []byte
+
+	// Barrier park context: while a barrier command executes, execute()'s
+	// write-gating path can park its reply on the consistency tracker
+	// instead of emitting it. barrierParked tells runBarrier to leave the
+	// re-sequencer turn open; the parked fire completes it.
+	barrierC      *client
+	barrierSeq    uint64
+	barrierParked bool
 }
 
 func newShardEngine(s *Server, name string, shards, listeners int) *shardEngine {
@@ -282,9 +294,9 @@ func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
 			// pipeline.
 			return classBarrier, 0
 		case "wait":
-			// Fence-free: the target offset is the caller's own
-			// lastWriteOff, recorded at each write's merge; no global
-			// quiesce needed.
+			// Fence-free: the target offset is the caller's own last-write
+			// offset, recorded at each write's merge; no global quiesce
+			// needed.
 			return classWait, 0
 		case "cluster":
 			if len(argv) >= 2 {
@@ -300,7 +312,7 @@ func (e *shardEngine) classify(cmd *store.Command, argv [][]byte) (int, int) {
 			}
 			return classInline, 0 // keyslot, slots, info
 		}
-		return classInline, 0 // select, replconf, asking
+		return classInline, 0 // select, replconf, asking, skv.consistency
 	}
 	if cmd.FirstKey <= 0 {
 		switch cmd.Name {
@@ -348,6 +360,10 @@ func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si 
 	seq := c.seqNext
 	c.seqNext++
 	dbi := c.db
+	// The consistency decision is made at admission, in arrival order, so a
+	// pipelined SKV.CONSISTENCY override applies to exactly the commands
+	// behind it — the merge stage may observe a later override otherwise.
+	need, wire := s.gateNeed(c)
 	cost := s.execCost(cmd, argv)
 	e.inflight++
 	e.procs[si].Post(cost, func() {
@@ -367,12 +383,23 @@ func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si 
 		s.proc.Post(p.ShardMergeCPU, func() {
 			// Merge stage, on the dispatch proc: replication order is
 			// merge-arrival order — a single serialized stream. The write's
-			// end offset lands on the issuing client so a later WAIT blocks
-			// on exactly this client's writes. Max, not assign: a client's
-			// writes to different shards can merge out of order.
+			// end offset lands on the issuing client (max-assign — a
+			// client's writes to different shards can merge out of order) so
+			// a later WAIT blocks on exactly this client's writes.
 			if s.alive && dirty && s.role == RoleMaster {
-				if off := s.propagate(dbi, argv); off > c.lastWriteOff {
-					c.lastWriteOff = off
+				off := s.propagate(dbi, argv)
+				s.acks.NoteWrite(c.id, off)
+				if need > 0 {
+					// Quorum write: sequence-ordered but fence-free, like
+					// classWait — the reply holds its re-sequencer turn until
+					// W replicas ack, while the pipeline keeps flowing
+					// (mergeDone runs now, so barriers never wait on acks).
+					s.acks.ParkWrite(c.id, off, need, func() { e.complete(c, seq, reply) })
+					if s.OnWriteGate != nil {
+						s.OnWriteGate(off, wire)
+					}
+					e.mergeDone()
+					return
 				}
 			}
 			e.complete(c, seq, reply)
@@ -401,7 +428,7 @@ func (e *shardEngine) runInline(c *client, cmd *store.Command, argv [][]byte) {
 }
 
 // runWait admits a WAIT without fencing. It must still observe the
-// caller's preceding writes (their merges set lastWriteOff), so it runs at
+// caller's preceding writes (their merges record offsets), so it runs at
 // its sequence turn: immediately when the client has nothing in flight,
 // otherwise parked in client.gated until complete() drains up to it. Other
 // clients' traffic keeps flowing through the shards either way.
@@ -430,8 +457,30 @@ func (e *shardEngine) runBarrier(c *client, cmd *store.Command, argv [][]byte) {
 	s.proc.Core.Charge(s.params.ShardFenceCPU * sim.Duration(len(e.procs)))
 	seq := c.seqNext
 	c.seqNext++
-	c.seqEmit = seq + 1
-	s.execute(c, cmd, argv)
+	e.barrierC, e.barrierSeq, e.barrierParked = c, seq, false
+	if seq == c.seqEmit {
+		// The quiesced pipeline has drained every earlier reply (the legacy
+		// invariant — always true in async mode): execute directly.
+		c.seqEmit = seq + 1
+		s.execute(c, cmd, argv)
+		if e.barrierParked {
+			// The write reply parked on the consistency tracker: reclaim the
+			// emit turn so later replies queue behind it until it fires.
+			c.seqEmit = seq
+		}
+	} else {
+		// An earlier parked write still owns this client's emit turn:
+		// execute now (the barrier fence already quiesced the shards) but
+		// re-sequence the reply behind the parked one.
+		e.capturing, e.capClient, e.capBuf = true, c, nil
+		s.execute(c, cmd, argv)
+		buf := e.capBuf
+		e.capturing, e.capClient, e.capBuf = false, nil, nil
+		if !e.barrierParked {
+			e.complete(c, seq, buf)
+		}
+	}
+	e.barrierC, e.barrierParked = nil, false
 }
 
 // sequencedReply emits a dispatch-plane reply (error paths) through the
@@ -510,6 +559,12 @@ func (e *shardEngine) drainHeld() {
 		q = q[1:]
 		if e.holding {
 			e.holdq = append(e.holdq, h)
+			continue
+		}
+		if h.c.closed {
+			// The client disconnected while its command sat behind the
+			// barrier: admitting it would execute for (and build replies,
+			// park WAITs, and charge cores on behalf of) a dead connection.
 			continue
 		}
 		e.admitFrom(h.c, h.cmd, h.argv, true)

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"fmt"
 	"strconv"
+	"strings"
 
+	"skv/internal/consistency"
 	"skv/internal/resp"
 	"skv/internal/sim"
 )
@@ -11,20 +14,11 @@ import (
 // numreplicas replicas have acknowledged all writes issued before WAIT, or
 // the timeout fires; reply with the number of replicas that did. The reply
 // is deferred (the server keeps serving other clients), matching Redis
-// semantics.
+// semantics. timeout=0 blocks indefinitely (no timer is armed).
 //
-// The replica-progress source is pluggable: the baseline master reads its
-// slaves' REPLCONF ACK offsets; the SKV master reads the per-slave offsets
-// Nic-KV reports in its status frames (set via WaitOffsets).
-
-// waiter is one blocked WAIT.
-type waiter struct {
-	c      *client
-	target int64
-	need   int
-	timer  *sim.Event
-	done   bool
-}
+// The replica-progress source is the consistency tracker: the baseline
+// master pushes its slaves' REPLCONF ACK offsets into it, the SKV master
+// pushes the per-slave offsets Nic-KV reports in its status frames.
 
 func (s *Server) cmdWait(c *client, argv [][]byte) {
 	if len(argv) != 3 {
@@ -45,68 +39,80 @@ func (s *Server) cmdWait(c *client, argv [][]byte) {
 	// *this client's* preceding writes are acked, not until the global
 	// replication offset is covered. A client that never wrote has target 0
 	// and returns immediately with the replica count.
-	w := &waiter{c: c, target: c.lastWriteOff, need: need}
-	if s.ackedReplicas(w.target) >= need {
-		s.reply(c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
+	target := s.acks.LastWrite(c.id)
+	if s.acks.AckedAt(target) >= need {
+		s.reply(c, resp.AppendInt(nil, int64(s.acks.AckedAt(target))))
 		return
 	}
-	s.waiters = append(s.waiters, w)
+	w := &consistency.Waiter{Target: target, Need: need, Owner: c.id}
+	w.Fire = func(acked int) {
+		// Mirrors the legacy finishWaiter cost shape: the deferred reply
+		// charges its build explicitly, then s.reply charges the send.
+		s.coreFor(c).Charge(s.params.ReplyBuildCPU)
+		s.reply(c, resp.AppendInt(nil, int64(acked)))
+	}
 	if timeoutMs > 0 {
-		w.timer = s.eng.After(sim.Duration(timeoutMs)*sim.Millisecond, func() {
-			if w.done || !s.alive {
+		timer := s.eng.After(sim.Duration(timeoutMs)*sim.Millisecond, func() {
+			if w.Done() || !s.alive {
 				return
 			}
-			s.finishWaiter(w)
+			s.acks.FinishNow(w)
 		})
+		w.Stop = timer.Cancel
+	}
+	s.acks.Park(w)
+}
+
+// SKV.CONSISTENCY [level [W]] — inspect or override this connection's write
+// consistency. With no arguments it reports the effective level; "default"
+// drops the override; "async"/"quorum [W]"/"all" set one. The override is
+// admission-ordered: it applies to every later command on the connection and
+// to none before it, in both the single-threaded and sharded pipelines.
+func (s *Server) cmdConsistency(c *client, argv [][]byte) {
+	switch len(argv) {
+	case 1:
+		lvl, w := s.levelFor(c)
+		if lvl == consistency.Quorum {
+			s.reply(c, resp.AppendBulkString(nil, fmt.Sprintf("%s %d", lvl, effW(w))))
+			return
+		}
+		s.reply(c, resp.AppendBulkString(nil, lvl.String()))
+	case 2, 3:
+		name := string(argv[1])
+		if len(argv) == 2 && strings.EqualFold(name, "default") {
+			c.consOv = false
+			s.reply(c, resp.AppendSimple(nil, "OK"))
+			return
+		}
+		lvl, ok := consistency.ParseLevel(name)
+		if !ok {
+			s.reply(c, resp.AppendError(nil, "ERR unknown consistency level '"+name+"'"))
+			return
+		}
+		w := s.defW
+		if len(argv) == 3 {
+			if lvl != consistency.Quorum {
+				s.reply(c, resp.AppendError(nil, "ERR a replica count only applies to quorum"))
+				return
+			}
+			n, err := strconv.Atoi(string(argv[2]))
+			if err != nil || n < 1 {
+				s.reply(c, resp.AppendError(nil, "ERR value is not an integer or out of range"))
+				return
+			}
+			w = n
+		}
+		c.consOv, c.consLevel, c.consW = true, lvl, w
+		s.reply(c, resp.AppendSimple(nil, "OK"))
+	default:
+		s.reply(c, resp.AppendError(nil, "ERR wrong number of arguments for 'skv.consistency' command"))
 	}
 }
 
-// ackedReplicas counts replicas whose acknowledged offset covers target.
-func (s *Server) ackedReplicas(target int64) int {
-	var offs []int64
-	if s.WaitOffsets != nil {
-		offs = s.WaitOffsets()
-	} else {
-		offs = s.SlaveAckOffsets()
+// effW clamps a configured quorum width to its effective minimum.
+func effW(w int) int {
+	if w < 1 {
+		return 1
 	}
-	n := 0
-	for _, off := range offs {
-		if off >= target {
-			n++
-		}
-	}
-	return n
-}
-
-// CheckWaiters re-evaluates blocked WAITs; called whenever replica progress
-// arrives (REPLCONF ACK on the baseline, Nic-KV status on SKV).
-func (s *Server) CheckWaiters() {
-	if len(s.waiters) == 0 {
-		return
-	}
-	remaining := s.waiters[:0]
-	for _, w := range s.waiters {
-		if w.done {
-			continue
-		}
-		if s.ackedReplicas(w.target) >= w.need {
-			s.finishWaiter(w)
-			continue
-		}
-		remaining = append(remaining, w)
-	}
-	s.waiters = remaining
-}
-
-// finishWaiter replies with the current count and retires the waiter.
-func (s *Server) finishWaiter(w *waiter) {
-	if w.done {
-		return
-	}
-	w.done = true
-	if w.timer != nil {
-		w.timer.Cancel()
-	}
-	s.coreFor(w.c).Charge(s.params.ReplyBuildCPU)
-	s.reply(w.c, resp.AppendInt(nil, int64(s.ackedReplicas(w.target))))
+	return w
 }

@@ -177,6 +177,7 @@ func init() {
 	registerServer("slaveof", 3)
 	registerServer("replicaof", 3)
 	registerServer("wait", 3)
+	registerServer("skv.consistency", -1)
 	registerServer("cluster", -2)
 }
 
