@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke bench-reshard-smoke bench-quorum-smoke clean
+.PHONY: all build test vet lint race verify bench bench-smoke bench-nic-smoke bench-cluster-smoke bench-reshard-smoke bench-quorum-smoke bench-tracking-smoke clean
 
 all: verify
 
@@ -61,6 +61,12 @@ bench-reshard-smoke:
 
 bench-quorum-smoke:
 	$(GO) run ./cmd/skv-bench -smoke -exp ext-quorum
+
+# Client-side caching (ext-tracking): CLIENT TRACKING on the workload
+# clients, NIC-pushed invalidations, and the tracked-vs-NIC-served read
+# comparison, at tiny scale.
+bench-tracking-smoke:
+	$(GO) run ./cmd/skv-bench -smoke -exp ext-tracking
 
 clean:
 	$(GO) clean ./...

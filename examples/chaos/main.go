@@ -28,7 +28,7 @@ func main() {
 		}
 		var clientErrs uint64
 		for _, cl := range c.Clients {
-			clientErrs += cl.ErrReplies
+			clientErrs += cl.Stats().ErrReplies
 		}
 		fmt.Printf("converged: master offset %d, %d valid slaves, %d failovers, %d restores, %d client errors\n\n",
 			c.Master.ReplOffset(), c.NicKV.ValidSlaves(), c.NicKV.Failovers, c.NicKV.MasterRestores, clientErrs)

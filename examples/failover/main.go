@@ -40,7 +40,7 @@ func main() {
 
 	var errs uint64
 	for _, cl := range c.Clients {
-		errs += cl.ErrReplies
+		errs += cl.Stats().ErrReplies
 	}
 	fmt.Printf("client error replies so far: %d (clients never noticed)\n", errs)
 

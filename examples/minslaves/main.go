@@ -29,7 +29,7 @@ func main() {
 	errsBefore := func() uint64 {
 		var n uint64
 		for _, cl := range c.Clients {
-			n += cl.ErrReplies
+			n += cl.Stats().ErrReplies
 		}
 		return n
 	}

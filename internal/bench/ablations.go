@@ -115,7 +115,7 @@ func AblateThreads() *Experiment {
 func All() []*Experiment {
 	return []*Experiment{
 		Fig3(), Fig7(), Fig10a(), Fig10b(), Fig11(), Fig12(), Fig13(), Fig14(),
-		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(), ExtReshard(), ExtQuorum(),
+		AblateSlaves(), AblateNICSpeed(), AblateThreads(), AblateNICCache(), AblateCPU(), ExtPipeline(), ExtBatch(), ExtFailover(), ExtShards(), ExtCluster(), ExtReshard(), ExtQuorum(), ExtTracking(),
 	}
 }
 
@@ -162,6 +162,8 @@ func ByID(id string) *Experiment {
 		return ExtReshard()
 	case "ext-quorum":
 		return ExtQuorum()
+	case "ext-tracking":
+		return ExtTracking()
 	}
 	return nil
 }
@@ -170,7 +172,7 @@ func ByID(id string) *Experiment {
 func IDs() []string {
 	return []string{"fig3", "fig7", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
 		"ablate-slaves", "ablate-nicspeed", "ablate-threads", "ablate-niccache", "ablate-cpu", "ext-pipeline",
-		"ext-batch", "ext-failover", "ext-shards", "ext-cluster", "ext-reshard", "ext-quorum"}
+		"ext-batch", "ext-failover", "ext-shards", "ext-cluster", "ext-reshard", "ext-quorum", "ext-tracking"}
 }
 
 // unused placeholder to keep sim imported if windows change.

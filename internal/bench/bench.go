@@ -396,7 +396,7 @@ func Fig14() *Experiment {
 	}
 	series := stats.NewTimeSeries(500 * sim.Millisecond)
 	for _, cl := range c.Clients {
-		cl.Series = series
+		cl.SetSeries(series)
 	}
 	c.StartClients()
 	base := c.Eng.Now()
@@ -420,7 +420,7 @@ func Fig14() *Experiment {
 	c.Eng.Run(base.Add(horizon))
 	var errs uint64
 	for _, cl := range c.Clients {
-		errs += cl.ErrReplies
+		errs += cl.Stats().ErrReplies
 	}
 
 	rates := series.Rates()

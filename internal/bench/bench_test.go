@@ -39,8 +39,8 @@ func TestIDsAndByIDAgree(t *testing.T) {
 	if ByID("nonsense") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(IDs()))
+	if len(IDs()) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -106,6 +106,39 @@ func TestAblateNICCacheScalesInSmokeMode(t *testing.T) {
 	}
 	if e.Metrics["nic_gain_pct_shards4"] <= 0 {
 		t.Fatalf("nic_gain_pct_shards4 = %v", e.Metrics["nic_gain_pct_shards4"])
+	}
+}
+
+// TestExtTrackingBeatsNicReadsInSmokeMode runs the caching extension at
+// smoke scale and checks the acceptance ordering: the tracked client
+// cache must serve effective GET throughput above both the host-served
+// and the NIC-served read paths at the default Zipfian skew, with a
+// nonzero hit rate doing the lifting.
+func TestExtTrackingBeatsNicReadsInSmokeMode(t *testing.T) {
+	savedWarmup, savedMeasure, savedSmoke := warmup, measure, smoke
+	SetSmoke()
+	defer func() { warmup, measure, smoke = savedWarmup, savedMeasure, savedSmoke }()
+	e := ExtTracking()
+	if len(e.Rows) != 12 {
+		t.Fatalf("rows: %d", len(e.Rows))
+	}
+	host := e.Metrics["host_kops_8c"]
+	nic := e.Metrics["nic_kops_8c"]
+	tracked := e.Metrics["tracked_host_kops_8c"]
+	if host <= 0 || nic <= 0 || tracked <= 0 {
+		t.Fatalf("missing throughput metrics: %v", e.Metrics)
+	}
+	if tracked <= nic {
+		t.Fatalf("tracked GETs (%.1f kops/s) did not beat NIC-served reads (%.1f kops/s)", tracked, nic)
+	}
+	if tracked <= host {
+		t.Fatalf("tracked GETs (%.1f kops/s) did not beat host-served reads (%.1f kops/s)", tracked, host)
+	}
+	if hr := e.Metrics["tracked_host_hit_rate_8c"]; hr <= 0 {
+		t.Fatalf("tracked hit rate = %v", hr)
+	}
+	if e.Metrics["tracked_vs_nic_gain_pct_8c"] <= 0 {
+		t.Fatalf("tracked_vs_nic_gain_pct_8c = %v", e.Metrics["tracked_vs_nic_gain_pct_8c"])
 	}
 }
 

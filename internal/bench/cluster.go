@@ -45,8 +45,7 @@ func ExtCluster() *Experiment {
 		if masters == 1 {
 			cfg.Slaves = 1
 		} else {
-			cfg.Masters = masters
-			cfg.SlavesPerMaster = 1
+			cfg.Cluster = cluster.ClusterOpts{Masters: masters, SlavesPerMaster: 1}
 		}
 		c := cluster.Build(cfg)
 		if !c.AwaitReplication(5 * sim.Second) {

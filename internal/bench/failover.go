@@ -76,7 +76,7 @@ func ExtFailover() *Experiment {
 
 	var errs uint64
 	for _, cl := range c.Clients {
-		errs += cl.ErrReplies
+		errs += cl.Stats().ErrReplies
 	}
 	e.metric("err_replies", float64(errs))
 	e.Notes = append(e.Notes, fmt.Sprintf("client error replies across the outage: %d", errs))

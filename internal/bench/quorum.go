@@ -45,7 +45,7 @@ func ExtQuorum() *Experiment {
 		c := cluster.Build(cluster.Config{
 			Kind: cluster.KindSKV, Slaves: 3, Clients: 8, Pipeline: 4,
 			GetRatio: 0, Seed: 91, Params: &p, SKV: core.DefaultConfig(),
-			WriteConsistency: lv.level, WriteQuorum: lv.w,
+			Consistency: cluster.ConsistencyOpts{Level: lv.level, Quorum: lv.w},
 		})
 		if !c.AwaitReplication(5 * sim.Second) {
 			panic("ext-quorum: sync failed")

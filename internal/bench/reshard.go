@@ -42,7 +42,7 @@ func ExtReshard() *Experiment {
 		p.ReplBatchMaxCmds = 8
 		p.ReplBatchMaxDelay = 5 * sim.Microsecond
 		c := cluster.Build(cluster.Config{Kind: cluster.KindSKV,
-			Masters: 2, SlavesPerMaster: 1, Clients: 8, Pipeline: 8,
+			Cluster: cluster.ClusterOpts{Masters: 2, SlavesPerMaster: 1}, Clients: 8, Pipeline: 8,
 			GetRatio: 0.5, Seed: 73, Params: &p, SKV: core.DefaultConfig()})
 		if !c.AwaitReplication(5 * sim.Second) {
 			panic("ext-reshard: sync failed")
@@ -78,8 +78,8 @@ func ExtReshard() *Experiment {
 				panic("ext-reshard: migration did not finish within 2s of the measure window")
 			}
 			var asked uint64
-			for _, cl := range c.SlotClients {
-				asked += cl.Asked
+			for _, cl := range c.Clients {
+				asked += cl.Stats().Asked
 			}
 			phase = "reshard"
 			moved = fmt.Sprint(m.KeysMoved)

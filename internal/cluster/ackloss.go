@@ -135,14 +135,13 @@ func RunAckLossProbe(level consistency.Level, w int, seed int64) (*AckLossResult
 	p.ReplBatchMaxCmds = aklBatchCmds
 	p.ReplBatchMaxDelay = aklBatchDelay
 	c := Build(Config{
-		Kind:             KindSKV,
-		Slaves:           aklSlaves,
-		Clients:          1,
-		Seed:             seed,
-		Params:           p,
-		SKV:              core.Config{ProgressInterval: 50 * sim.Millisecond},
-		WriteConsistency: level,
-		WriteQuorum:      w,
+		Kind:        KindSKV,
+		Slaves:      aklSlaves,
+		Clients:     1,
+		Seed:        seed,
+		Params:      p,
+		SKV:         core.Config{ProgressInterval: 50 * sim.Millisecond},
+		Consistency: ConsistencyOpts{Level: level, Quorum: w},
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return nil, fmt.Errorf("ackloss: initial replication did not complete")

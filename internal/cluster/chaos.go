@@ -328,6 +328,12 @@ type Scenario struct {
 	// NicReads enables the NIC read path for the scenario (topology, not a
 	// model parameter — see cluster.NicReadMode).
 	NicReads NicReadMode
+	// Tracking arms CLIENT TRACKING on the workload clients (Config.
+	// Tracking); GetRatio shapes the load (Config.GetRatio — tracking
+	// scenarios need reads to populate the caches). Zero values keep the
+	// legacy pure-SET untracked load bit-for-bit.
+	Tracking bool
+	GetRatio float64
 }
 
 // ChaosParams compresses the failure-detection timescales (probe every
@@ -354,15 +360,16 @@ func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 		s.Tune(p)
 	}
 	c := Build(Config{
-		Kind:            KindSKV,
-		Slaves:          s.Slaves,
-		Clients:         s.Clients,
-		Seed:            s.Seed,
-		Params:          p,
-		SKV:             core.Config{ProgressInterval: 50 * sim.Millisecond},
-		NicReads:        s.NicReads,
-		Masters:         s.Masters,
-		SlavesPerMaster: s.SlavesPerMaster,
+		Kind:     KindSKV,
+		Slaves:   s.Slaves,
+		Clients:  s.Clients,
+		Seed:     s.Seed,
+		Params:   p,
+		SKV:      core.Config{ProgressInterval: 50 * sim.Millisecond},
+		NicReads: s.NicReads,
+		Cluster:  ClusterOpts{Masters: s.Masters, SlavesPerMaster: s.SlavesPerMaster},
+		Tracking: s.Tracking,
+		GetRatio: s.GetRatio,
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return c, nil, fmt.Errorf("%s: initial replication did not complete", s.Name)
@@ -375,9 +382,6 @@ func RunScenario(s Scenario) (*Cluster, *Chaos, error) {
 	}
 	c.Eng.RunFor(s.RunFor)
 	for _, cl := range c.Clients {
-		cl.Stop()
-	}
-	for _, cl := range c.SlotClients {
 		cl.Stop()
 	}
 	h.Note("load stopped")

@@ -101,8 +101,8 @@ func checkScenarioExpectations(t *testing.T, name string, c *Cluster, h *Chaos) 
 			t.Errorf("loss-induced delay tripped the failure detector (%d failovers)", c.NicKV.Failovers)
 		}
 		for i, cl := range c.Clients {
-			if cl.ErrReplies != 0 {
-				t.Errorf("client%d saw %d error replies under loss", i, cl.ErrReplies)
+			if errs := cl.Stats().ErrReplies; errs != 0 {
+				t.Errorf("client%d saw %d error replies under loss", i, errs)
 			}
 		}
 	}

@@ -78,6 +78,37 @@ type Config struct {
 	// default 1 = the paper's closed loop).
 	Pipeline int
 
+	// Cluster groups the horizontal-scale knobs (multi-master hash-slot
+	// deployments). The zero value builds the legacy single-master topology.
+	Cluster ClusterOpts
+
+	// SKV-specific knobs. SKV.ServeReadsFromNIC is derived from NicReads by
+	// Build — setting it directly is a configuration error.
+	SKV core.Config
+
+	// NicReads is the one authoritative NIC-read-path setting (the design
+	// §IV-A ablation). Build derives core.Config.ServeReadsFromNIC from it
+	// and rejects inconsistent combinations.
+	NicReads NicReadMode
+
+	// Consistency groups the write-acknowledgment knobs. The zero value is
+	// the legacy async fire-and-forget default.
+	Consistency ConsistencyOpts
+
+	// Tracking enables CLIENT TRACKING on every workload client: clients
+	// cache GET results locally and the deployment pushes invalidations on
+	// writes (from the NIC fan-out path on SKV, from the merge stage on the
+	// baselines). CacheSize bounds each client's cache in entries; 0 uses
+	// the workload default.
+	Tracking  bool
+	CacheSize int
+
+	// DisableCron switches off serverCron (microbenchmarks only).
+	DisableCron bool
+}
+
+// ClusterOpts groups Config's horizontal-scale knobs.
+type ClusterOpts struct {
 	// Masters scales the deployment out into a hash-slot cluster of that
 	// many replication groups, each a full SKV unit (master host + SmartNIC
 	// + its own slaves) owning a contiguous share of the 16384 slots.
@@ -90,32 +121,23 @@ type Config struct {
 	// assigns slots.EvenSplit(Masters). Ranges must cover all 16384 slots
 	// exactly once with group indices in [0, Masters).
 	SlotRanges []slots.Range
+}
 
-	// SKV-specific knobs. SKV.ServeReadsFromNIC is derived from NicReads by
-	// Build — setting it directly is a configuration error.
-	SKV core.Config
-
-	// NicReads is the one authoritative NIC-read-path setting (the design
-	// §IV-A ablation). Build derives core.Config.ServeReadsFromNIC from it
-	// and rejects inconsistent combinations.
-	NicReads NicReadMode
-
-	// WriteConsistency is the deployment's default write acknowledgment
-	// level. Async — the zero value — is the legacy fire-and-forget default:
-	// the master replies as soon as the write executes. Quorum withholds each
-	// write's reply until WriteQuorum slaves have replicated it; All waits
-	// for every attached slave. On SKV the NIC enforces the quorum (the host
-	// CPU never sees the wait); baselines park the reply on the master's
-	// consistency tracker like WAIT. Per-command overrides ride
-	// SKV.CONSISTENCY. Build derives core.Config.WriteConsistency from this
-	// field — setting SKV.WriteConsistency directly is a configuration error.
-	WriteConsistency consistency.Level
-	// WriteQuorum is the slave-ack count a quorum write needs (only
-	// meaningful with WriteConsistency=Quorum; 0 defaults to 1).
-	WriteQuorum int
-
-	// DisableCron switches off serverCron (microbenchmarks only).
-	DisableCron bool
+// ConsistencyOpts groups Config's write-acknowledgment knobs.
+type ConsistencyOpts struct {
+	// Level is the deployment's default write acknowledgment level. Async —
+	// the zero value — is the legacy fire-and-forget default: the master
+	// replies as soon as the write executes. Quorum withholds each write's
+	// reply until Quorum slaves have replicated it; All waits for every
+	// attached slave. On SKV the NIC enforces the quorum (the host CPU never
+	// sees the wait); baselines park the reply on the master's consistency
+	// tracker like WAIT. Per-command overrides ride SKV.CONSISTENCY. Build
+	// derives core.Config.WriteConsistency from this field — setting
+	// SKV.WriteConsistency directly is a configuration error.
+	Level consistency.Level
+	// Quorum is the slave-ack count a quorum write needs (only meaningful
+	// with Level=Quorum; 0 defaults to 1).
+	Quorum int
 }
 
 // NicReadMode selects how the cluster exercises the NIC read path.
@@ -179,50 +201,56 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("cluster: ZipfS=%v is invalid; the Zipfian exponent must be > 1", cfg.ZipfS)
 		}
 	}
-	if cfg.Masters > 1 {
+	if cfg.Cluster.Masters > 1 {
 		if cfg.Kind != KindSKV {
-			return fmt.Errorf("cluster: Masters=%d requires Kind=KindSKV (got %s): only SKV groups carry the SmartNIC failover plane the slot map repairs through", cfg.Masters, cfg.Kind)
+			return fmt.Errorf("cluster: Masters=%d requires Kind=KindSKV (got %s): only SKV groups carry the SmartNIC failover plane the slot map repairs through", cfg.Cluster.Masters, cfg.Kind)
 		}
 		if cfg.Slaves != 0 {
-			return fmt.Errorf("cluster: Masters=%d conflicts with the legacy Slaves field (got %d); size groups with SlavesPerMaster instead", cfg.Masters, cfg.Slaves)
+			return fmt.Errorf("cluster: Masters=%d conflicts with the legacy Slaves field (got %d); size groups with SlavesPerMaster instead", cfg.Cluster.Masters, cfg.Slaves)
 		}
-		if cfg.SlavesPerMaster < 1 {
-			return fmt.Errorf("cluster: Masters=%d requires SlavesPerMaster >= 1 (got %d): a group without slaves has no failover target", cfg.Masters, cfg.SlavesPerMaster)
+		if cfg.Cluster.SlavesPerMaster < 1 {
+			return fmt.Errorf("cluster: Masters=%d requires SlavesPerMaster >= 1 (got %d): a group without slaves has no failover target", cfg.Cluster.Masters, cfg.Cluster.SlavesPerMaster)
 		}
 		if cfg.NicReads == NicReadsClients {
 			return fmt.Errorf("cluster: NicReads=clients is not supported with Masters>1; slot-aware clients route to group hosts")
 		}
-		if cfg.SlotRanges != nil {
-			if err := slots.ValidateRanges(cfg.SlotRanges, cfg.Masters); err != nil {
+		if cfg.Cluster.SlotRanges != nil {
+			if err := slots.ValidateRanges(cfg.Cluster.SlotRanges, cfg.Cluster.Masters); err != nil {
 				return fmt.Errorf("cluster: bad SlotRanges: %w", err)
 			}
 		}
 	} else {
-		if cfg.SlavesPerMaster != 0 {
-			return fmt.Errorf("cluster: SlavesPerMaster=%d is only meaningful with Masters>1; use Slaves for the single-master deployment", cfg.SlavesPerMaster)
+		if cfg.Cluster.SlavesPerMaster != 0 {
+			return fmt.Errorf("cluster: SlavesPerMaster=%d is only meaningful with Masters>1; use Slaves for the single-master deployment", cfg.Cluster.SlavesPerMaster)
 		}
-		if cfg.SlotRanges != nil {
+		if cfg.Cluster.SlotRanges != nil {
 			return fmt.Errorf("cluster: SlotRanges is only meaningful with Masters>1")
 		}
 	}
 	if cfg.SKV.WriteConsistency != consistency.Async {
-		return fmt.Errorf("cluster: SKV.WriteConsistency is derived from Config.WriteConsistency; set the cluster-level field instead")
+		return fmt.Errorf("cluster: SKV.WriteConsistency is derived from Config.Consistency.Level; set the cluster-level field instead")
 	}
 	replicas := cfg.Slaves
-	if cfg.Masters > 1 {
-		replicas = cfg.SlavesPerMaster
+	if cfg.Cluster.Masters > 1 {
+		replicas = cfg.Cluster.SlavesPerMaster
 	}
-	if cfg.WriteConsistency != consistency.Async && replicas == 0 {
-		return fmt.Errorf("cluster: WriteConsistency=%s on a topology with no slaves: %w", cfg.WriteConsistency, ErrQuorumNoSlaves)
+	if cfg.Consistency.Level != consistency.Async && replicas == 0 {
+		return fmt.Errorf("cluster: WriteConsistency=%s on a topology with no slaves: %w", cfg.Consistency.Level, ErrQuorumNoSlaves)
 	}
-	if cfg.WriteQuorum < 0 {
-		return fmt.Errorf("cluster: WriteQuorum=%d is invalid; the quorum must be >= 1", cfg.WriteQuorum)
+	if cfg.Consistency.Quorum < 0 {
+		return fmt.Errorf("cluster: WriteQuorum=%d is invalid; the quorum must be >= 1", cfg.Consistency.Quorum)
 	}
-	if cfg.WriteQuorum != 0 && cfg.WriteConsistency != consistency.Quorum {
-		return fmt.Errorf("cluster: WriteQuorum=%d with WriteConsistency=%s: %w", cfg.WriteQuorum, cfg.WriteConsistency, ErrQuorumWithoutLevel)
+	if cfg.Consistency.Quorum != 0 && cfg.Consistency.Level != consistency.Quorum {
+		return fmt.Errorf("cluster: WriteQuorum=%d with WriteConsistency=%s: %w", cfg.Consistency.Quorum, cfg.Consistency.Level, ErrQuorumWithoutLevel)
 	}
-	if cfg.WriteConsistency == consistency.Quorum && cfg.WriteQuorum > replicas {
-		return fmt.Errorf("cluster: WriteQuorum=%d but the topology has %d slaves per master: %w", cfg.WriteQuorum, replicas, ErrQuorumTooLarge)
+	if cfg.Consistency.Level == consistency.Quorum && cfg.Consistency.Quorum > replicas {
+		return fmt.Errorf("cluster: WriteQuorum=%d but the topology has %d slaves per master: %w", cfg.Consistency.Quorum, replicas, ErrQuorumTooLarge)
+	}
+	if cfg.CacheSize < 0 {
+		return fmt.Errorf("cluster: CacheSize=%d is invalid; the client cache bound must be >= 0", cfg.CacheSize)
+	}
+	if cfg.CacheSize != 0 && !cfg.Tracking {
+		return fmt.Errorf("cluster: CacheSize=%d is only meaningful with Tracking=true (the cache serves tracked GETs)", cfg.CacheSize)
 	}
 	return nil
 }
@@ -263,7 +291,10 @@ type Cluster struct {
 	SlaveAgents []*core.SlaveAgent // SKV only
 	HostKV      *core.HostKV       // SKV only
 	NicKV       *core.NicKV        // SKV only
-	Clients     []*workload.Client
+	// Clients is the workload: plain closed-loop clients on single-master
+	// deployments, slot-aware clients when Masters > 1 — both behind the
+	// one workload.KV interface.
+	Clients []workload.KV
 
 	MasterMachine *fabric.Machine
 	SlaveMachines []*fabric.Machine
@@ -273,10 +304,9 @@ type Cluster struct {
 	// NicKV, MasterMachine) or the concatenation across groups (Slaves,
 	// SlaveAgents, SlaveMachines), so group-agnostic helpers keep working.
 	// SlotMap is the deployment's authoritative hash-slot table, mutated by
-	// per-group failover; SlotClients replace Clients as the load.
-	Groups      []*Group
-	SlotMap     *slots.Map
-	SlotClients []*workload.SlotClient
+	// per-group failover.
+	Groups  []*Group
+	SlotMap *slots.Map
 
 	// epByName resolves slot-map addresses (endpoint names) for the
 	// slot-aware clients.
@@ -293,7 +323,7 @@ func Build(cfg Config) *Cluster {
 		panic(err)
 	}
 	cfg.SKV.ServeReadsFromNIC = cfg.NicReads != NicReadsOff
-	cfg.SKV.WriteConsistency = cfg.WriteConsistency
+	cfg.SKV.WriteConsistency = cfg.Consistency.Level
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
@@ -339,8 +369,8 @@ func Build(cfg Config) *Cluster {
 			Cluster:     route,
 			// Every node gets the consistency defaults — slaves too, since a
 			// promoted slave must keep enforcing the deployment's level.
-			WriteConsistency: cfg.WriteConsistency,
-			WriteQuorum:      cfg.WriteQuorum,
+			WriteConsistency: cfg.Consistency.Level,
+			WriteQuorum:      cfg.Consistency.Quorum,
 		}, eng, stack, proc)
 		if rs, okRDMA := stack.(*rconn.Stack); okRDMA {
 			rs.Device().SetMetrics(srv.Metrics())
@@ -348,7 +378,7 @@ func Build(cfg Config) *Cluster {
 		return srv, stack
 	}
 
-	if cfg.Masters > 1 {
+	if cfg.Cluster.Masters > 1 {
 		c.buildMulti(newServer, makeStack)
 		return c
 	}
@@ -386,16 +416,45 @@ func Build(cfg Config) *Cluster {
 	}
 
 	// Clients, one machine each (the load generator box is never the
-	// bottleneck, as with redis-benchmark on its own server).
+	// bottleneck, as with redis-benchmark on its own server). The dial
+	// target is fixed at build time: the master host, or the SmartNIC
+	// endpoint when the workload exercises NIC-served reads.
+	target := c.MasterMachine.Host
+	if cfg.NicReads == NicReadsClients {
+		target = c.MasterMachine.NIC
+		c.epByName[target.Name()] = target
+	}
+	env := workload.Env{
+		Eng: eng, Params: p, MakeStack: makeStack, Wakeup: p.ClientWakeup,
+		Port: core.ClientPort, Resolve: c.resolveEP,
+	}
+	if cfg.Kind == KindSKV && cfg.Tracking && cfg.NicReads != NicReadsClients {
+		// Redirect mode: the server forwards tracked interest to its NIC
+		// and the NIC pushes invalidations out-of-band to the subscriber.
+		env.Invalidation = c.MasterMachine.NIC
+		env.InvalidationPort = core.NicPort
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		m := net.NewMachine(fmt.Sprintf("client%d", i), false)
-		gen := workload.NewGeneratorSkew(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf, cfg.zipfS())
-		wakeup := p.ClientWakeup
-		cl := workload.NewClient(fmt.Sprintf("client%d", i), eng, p, m.Host, makeStack, gen, wakeup)
-		cl.Pipeline = cfg.Pipeline
+		env := env
+		env.EP = m.Host
+		env.Gen = workload.NewGeneratorSkew(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf, cfg.zipfS())
+		cl := workload.New(fmt.Sprintf("client%d", i), env, workload.Options{
+			Addrs: []string{target.Name()}, Pipeline: cfg.Pipeline,
+			Tracking: cfg.Tracking, CacheSize: cfg.CacheSize,
+		})
 		c.Clients = append(c.Clients, cl)
 	}
 	return c
+}
+
+// resolveEP maps a server address (an endpoint name) to its endpoint.
+func (c *Cluster) resolveEP(addr string) *fabric.Endpoint {
+	ep := c.epByName[addr]
+	if ep == nil {
+		panic(fmt.Sprintf("cluster: address %q resolves to no endpoint", addr))
+	}
+	return ep
 }
 
 // buildMulti assembles the hash-slot deployment: Masters replication
@@ -416,21 +475,21 @@ func (c *Cluster) buildMulti(
 
 	// Master machines first: the slot map's addresses are their host
 	// endpoint names, and every server is born already routing against it.
-	masterMachines := make([]*fabric.Machine, cfg.Masters)
-	addrs := make([]string, cfg.Masters)
+	masterMachines := make([]*fabric.Machine, cfg.Cluster.Masters)
+	addrs := make([]string, cfg.Cluster.Masters)
 	for gi := range masterMachines {
 		m := net.NewMachine(fmt.Sprintf("g%d.master", gi), true)
 		masterMachines[gi] = m
 		addrs[gi] = m.Host.Name()
 		c.epByName[m.Host.Name()] = m.Host
 	}
-	slotMap, err := slots.NewMap(cfg.Masters, cfg.SlotRanges, addrs)
+	slotMap, err := slots.NewMap(cfg.Cluster.Masters, cfg.Cluster.SlotRanges, addrs)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: slot map construction failed after validation: %v", err))
 	}
 	c.SlotMap = slotMap
 
-	for gi := 0; gi < cfg.Masters; gi++ {
+	for gi := 0; gi < cfg.Cluster.Masters; gi++ {
 		g := &Group{Index: gi, MasterMachine: masterMachines[gi]}
 		route := &server.ClusterRouting{Self: gi, Map: slotMap, Port: core.ClientPort}
 		skvCfg := cfg.SKV
@@ -441,7 +500,7 @@ func (c *Cluster) buildMulti(
 		g.NicKV = core.NewNicKV(eng, net, g.MasterMachine, p, skvCfg)
 		g.HostKV = core.AttachMaster(g.Master, net, g.MasterMachine.NIC, skvCfg)
 
-		for i := 0; i < cfg.SlavesPerMaster; i++ {
+		for i := 0; i < cfg.Cluster.SlavesPerMaster; i++ {
 			sname := fmt.Sprintf("g%d.slave%d", gi, i)
 			m := net.NewMachine(sname, false)
 			g.SlaveMachines = append(g.SlaveMachines, m)
@@ -480,20 +539,18 @@ func (c *Cluster) buildMulti(
 		c.SlaveMachines = append(c.SlaveMachines, g.SlaveMachines...)
 	}
 
-	resolve := func(addr string) *fabric.Endpoint {
-		ep := c.epByName[addr]
-		if ep == nil {
-			panic(fmt.Sprintf("cluster: slot map address %q resolves to no endpoint", addr))
-		}
-		return ep
-	}
 	for i := 0; i < cfg.Clients; i++ {
 		m := net.NewMachine(fmt.Sprintf("client%d", i), false)
 		gen := workload.NewGeneratorSkew(cfg.Seed+300+int64(i), cfg.KeySpace, cfg.ValueSize, 1.0-cfg.GetRatio, cfg.Zipf, cfg.zipfS())
-		cl := workload.NewSlotClient(fmt.Sprintf("client%d", i), eng, p, m.Host, makeStack, gen,
-			p.ClientWakeup, slotMap, resolve, core.ClientPort)
-		cl.Pipeline = cfg.Pipeline
-		c.SlotClients = append(c.SlotClients, cl)
+		cl := workload.New(fmt.Sprintf("client%d", i), workload.Env{
+			Eng: eng, Params: p, EP: m.Host, MakeStack: makeStack, Gen: gen,
+			Wakeup: p.ClientWakeup, Port: core.ClientPort,
+			Resolve: c.resolveEP, Table: slotMap,
+		}, workload.Options{
+			Slots: true, Pipeline: cfg.Pipeline,
+			Tracking: cfg.Tracking, CacheSize: cfg.CacheSize,
+		})
+		c.Clients = append(c.Clients, cl)
 	}
 }
 
@@ -527,25 +584,15 @@ func (c *Cluster) replicationReady() bool {
 	return true
 }
 
-// StartClients connects all clients to the master; their closed loops
-// begin as soon as each dial completes.
+// StartClients starts every client; their closed loops begin as soon as
+// each dial completes.
 func (c *Cluster) StartClients() {
 	if c.clientsStarted {
 		return
 	}
 	c.clientsStarted = true
-	if len(c.SlotClients) > 0 {
-		for _, cl := range c.SlotClients {
-			cl.Start()
-		}
-		return
-	}
-	target := c.MasterMachine.Host
-	if c.Cfg.NicReads == NicReadsClients {
-		target = c.MasterMachine.NIC
-	}
 	for _, cl := range c.Clients {
-		cl.Connect(target, core.ClientPort)
+		cl.Start()
 	}
 }
 
@@ -593,10 +640,7 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	c.StartClients()
 	start := c.Eng.Now().Add(warmup)
 	for _, cl := range c.Clients {
-		cl.WarmupUntil = start
-	}
-	for _, cl := range c.SlotClients {
-		cl.WarmupUntil = start
+		cl.SetWarmup(start)
 	}
 	end := start.Add(duration)
 	// Utilization is reported over the measure window — the same window
@@ -618,8 +662,8 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 		nicBusy = busyAt(c.NicKV.Proc().Core)
 	}
 	groupStart := make([]uint64, len(c.Groups))
-	for _, cl := range c.SlotClients {
-		for g, n := range cl.GroupDone {
+	for _, cl := range c.Clients {
+		for g, n := range cl.Stats().GroupDone {
 			groupStart[g] += n
 		}
 	}
@@ -635,18 +679,12 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	agg := stats.NewHistogram()
 	var errs, moved uint64
 	for _, cl := range c.Clients {
-		agg.Merge(cl.Hist)
-		errs += cl.ErrReplies
-	}
-	for _, cl := range c.SlotClients {
-		agg.Merge(cl.Hist)
-		errs += cl.ErrReplies
-		moved += cl.Moved
+		agg.Merge(cl.Histogram())
+		st := cl.Stats()
+		errs += st.ErrReplies
+		moved += st.Moved
 	}
 	nClients := len(c.Clients)
-	if len(c.SlotClients) > 0 {
-		nClients = len(c.SlotClients)
-	}
 	masters := 1
 	if len(c.Groups) > 0 {
 		masters = len(c.Groups)
@@ -677,8 +715,8 @@ func (c *Cluster) Measure(warmup, duration sim.Duration) Result {
 	}
 	if len(c.Groups) > 0 {
 		res.GroupOps = make([]uint64, len(c.Groups))
-		for _, cl := range c.SlotClients {
-			for g, n := range cl.GroupDone {
+		for _, cl := range c.Clients {
+			for g, n := range cl.Stats().GroupDone {
 				res.GroupOps[g] += n
 			}
 		}

@@ -179,8 +179,8 @@ func TestSKVSlaveFailureDetectedAndServiceContinues(t *testing.T) {
 	// The client never saw an error (Fig 14: "the client is not aware of
 	// the failure of slave").
 	for _, cl := range c.Clients {
-		if cl.ErrReplies != 0 {
-			t.Fatalf("client %s saw %d error replies during slave failure", cl.Name, cl.ErrReplies)
+		if errs := cl.Stats().ErrReplies; errs != 0 {
+			t.Fatalf("client %s saw %d error replies during slave failure", cl.Name(), errs)
 		}
 	}
 }
@@ -253,7 +253,7 @@ func TestSKVMinSlavesGate(t *testing.T) {
 func totalErrs(c *Cluster) uint64 {
 	var n uint64
 	for _, cl := range c.Clients {
-		n += cl.ErrReplies
+		n += cl.Stats().ErrReplies
 	}
 	return n
 }

@@ -20,47 +20,47 @@ func TestConsistencyConfigValidate(t *testing.T) {
 	}{
 		{
 			name: "quorum larger than the slave count",
-			cfg:  Config{Slaves: 2, WriteConsistency: consistency.Quorum, WriteQuorum: 3},
+			cfg:  Config{Slaves: 2, Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: 3}},
 			want: ErrQuorumTooLarge,
 		},
 		{
 			name: "quorum equal to the slave count is fine",
-			cfg:  Config{Slaves: 2, WriteConsistency: consistency.Quorum, WriteQuorum: 2},
+			cfg:  Config{Slaves: 2, Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: 2}},
 		},
 		{
 			name: "quorum on a slave-less topology",
-			cfg:  Config{WriteConsistency: consistency.Quorum, WriteQuorum: 1},
+			cfg:  Config{Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: 1}},
 			want: ErrQuorumNoSlaves,
 		},
 		{
 			name: "all on a slave-less topology",
-			cfg:  Config{WriteConsistency: consistency.All},
+			cfg:  Config{Consistency: ConsistencyOpts{Level: consistency.All}},
 			want: ErrQuorumNoSlaves,
 		},
 		{
 			name: "quorum against per-group replicas on a multi-master deployment",
-			cfg: Config{Kind: KindSKV, Masters: 3, SlavesPerMaster: 1,
-				WriteConsistency: consistency.Quorum, WriteQuorum: 2},
+			cfg: Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 3, SlavesPerMaster: 1},
+				Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: 2}},
 			want: ErrQuorumTooLarge,
 		},
 		{
 			name: "multi-master quorum within the group size is fine",
-			cfg: Config{Kind: KindSKV, Masters: 3, SlavesPerMaster: 2,
-				WriteConsistency: consistency.Quorum, WriteQuorum: 2},
+			cfg: Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 3, SlavesPerMaster: 2},
+				Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: 2}},
 		},
 		{
 			name: "W set while the level is async",
-			cfg:  Config{Slaves: 2, WriteQuorum: 1},
+			cfg:  Config{Slaves: 2, Consistency: ConsistencyOpts{Quorum: 1}},
 			want: ErrQuorumWithoutLevel,
 		},
 		{
 			name: "W set while the level is all",
-			cfg:  Config{Slaves: 2, WriteConsistency: consistency.All, WriteQuorum: 1},
+			cfg:  Config{Slaves: 2, Consistency: ConsistencyOpts{Level: consistency.All, Quorum: 1}},
 			want: ErrQuorumWithoutLevel,
 		},
 		{
 			name: "negative W",
-			cfg:  Config{Slaves: 2, WriteConsistency: consistency.Quorum, WriteQuorum: -1},
+			cfg:  Config{Slaves: 2, Consistency: ConsistencyOpts{Level: consistency.Quorum, Quorum: -1}},
 			bad:  true,
 		},
 		{
@@ -70,11 +70,25 @@ func TestConsistencyConfigValidate(t *testing.T) {
 		},
 		{
 			name: "all with slaves needs no W",
-			cfg:  Config{Slaves: 3, WriteConsistency: consistency.All},
+			cfg:  Config{Slaves: 3, Consistency: ConsistencyOpts{Level: consistency.All}},
 		},
 		{
 			name: "async legacy zero value",
 			cfg:  Config{Slaves: 2},
+		},
+		{
+			name: "tracking with a cache bound is fine",
+			cfg:  Config{Slaves: 1, Tracking: true, CacheSize: 256},
+		},
+		{
+			name: "cache bound without tracking",
+			cfg:  Config{Slaves: 1, CacheSize: 256},
+			bad:  true,
+		},
+		{
+			name: "negative cache bound",
+			cfg:  Config{Slaves: 1, Tracking: true, CacheSize: -1},
+			bad:  true,
 		},
 	} {
 		err := tc.cfg.Validate()

@@ -19,21 +19,21 @@ func TestMultiMasterValidate(t *testing.T) {
 		wantErr string // "" = valid
 	}{
 		{"legacy", Config{Kind: KindSKV, Slaves: 2}, ""},
-		{"masters-1-is-legacy", Config{Kind: KindSKV, Masters: 1, Slaves: 2}, ""},
-		{"multi-ok", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1}, ""},
-		{"multi-custom-ranges", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1,
-			SlotRanges: []slots.Range{{Start: 0, End: 99, Group: 1}, {Start: 100, End: slots.NumSlots - 1, Group: 0}}}, ""},
-		{"multi-zipf-skew", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1, Zipf: true, ZipfS: 1.5}, ""},
+		{"masters-1-is-legacy", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 1}, Slaves: 2}, ""},
+		{"multi-ok", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1}}, ""},
+		{"multi-custom-ranges", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1,
+			SlotRanges: []slots.Range{{Start: 0, End: 99, Group: 1}, {Start: 100, End: slots.NumSlots - 1, Group: 0}}}}, ""},
+		{"multi-zipf-skew", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1}, Zipf: true, ZipfS: 1.5}, ""},
 
-		{"multi-needs-skv", Config{Kind: KindRDMA, Masters: 2, SlavesPerMaster: 1}, "requires Kind=KindSKV"},
-		{"multi-rejects-legacy-slaves", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1, Slaves: 3}, "conflicts with the legacy Slaves field"},
-		{"multi-needs-slaves", Config{Kind: KindSKV, Masters: 2}, "SlavesPerMaster >= 1"},
-		{"multi-rejects-nic-clients", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1, NicReads: NicReadsClients}, "NicReads=clients is not supported"},
-		{"multi-bad-ranges", Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1,
-			SlotRanges: []slots.Range{{Start: 0, End: 100, Group: 0}}}, "bad SlotRanges"},
-		{"legacy-rejects-spm", Config{Kind: KindSKV, Slaves: 2, SlavesPerMaster: 1}, "only meaningful with Masters>1"},
+		{"multi-needs-skv", Config{Kind: KindRDMA, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1}}, "requires Kind=KindSKV"},
+		{"multi-rejects-legacy-slaves", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1}, Slaves: 3}, "conflicts with the legacy Slaves field"},
+		{"multi-needs-slaves", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2}}, "SlavesPerMaster >= 1"},
+		{"multi-rejects-nic-clients", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1}, NicReads: NicReadsClients}, "NicReads=clients is not supported"},
+		{"multi-bad-ranges", Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1,
+			SlotRanges: []slots.Range{{Start: 0, End: 100, Group: 0}}}}, "bad SlotRanges"},
+		{"legacy-rejects-spm", Config{Kind: KindSKV, Slaves: 2, Cluster: ClusterOpts{SlavesPerMaster: 1}}, "only meaningful with Masters>1"},
 		{"legacy-rejects-ranges", Config{Kind: KindSKV, Slaves: 2,
-			SlotRanges: []slots.Range{{Start: 0, End: slots.NumSlots - 1, Group: 0}}}, "only meaningful with Masters>1"},
+			Cluster: ClusterOpts{SlotRanges: []slots.Range{{Start: 0, End: slots.NumSlots - 1, Group: 0}}}}, "only meaningful with Masters>1"},
 		{"zipfs-needs-zipf", Config{Kind: KindSKV, Slaves: 2, ZipfS: 1.5}, "requires Zipf=true"},
 		{"zipfs-must-exceed-one", Config{Kind: KindSKV, Slaves: 2, Zipf: true, ZipfS: 0.9}, "must be > 1"},
 	}
@@ -59,8 +59,8 @@ func TestMultiMasterValidate(t *testing.T) {
 func TestMastersOneIdenticalToLegacy(t *testing.T) {
 	runOnce := func(masters int) (string, map[string]string) {
 		c := Build(Config{Kind: KindSKV, Slaves: 2, Clients: 0, Seed: 31,
-			Masters: masters, SKV: core.DefaultConfig()})
-		if c.SlotMap != nil || len(c.Groups) != 0 || len(c.SlotClients) != 0 {
+			Cluster: ClusterOpts{Masters: masters}, SKV: core.DefaultConfig()})
+		if c.SlotMap != nil || len(c.Groups) != 0 {
 			t.Fatalf("masters=%d built multi-master state", masters)
 		}
 		if !c.AwaitReplication(2 * sim.Second) {
@@ -113,13 +113,13 @@ func TestMastersOneChaosTraceIdentical(t *testing.T) {
 // no error replies leak through, every key lives on the group that owns
 // its slot, and each group's slaves replicate their master exactly.
 func TestMultiMasterKeyspacePartitioned(t *testing.T) {
-	c := Build(Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1,
+	c := Build(Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1},
 		Clients: 4, Pipeline: 4, Seed: 31, SKV: core.DefaultConfig()})
 	if !c.AwaitReplication(2 * sim.Second) {
 		t.Fatal("sync failed")
 	}
 	res := c.Measure(20*sim.Millisecond, 150*sim.Millisecond)
-	for _, cl := range c.SlotClients {
+	for _, cl := range c.Clients {
 		cl.Stop()
 	}
 	c.Eng.RunFor(500 * sim.Millisecond)
@@ -137,8 +137,8 @@ func TestMultiMasterKeyspacePartitioned(t *testing.T) {
 		t.Fatalf("load did not reach both groups: %v", res.GroupOps)
 	}
 	var refreshes uint64
-	for _, cl := range c.SlotClients {
-		refreshes += cl.MapRefreshes
+	for _, cl := range c.Clients {
+		refreshes += cl.Stats().MapRefreshes
 	}
 	if refreshes == 0 {
 		t.Fatal("no client ever refreshed its slot map")
@@ -185,8 +185,7 @@ func TestMultiMasterThroughputScales(t *testing.T) {
 		if masters == 1 {
 			cfg.Slaves = 1
 		} else {
-			cfg.Masters = masters
-			cfg.SlavesPerMaster = 1
+			cfg.Cluster = ClusterOpts{Masters: masters, SlavesPerMaster: 1}
 		}
 		c := Build(cfg)
 		if !c.AwaitReplication(2 * sim.Second) {

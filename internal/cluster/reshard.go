@@ -442,18 +442,29 @@ type ReshardResult struct {
 // the ledger writer hammers keys inside the moving range. Returns the
 // result plus the first invariant violation.
 func RunReshardUnderLoad(seed int64) (*ReshardResult, error) {
+	return runReshardUnderLoad(seed, false)
+}
+
+// RunReshardUnderLoadTracked is the same scenario with CLIENT TRACKING on
+// every slot client: the caches must stay invalidation-coherent while the
+// slot range moves owners (MOVED/ASK redirects drop cached keys).
+func RunReshardUnderLoadTracked(seed int64) (*ReshardResult, error) {
+	return runReshardUnderLoad(seed, true)
+}
+
+func runReshardUnderLoad(seed int64, tracked bool) (*ReshardResult, error) {
 	p := ChaosParams(0)
 	c := Build(Config{
-		Kind:            KindSKV,
-		Masters:         rshMasters,
-		SlavesPerMaster: rshSlaves,
-		Clients:         rshClients,
-		Pipeline:        rshPipeline,
-		KeySpace:        rshKeySpace,
-		GetRatio:        rshGetRatio,
-		Seed:            seed,
-		Params:          p,
-		SKV:             core.Config{ProgressInterval: 50 * sim.Millisecond},
+		Kind:     KindSKV,
+		Cluster:  ClusterOpts{Masters: rshMasters, SlavesPerMaster: rshSlaves},
+		Clients:  rshClients,
+		Pipeline: rshPipeline,
+		KeySpace: rshKeySpace,
+		GetRatio: rshGetRatio,
+		Seed:     seed,
+		Params:   p,
+		SKV:      core.Config{ProgressInterval: 50 * sim.Millisecond},
+		Tracking: tracked,
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return nil, fmt.Errorf("reshard: initial replication did not complete")
@@ -470,7 +481,7 @@ func RunReshardUnderLoad(seed int64) (*ReshardResult, error) {
 	})
 	c.Eng.RunFor(rshRunFor)
 	ledger.stop()
-	for _, cl := range c.SlotClients {
+	for _, cl := range c.Clients {
 		cl.Stop()
 	}
 	h.Note("load stopped")

@@ -33,9 +33,10 @@ func TestReshardUnderLoad(t *testing.T) {
 		t.Error("the ledger writer never got an ASK redirect — the migration window was never observed by a client")
 	}
 	var clientAsked, clientRefreshes uint64
-	for _, cl := range r.C.SlotClients {
-		clientAsked += cl.Asked
-		clientRefreshes += cl.MapRefreshes
+	for _, cl := range r.C.Clients {
+		st := cl.Stats()
+		clientAsked += st.Asked
+		clientRefreshes += st.MapRefreshes
 	}
 	if clientRefreshes == 0 {
 		t.Error("no slot client ever refreshed its map — the final MOVED flip never reached the load")
@@ -73,7 +74,7 @@ func TestReshardTraceDeterministic(t *testing.T) {
 // keys to the target — and counter-asserts MapRefreshes stays frozen while
 // ASKs flow, then flips ownership and demands the refresh.
 func TestSlotClientRedirectSemantics(t *testing.T) {
-	c := Build(Config{Kind: KindSKV, Masters: 2, SlavesPerMaster: 1,
+	c := Build(Config{Kind: KindSKV, Cluster: ClusterOpts{Masters: 2, SlavesPerMaster: 1},
 		Clients: 2, Pipeline: 2, KeySpace: 200, GetRatio: 0.5,
 		Seed: 91, SKV: core.DefaultConfig()})
 	if !c.AwaitReplication(2 * sim.Second) {
@@ -83,10 +84,11 @@ func TestSlotClientRedirectSemantics(t *testing.T) {
 	c.Eng.RunFor(150 * sim.Millisecond) // settle: bootstrap MOVEDs repair the maps
 
 	sums := func() (asked, moved, refreshes uint64) {
-		for _, cl := range c.SlotClients {
-			asked += cl.Asked
-			moved += cl.Moved
-			refreshes += cl.MapRefreshes
+		for _, cl := range c.Clients {
+			st := cl.Stats()
+			asked += st.Asked
+			moved += st.Moved
+			refreshes += st.MapRefreshes
 		}
 		return
 	}
@@ -146,7 +148,7 @@ func TestSlotClientRedirectSemantics(t *testing.T) {
 	if refreshes2 == refreshes1 {
 		t.Fatal("a MOVED redirect did not refresh the slot map")
 	}
-	for _, cl := range c.SlotClients {
+	for _, cl := range c.Clients {
 		cl.Stop()
 	}
 }

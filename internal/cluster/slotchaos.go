@@ -57,10 +57,11 @@ func SampleSlotAvailability(c *Cluster, bucket sim.Duration) *SlotAvailability {
 func (a *SlotAvailability) sample() {
 	done := make([]uint64, len(a.c.Groups))
 	errs := make([]uint64, len(a.c.Groups))
-	for _, cl := range a.c.SlotClients {
+	for _, cl := range a.c.Clients {
+		st := cl.Stats()
 		for g := range done {
-			done[g] += cl.GroupDone[g]
-			errs[g] += cl.GroupErrs[g]
+			done[g] += st.GroupDone[g]
+			errs[g] += st.GroupErrs[g]
 		}
 	}
 	for g := range done {
@@ -133,14 +134,13 @@ const (
 func RunPerSlotFailover(seed int64) (*PerSlotFailoverResult, error) {
 	p := ChaosParams(0)
 	c := Build(Config{
-		Kind:            KindSKV,
-		Masters:         psfMasters,
-		SlavesPerMaster: psfSlaves,
-		Clients:         psfClients,
-		Pipeline:        psfPipeline,
-		Seed:            seed,
-		Params:          p,
-		SKV:             core.Config{ProgressInterval: psfProgressInt},
+		Kind:     KindSKV,
+		Cluster:  ClusterOpts{Masters: psfMasters, SlavesPerMaster: psfSlaves},
+		Clients:  psfClients,
+		Pipeline: psfPipeline,
+		Seed:     seed,
+		Params:   p,
+		SKV:      core.Config{ProgressInterval: psfProgressInt},
 	})
 	if !c.AwaitReplication(2 * sim.Second) {
 		return nil, fmt.Errorf("per-slot failover: initial replication did not complete")
@@ -154,7 +154,7 @@ func RunPerSlotFailover(seed int64) (*PerSlotFailoverResult, error) {
 	})
 	c.Eng.RunFor(psfRunFor)
 	avail.Stop()
-	for _, cl := range c.SlotClients {
+	for _, cl := range c.Clients {
 		cl.Stop()
 	}
 	h.Note("load stopped")

@@ -58,7 +58,48 @@ const (
 	msgGate           = 'E' // master → NIC: endOff, need — gate the reply until need slaves reach endOff
 	msgAckRelease     = 'K' // NIC → master: released watermark (every gated reply ≤ it may fire)
 	msgCmdStreamAck   = 'c' // NIC → slave: like msgCmdStream but demands an immediate progress report
+	msgTrackHello     = 'T' // subscriber → NIC: name — register an invalidation push channel (echoed back as the ack)
+	msgTrackKey       = 't' // master → NIC: name, key — record one subscriber's interest in one key
+	msgTrackDrop      = 'x' // master → NIC: name — drop every interest of one subscriber
+	msgInvalidate     = 'V' // NIC → subscriber: key — a tracked key changed; drop the cached copy
 )
+
+// ---- tracking-plane subscriber codec ----
+//
+// The workload clients speak these two frames directly: a tracking client
+// subscribes on the Nic-KV port with a hello and then consumes invalidation
+// pushes. (The master→NIC interest frames stay internal to this package.)
+
+// EncodeTrackHello frames the subscription hello; Nic-KV echoes the bare
+// tag back as the acknowledgment that the push channel is armed.
+func EncodeTrackHello(name string) []byte {
+	return appendStr([]byte{msgTrackHello}, name)
+}
+
+// ParseSubscriberFrames walks a NIC→subscriber byte sequence — frames are
+// self-delimiting, so coalesced deliveries parse too — invoking onAck for
+// each hello acknowledgment and onKey for each invalidated key. Returns
+// false on malformed input.
+func ParseSubscriberFrames(b []byte, onAck func(), onKey func(key string)) bool {
+	for len(b) > 0 {
+		switch b[0] {
+		case msgTrackHello:
+			b = b[1:]
+			onAck()
+		case msgInvalidate:
+			r := &frameReader{b: b[1:]}
+			k := r.str()
+			if r.bad {
+				return false
+			}
+			b = r.rest()
+			onKey(k)
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // ---- frame encoding helpers ----
 

@@ -85,6 +85,12 @@ func AttachMaster(srv *server.Server, net *fabric.Network, nicEP *fabric.Endpoin
 	// it until enough slaves report past the write ("the host CPU never sees
 	// the wait").
 	srv.OnWriteGate = h.writeGate
+	// Redirect-mode CLIENT TRACKING: the host only forwards interest; the
+	// invalidation table lives on Nic-KV, which pushes invalidations on the
+	// replication fan-out path without any host dispatch cycles. Inert (and
+	// cost-free) unless a client negotiates tracking.
+	srv.OnTrackInterest = h.trackInterest
+	srv.OnTrackDrop = h.trackDrop
 	srv.Stack().Dial(nicEP, NicPort, func(conn transport.Conn, err error) {
 		if err != nil {
 			panic("core: master cannot reach Nic-KV: " + err.Error())
@@ -178,6 +184,33 @@ func (h *HostKV) writeGate(endOff int64, need int) {
 	frame := []byte{msgGate}
 	frame = appendU64(frame, uint64(endOff))
 	frame = appendU64(frame, uint64(need))
+	h.nicConn.Send(frame)
+}
+
+// trackInterest forwards one tracked read's key interest to Nic-KV. It
+// rides the same FIFO connection as the replication requests, so the NIC
+// is guaranteed to hold the interest before any later write's fan-out —
+// the ordering that makes missed invalidations impossible.
+func (h *HostKV) trackInterest(name, key string) {
+	if h.nicConn == nil {
+		return // handshake in flight; the client re-registers on its next read
+	}
+	h.Srv.Proc().Core.Charge(h.Srv.Params().TrackInterestCPU)
+	frame := []byte{msgTrackKey}
+	frame = appendStr(frame, name)
+	frame = appendStr(frame, key)
+	h.nicConn.Send(frame)
+}
+
+// trackDrop tells Nic-KV to forget every interest held by subscriber name
+// (CLIENT TRACKING OFF or client disconnect).
+func (h *HostKV) trackDrop(name string) {
+	if h.nicConn == nil {
+		return
+	}
+	h.Srv.Proc().Core.Charge(h.Srv.Params().TrackInterestCPU)
+	frame := []byte{msgTrackDrop}
+	frame = appendStr(frame, name)
 	h.nicConn.Send(frame)
 }
 

@@ -47,6 +47,12 @@ type nicClient struct {
 	seqNext uint64
 	seqEmit uint64
 	pending map[uint64][]byte
+
+	// track marks the connection as a CLIENT TRACKING subscriber; its
+	// interest lands in the NIC's own table and invalidations come back
+	// in-band as RESP3 push frames on this data connection.
+	track     bool
+	trackName string
 }
 
 // nicApplyOp is one decoded replicated command queued for the sharded
@@ -90,6 +96,12 @@ func (n *NicKV) initReadServing(name string) {
 	n.Stack.Listen(ClientPort, func(conn transport.Conn) {
 		c := &nicClient{conn: conn}
 		conn.SetHandler(func(data []byte) { n.onClientData(c, data) })
+		conn.SetCloseHandler(func() {
+			if c.track {
+				c.track = false
+				n.dropSubscriber(c.trackName)
+			}
+		})
 	})
 }
 
@@ -272,6 +284,13 @@ func (n *NicKV) serveClientCommand(c *nicClient, argv [][]byte) {
 		c.conn.Send(reply)
 		return
 	}
+	if cmd != nil && cmd.Server && cmd.Name == "client" {
+		reply := n.nicClientCmd(c, argv)
+		n.proc.Core.Charge(n.params.ReplyBuildCPU)
+		c.conn.Send(reply)
+		return
+	}
+	n.nicRecordInterest(c, cmd, argv)
 	n.proc.Core.Charge(n.execReadCost(argv))
 	reply, _ := n.replica.Exec(c.db, argv)
 	n.proc.Core.Charge(n.params.ReplyBuildCPU)
@@ -294,6 +313,15 @@ func (n *NicKV) serveSharded(c *nicClient, cmd *store.Command, argv [][]byte) {
 		n.completeRead(c, seq, n.selectReply(c, argv))
 		return
 	}
+	if cmd != nil && cmd.Server && cmd.Name == "client" {
+		n.completeRead(c, seq, n.nicClientCmd(c, argv))
+		return
+	}
+	// Interest records at admission, on the main core, before the read is
+	// routed — so it exists before any later write's fan-out pushes, and a
+	// push can only overtake the read's reply (which the client handles by
+	// poisoning the in-flight read), never miss it.
+	n.nicRecordInterest(c, cmd, argv)
 	if si := n.replicaShardOf(cmd, argv); si >= 0 {
 		n.proc.Core.Charge(n.params.NicShardRouteCPU)
 		dbi := c.db

@@ -96,14 +96,21 @@ type NicKV struct {
 	mReplicaRouted *metrics.Counter
 	mReplicaFenced *metrics.Counter
 
+	// track is the client-side-caching invalidation plane (nil until a
+	// subscriber or interest frame arrives): the interest table, the armed
+	// push channels, and their reverse map. See nictrack.go.
+	track *nicTracking
+
 	// Stats for tests and ablations. ReplRequests counts frames from the
 	// master, ReplCmds the commands they carried (equal unless batching);
-	// StreamSent counts frames pushed to slaves.
-	ReplRequests   uint64
-	ReplCmds       uint64
-	StreamSent     uint64
-	Failovers      uint64
-	MasterRestores uint64
+	// StreamSent counts frames pushed to slaves. InvalidationsPushed counts
+	// invalidation pushes to tracking subscribers.
+	ReplRequests        uint64
+	ReplCmds            uint64
+	StreamSent          uint64
+	Failovers           uint64
+	MasterRestores      uint64
+	InvalidationsPushed uint64
 
 	// metrics/timeline are the NIC's observability plane: counters and the
 	// probe-RTT histogram in the registry, failure-detector and failover
@@ -121,10 +128,11 @@ type NicKV struct {
 	mProbeAcks    *metrics.Counter
 	mMarkDowns    *metrics.Counter
 	mMarkUps      *metrics.Counter
-	mGatesQueued  *metrics.Counter
-	mGateReleases *metrics.Counter
-	gGatesPending *metrics.Gauge
-	probeRTT      *metrics.LatencyHist
+	mGatesQueued   *metrics.Counter
+	mGateReleases  *metrics.Counter
+	gGatesPending  *metrics.Gauge
+	probeRTT       *metrics.LatencyHist
+	mInvalidations *metrics.Counter
 }
 
 // NewNicKV boots Nic-KV on the SmartNIC endpoint of machine m. It creates
@@ -161,10 +169,11 @@ func NewNicKV(eng *sim.Engine, net *fabric.Network, m *fabric.Machine, params *m
 		mProbeAcks:    reg.Counter("nickv.probe.acks"),
 		mMarkDowns:    reg.Counter("nickv.node.mark_down"),
 		mMarkUps:      reg.Counter("nickv.node.mark_up"),
-		mGatesQueued:  reg.Counter("nickv.gate.queued"),
-		mGateReleases: reg.Counter("nickv.gate.releases"),
-		gGatesPending: reg.Gauge("nickv.gate.pending"),
-		probeRTT:      reg.Histogram("nickv.probe.rtt"),
+		mGatesQueued:   reg.Counter("nickv.gate.queued"),
+		mGateReleases:  reg.Counter("nickv.gate.releases"),
+		gGatesPending:  reg.Gauge("nickv.gate.pending"),
+		probeRTT:       reg.Histogram("nickv.probe.rtt"),
+		mInvalidations: reg.Counter("nickv.track.invalidations"),
 	}
 	n.Stack.Device().SetMetrics(reg)
 	// cfg.ThreadNum was clamped to [1, NICCores] above; record what the NIC
@@ -263,6 +272,14 @@ func (n *NicKV) accept(conn transport.Conn) {
 			nd.conn = nil
 		}
 		delete(n.byConn, conn)
+		// A dead subscription channel takes its interest with it: the
+		// client flushes its cache on channel loss and re-registers, so
+		// keeping stale entries would only pin the table.
+		if n.track != nil {
+			if name, ok := n.track.subByConn[conn]; ok {
+				n.dropSubscriber(name)
+			}
+		}
 		if conn == n.masterConn {
 			n.masterConn = nil
 			// Gated replies died with the master's client connections; a
@@ -358,6 +375,25 @@ func (n *NicKV) onMessage(conn transport.Conn, data []byte) {
 		// ProgressInterval cron before reporting. Demand a progress report
 		// now from every valid slave still behind the gate.
 		n.demandAcks(end)
+	case msgTrackHello:
+		name := r.str()
+		if r.bad {
+			return
+		}
+		n.registerSubscriber(name, conn)
+	case msgTrackKey:
+		name := r.str()
+		key := r.str()
+		if r.bad {
+			return
+		}
+		n.trackInterest(name, key)
+	case msgTrackDrop:
+		name := r.str()
+		if r.bad {
+			return
+		}
+		n.dropSubscriber(name)
 	case msgProbeAck:
 		n.mProbeAcks.Inc()
 		if conn == n.masterConn {
@@ -545,6 +581,10 @@ func (n *NicKV) fanOut(off int64, cmd []byte, cmds int) {
 			nd.conn.Send(frame)
 		}
 	})
+	// Invalidation pushes piggyback on the fan-out event: the same stream
+	// chunk that just replicated is scanned for tracked keys. No-op (not
+	// even a parse) unless the interest table is occupied.
+	n.pushTrackInvalidations(cmd)
 }
 
 // probeTick fires every ProbePeriod on the NIC: check for overdue replies

@@ -249,6 +249,25 @@ type Params struct {
 	// writes fail (paper parameter min-slaves).
 	MinSlaves int
 
+	// ---- Client-side caching / invalidation tracking (CLIENT TRACKING) ----
+	// All three knobs are charged only on behalf of connections that turned
+	// tracking on; deployments that never negotiate CLIENT TRACKING pay
+	// nothing and keep the legacy event stream bit-for-bit.
+
+	// TrackInterestCPU is the server-side cost of recording one tracked
+	// read's key interest: the table insert in local (in-band) mode, or
+	// building the interest-forward frame to Nic-KV in redirect mode.
+	TrackInterestCPU sim.Duration
+	// NicInvalidateCPU is the Nic-KV ARM-core cost of building and posting
+	// one invalidation push to one subscriber (host-side pushes use
+	// ReplyBuildCPU — they ride the ordinary reply path).
+	NicInvalidateCPU sim.Duration
+	// TrackTableMax bounds an invalidation interest table in distinct
+	// tracked keys (Redis tracking-table-max-keys). When full, the oldest
+	// tracked key is evicted with a synthetic invalidation push so its
+	// subscribers never serve it stale. 0 means 65536.
+	TrackTableMax int
+
 	// ---- Client model ----
 
 	// ClientThinkCPU is the client-side cost between receiving a reply and
@@ -324,6 +343,10 @@ func Default() Params {
 		RCRetryTimeout:  3 * sim.Second,
 		TCPRetryTimeout: 3 * sim.Second,
 		MinSlaves:       0,
+
+		TrackInterestCPU: 100 * sim.Nanosecond,
+		NicInvalidateCPU: 200 * sim.Nanosecond,
+		TrackTableMax:    65536,
 
 		ClientThinkCPU: 300 * sim.Nanosecond,
 		ClientWakeup:   1500 * sim.Nanosecond,

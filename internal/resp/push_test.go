@@ -1,0 +1,58 @@
+package resp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestInvalidatePushRoundTrip: AppendInvalidatePush must encode the exact
+// RESP3 push frame and round-trip through the Reader as a Value that
+// IsPush() distinguishes from ordinary replies — the property the tracked
+// clients rely on to demultiplex pushes from the in-band reply stream.
+func TestInvalidatePushRoundTrip(t *testing.T) {
+	frame := AppendInvalidatePush(nil, []byte("key:0000000042"))
+	want := ">2\r\n$10\r\ninvalidate\r\n$14\r\nkey:0000000042\r\n"
+	if !bytes.Equal(frame, []byte(want)) {
+		t.Fatalf("push frame = %q, want %q", frame, want)
+	}
+
+	var r Reader
+	r.Feed(frame)
+	v, ok, err := r.ReadValue()
+	if err != nil || !ok {
+		t.Fatalf("reader rejected the push frame: ok=%v err=%v", ok, err)
+	}
+	if !v.IsPush() {
+		t.Fatalf("parsed type %q, want push", v.Type)
+	}
+	if len(v.Array) != 2 || string(v.Array[0].Str) != "invalidate" || string(v.Array[1].Str) != "key:0000000042" {
+		t.Fatalf("push payload mismatch: %+v", v)
+	}
+	if _, ok, _ := r.ReadValue(); ok {
+		t.Fatal("trailing value after a single push frame")
+	}
+}
+
+// TestPushInterleavedWithReplies: a push frame arriving between two
+// ordinary replies must not desynchronize the reply stream.
+func TestPushInterleavedWithReplies(t *testing.T) {
+	var b []byte
+	b = AppendSimple(b, "OK")
+	b = AppendInvalidatePush(b, []byte("k"))
+	b = AppendBulk(b, []byte("v"))
+
+	var r Reader
+	r.Feed(b)
+	v1, ok, _ := r.ReadValue()
+	if !ok || v1.IsPush() || v1.String() != "OK" {
+		t.Fatalf("first value = %+v, want +OK", v1)
+	}
+	v2, ok, _ := r.ReadValue()
+	if !ok || !v2.IsPush() {
+		t.Fatalf("second value = %+v, want a push", v2)
+	}
+	v3, ok, _ := r.ReadValue()
+	if !ok || v3.IsPush() || v3.String() != "v" {
+		t.Fatalf("third value = %+v, want bulk v", v3)
+	}
+}

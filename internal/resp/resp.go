@@ -21,6 +21,11 @@ const (
 	TypeInteger = ':'
 	TypeBulk    = '$'
 	TypeArray   = '*'
+	// TypePush is the RESP3 push frame ('>'): a server-initiated message
+	// interleaved with replies on the same connection. SKV speaks RESP2
+	// everywhere except this one frame, which carries client-tracking
+	// invalidations (as Redis 6 does for clients that negotiated tracking).
+	TypePush = '>'
 )
 
 // ErrProtocol reports malformed input; a server replies with an error and
@@ -41,6 +46,11 @@ func (v Value) IsOK() bool { return v.Type == TypeSimple && string(v.Str) == "OK
 
 // IsError reports whether the value is an error reply.
 func (v Value) IsError() bool { return v.Type == TypeError }
+
+// IsPush reports whether the value is a server-initiated push frame. Reply
+// loops must check this before matching the value against their oldest
+// in-flight request — a push consumes no request.
+func (v Value) IsPush() bool { return v.Type == TypePush }
 
 func (v Value) String() string {
 	switch v.Type {
@@ -118,6 +128,16 @@ func AppendArrayHeader(dst []byte, n int) []byte {
 
 // AppendNullArray appends *-1\r\n.
 func AppendNullArray(dst []byte) []byte { return append(dst, '*', '-', '1', '\r', '\n') }
+
+// AppendInvalidatePush appends the client-tracking invalidation push frame
+// >2\r\n$10\r\ninvalidate\r\n$<len>\r\n<key>\r\n — the one RESP3 frame the
+// tracking plane injects into a RESP2 reply stream.
+func AppendInvalidatePush(dst []byte, key []byte) []byte {
+	dst = append(dst, TypePush)
+	dst = append(dst, '2', '\r', '\n')
+	dst = AppendBulkString(dst, "invalidate")
+	return AppendBulk(dst, key)
+}
 
 // EncodeCommand encodes argv as an array of bulk strings (the client→server
 // wire format).
@@ -238,7 +258,7 @@ func (r *Reader) readValue() (Value, bool, error) {
 		}
 		r.pos += n + 2
 		return Value{Type: t, Str: payload}, true, nil
-	case TypeArray:
+	case TypeArray, TypePush:
 		r.pos++
 		l, ok := r.line()
 		if !ok {

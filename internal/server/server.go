@@ -24,6 +24,7 @@ import (
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/store"
+	"skv/internal/tracking"
 	"skv/internal/transport"
 )
 
@@ -139,6 +140,16 @@ type Server struct {
 	// host CPU never polls.
 	OnWriteGate func(endOff int64, need int)
 
+	// Client-side caching (CLIENT TRACKING, see tracking.go). track is the
+	// in-band interest table, allocated on first use; trackLocal resolves
+	// synthetic subscriber names back to connections. OnTrackInterest /
+	// OnTrackDrop, when non-nil, let redirect-mode tracking offload the
+	// table to Nic-KV: the server forwards interest and forgets it.
+	track           *tracking.Table
+	trackLocal      map[string]*client
+	OnTrackInterest func(name, key string)
+	OnTrackDrop     func(name string)
+
 	alive bool
 	cron  *sim.Ticker
 
@@ -212,6 +223,14 @@ type client struct {
 	consOv    bool
 	consLevel consistency.Level
 	consW     int
+
+	// trackOn marks the connection as a CLIENT TRACKING subscriber;
+	// trackRedirect sends its interest to the offload layer instead of the
+	// local table; trackName is its subscriber identity in whichever table
+	// holds the interest.
+	trackOn       bool
+	trackRedirect bool
+	trackName     string
 
 	// outq (single-threaded mode) preserves per-connection RESP reply
 	// order while an earlier write reply sits parked on the consistency
@@ -536,6 +555,7 @@ func (s *Server) freeClient(c *client) {
 	// blocked WAITs (timers cancelled, nothing replied — the connection is
 	// gone) and parked write replies.
 	s.acks.DropOwner(c.id)
+	s.dropTracking(c)
 	c.outq = nil
 }
 
@@ -664,6 +684,14 @@ func (s *Server) dispatchCommand(c *client, cmd *store.Command, argv [][]byte) {
 		}
 	}
 
+	// Tracked reads register interest at admission, before routing: the
+	// interest must exist before any later write's invalidation fires, and
+	// admission order is the one order both the single-threaded and the
+	// sharded pipeline share.
+	if c.trackOn && cmd != nil && !cmd.Write && !cmd.Server && cmd.FirstKey > 0 {
+		s.recordInterest(c, cmd, argv)
+	}
+
 	if s.shard != nil {
 		// Multi-core mode: hand the parsed command to the dispatch plane,
 		// which routes it to a shard proc, fences it, or runs it inline.
@@ -696,6 +724,8 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 			s.cmdConsistency(c, argv)
 		case "cluster":
 			s.cmdCluster(c, argv)
+		case "client":
+			s.cmdClient(c, argv)
 		case "asking":
 			// Outside cluster mode (or when reaching execution through a
 			// barrier drain) ASKING is a harmless no-op acknowledgement; in
@@ -735,6 +765,7 @@ func (s *Server) execute(c *client, cmd *store.Command, argv [][]byte) {
 	if dirty && s.role == RoleMaster {
 		off := s.propagate(c.db, argv)
 		s.acks.NoteWrite(c.id, off)
+		s.pushInvalidations(cmd, argv)
 		if need, wire := s.gateNeed(c); need > 0 {
 			s.parkWrite(c, off, need, wire, reply)
 			return

@@ -389,6 +389,7 @@ func (e *shardEngine) runShard(c *client, cmd *store.Command, argv [][]byte, si 
 			if s.alive && dirty && s.role == RoleMaster {
 				off := s.propagate(dbi, argv)
 				s.acks.NoteWrite(c.id, off)
+				s.pushInvalidations(cmd, argv)
 				if need > 0 {
 					// Quorum write: sequence-ordered but fence-free, like
 					// classWait — the reply holds its re-sequencer turn until

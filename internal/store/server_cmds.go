@@ -179,6 +179,7 @@ func init() {
 	registerServer("wait", 3)
 	registerServer("skv.consistency", -1)
 	registerServer("cluster", -2)
+	registerServer("client", -2)
 }
 
 // cmdHMSetCompat implements the legacy HMSET (same as HSET, replies +OK).

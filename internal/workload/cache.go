@@ -1,0 +1,75 @@
+package workload
+
+// cache is the bounded invalidation-coherent client cache behind tracked
+// GETs. Eviction is FIFO by first insertion (no map iteration — eviction
+// order must be deterministic across runs). The cache itself is dumb
+// storage: coherence comes from the owner dropping entries on invalidation
+// pushes, redirects, and reconnects.
+type cache struct {
+	max  int
+	m    map[string][]byte
+	fifo []string // insertion order; may hold tombstones of dropped keys
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, m: make(map[string][]byte)}
+}
+
+func (c *cache) len() int { return len(c.m) }
+
+func (c *cache) get(k string) ([]byte, bool) {
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// put inserts or refreshes an entry, evicting the oldest live entry when
+// the bound is hit. A refresh keeps the key's original FIFO position.
+func (c *cache) put(k string, v []byte) {
+	if _, exists := c.m[k]; !exists {
+		for len(c.m) >= c.max {
+			if !c.evictOldest() {
+				return // bound smaller than one live entry; never cache
+			}
+		}
+		c.fifo = append(c.fifo, k)
+	}
+	c.m[k] = v
+}
+
+// evictOldest drops the oldest live entry, skipping tombstones of keys
+// already invalidated. Returns false if nothing was evictable.
+func (c *cache) evictOldest() bool {
+	for len(c.fifo) > 0 {
+		k := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if _, ok := c.m[k]; ok {
+			delete(c.m, k)
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops one key; reports whether an entry was actually present
+// (its fifo slot becomes a tombstone).
+func (c *cache) invalidate(k string) bool {
+	if _, ok := c.m[k]; !ok {
+		return false
+	}
+	delete(c.m, k)
+	return true
+}
+
+func (c *cache) flush() {
+	c.m = make(map[string][]byte)
+	c.fifo = nil
+}
+
+// entries snapshots the cache for coherence oracles.
+func (c *cache) entries() map[string]string {
+	out := make(map[string]string, len(c.m))
+	for k, v := range c.m {
+		out[k] = string(v)
+	}
+	return out
+}

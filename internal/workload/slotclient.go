@@ -5,15 +5,13 @@ import (
 	"strings"
 
 	"skv/internal/fabric"
-	"skv/internal/model"
 	"skv/internal/resp"
 	"skv/internal/sim"
 	"skv/internal/slots"
-	"skv/internal/stats"
 	"skv/internal/transport"
 )
 
-// SlotClient is the cluster-mode benchmark client: slot-aware closed loops.
+// slotClient is the cluster-mode benchmark client: slot-aware closed loops.
 // It keeps a client-side copy of the hash-slot map, routes every command to
 // the group that owns its key's slot over one connection per group, and
 // repairs its map when a server answers MOVED (refreshing from the
@@ -29,14 +27,16 @@ import (
 // distribution is preserved while the loops stay independent. Connection
 // loss, dial timeouts, and a stall watchdog re-route the affected in-flight
 // requests after a short back-off.
-type SlotClient struct {
-	Name string
-
-	eng    *sim.Engine
-	params *model.Params
-	proc   *sim.Proc
-	stack  transport.Stack
-	gen    *Generator
+//
+// With tracking on, every connection negotiates CLIENT TRACKING right
+// after its dial — in-band mode only: invalidations arrive as '>' pushes
+// on the data connections, FIFO with the replies of the node that recorded
+// the interest. The cache is flushed whenever a connection is recovered or
+// the slot map is refreshed (pushes may have been missed / interest may
+// now live on a node we no longer talk to), and single keys are dropped on
+// MOVED/ASK redirects and on the client's own writes.
+type slotClient struct {
+	kvbase
 
 	// table is the deployment's authoritative slot map; refreshes copy from
 	// it (the simulation's stand-in for asking any node CLUSTER SLOTS).
@@ -53,53 +53,42 @@ type SlotClient struct {
 	owner []uint16
 	addrs []string
 
-	conns   map[int]*slotConn
-	running bool
+	conns map[int]*slotConn
 
-	// Pipeline is the number of requests kept in flight (redis-benchmark
-	// -P). 1 = classic closed loop.
-	Pipeline int
-	// DialTimeout bounds a dial whose handshake was swallowed by a downed
-	// endpoint; RetryDelay spaces reconnect attempts after a failure.
-	DialTimeout sim.Duration
-	RetryDelay  sim.Duration
-	// RequestTimeout is the stall watchdog: a connection with in-flight
+	// dialTimeout bounds a dial whose handshake was swallowed by a downed
+	// endpoint; retryDelay spaces reconnect attempts after a failure.
+	// requestTimeout is the stall watchdog: a connection with in-flight
 	// requests and no traffic for this long is torn down and its requests
 	// re-routed. This is what detects a wedged master — the process keeps
 	// its endpoints up and just goes silent, so no close event ever comes.
-	RequestTimeout sim.Duration
+	dialTimeout    sim.Duration
+	retryDelay     sim.Duration
+	requestTimeout sim.Duration
 
-	// WarmupUntil discards samples recorded before this virtual time.
-	WarmupUntil sim.Time
-	// Hist records request latencies (after warm-up).
-	Hist *stats.Histogram
-	// Series, when non-nil, counts completions over time.
-	Series *stats.TimeSeries
-
-	// Sent and Done count all requests, ErrReplies the non-redirect error
-	// replies. Moved counts MOVED redirects (each also triggers a map
-	// refresh unless the view is already current), Asked the ASK redirects
-	// (one-shot retries that deliberately do NOT refresh the map — the
-	// migration window is transient and the source still owns the slot),
-	// TryAgain the TRYAGAIN replies retried after a back-off, MapRefreshes
-	// the copies taken from the authoritative table, Redials the reconnect
-	// attempts after a close or dial failure.
-	Sent         uint64
-	Done         uint64
-	ErrReplies   uint64
-	Moved        uint64
-	Asked        uint64
-	TryAgain     uint64
-	MapRefreshes uint64
-	Redials      uint64
-	// GroupDone / GroupErrs break completions and error replies down by the
+	// moved counts MOVED redirects (each also triggers a map refresh unless
+	// the view is already current), asked the ASK redirects (one-shot
+	// retries that deliberately do NOT refresh the map — the migration
+	// window is transient and the source still owns the slot), tryAgain the
+	// TRYAGAIN replies retried after a back-off, mapRefreshes the copies
+	// taken from the authoritative table, redials the reconnect attempts
+	// after a close or dial failure.
+	moved        uint64
+	asked        uint64
+	tryAgain     uint64
+	mapRefreshes uint64
+	redials      uint64
+	// groupDone / groupErrs break completions and error replies down by the
 	// group that served them (per-slot availability during failover).
-	GroupDone []uint64
-	GroupErrs []uint64
+	groupDone []uint64
+	groupErrs []uint64
 }
 
-// askingCmd is the one-shot admission prefix sent before an ASK retry.
-var askingCmd = resp.EncodeCommand("ASKING")
+// askingCmd is the one-shot admission prefix sent before an ASK retry;
+// trackOnCmd is the per-connection tracking handshake.
+var (
+	askingCmd  = resp.EncodeCommand("ASKING")
+	trackOnCmd = resp.EncodeCommand("client", "tracking", "on")
+)
 
 // slotConn is one connection to one replication group's current address.
 type slotConn struct {
@@ -118,117 +107,166 @@ type slotConn struct {
 // whose window the request occupies (its authoritative slot owner at
 // generation time) — completion refills that window, wherever the reply
 // actually came from. marker requests are protocol filler (the ASKING that
-// precedes an ASK retry): their replies are consumed without accounting,
-// and they are dropped — not re-dispatched — when a connection is recovered
-// (the paired data request re-routes by slot and earns a fresh ASK if the
-// migration is still open).
+// precedes an ASK retry, the tracking handshake): their replies are
+// consumed without accounting, and they are dropped — not re-dispatched —
+// when a connection is recovered (the paired data request re-routes by
+// slot and earns a fresh ASK if the migration is still open). poisoned
+// GETs raced an invalidation push and must not populate the cache.
 type slotReq struct {
-	cmd    []byte
-	key    string
-	target int
-	sentAt sim.Time
-	marker bool
+	cmd      []byte
+	key      string
+	target   int
+	sentAt   sim.Time
+	get      bool
+	marker   bool
+	poisoned bool
 }
 
-// NewSlotClient builds a slot-aware closed-loop client on its own core.
-func NewSlotClient(name string, eng *sim.Engine, params *model.Params, ep *fabric.Endpoint,
-	makeStack func(*fabric.Endpoint, *sim.Proc) transport.Stack, gen *Generator,
-	wakeup sim.Duration, table *slots.Map, resolve func(addr string) *fabric.Endpoint, port int) *SlotClient {
-	core := sim.NewCore(eng, name+"-core", params.HostCoreSpeed)
-	proc := sim.NewProc(eng, core, wakeup)
-	c := &SlotClient{
-		Name:    name,
-		eng:     eng,
-		params:  params,
-		proc:    proc,
-		stack:   makeStack(ep, proc),
-		gen:     gen,
-		table:   table,
-		resolve: resolve,
-		port:    port,
+// newSlotClient builds a slot-aware closed-loop client on its own core.
+func newSlotClient(name string, env Env, opts Options) *slotClient {
+	c := &slotClient{
+		kvbase:  newKVBase(name, env, opts),
+		table:   env.Table,
+		resolve: env.Resolve,
+		port:    env.Port,
 		owner:   make([]uint16, slots.NumSlots),
-		addrs:   make([]string, table.Groups()),
+		addrs:   make([]string, env.Table.Groups()),
 		conns:   make(map[int]*slotConn),
-		Hist:    stats.NewHistogram(),
 	}
-	c.addrs[0] = table.Addr(0) // seed node
-	c.GroupDone = make([]uint64, table.Groups())
-	c.GroupErrs = make([]uint64, table.Groups())
+	c.addrs[0] = env.Table.Addr(0) // seed node
+	c.groupDone = make([]uint64, env.Table.Groups())
+	c.groupErrs = make([]uint64, env.Table.Groups())
 	return c
+}
+
+func (c *slotClient) Stats() Stats {
+	st := c.baseStats()
+	st.Moved, st.Asked, st.TryAgain = c.moved, c.asked, c.tryAgain
+	st.MapRefreshes, st.Redials = c.mapRefreshes, c.redials
+	st.GroupDone = append([]uint64(nil), c.groupDone...)
+	st.GroupErrs = append([]uint64(nil), c.groupErrs...)
+	return st
 }
 
 // Start begins the per-group closed loops (dialing lazily as routes are
 // needed). Groups that own no slots get no window.
-func (c *SlotClient) Start() {
-	if c.Pipeline <= 0 {
-		c.Pipeline = 1
+func (c *slotClient) Start() {
+	if c.pipeline <= 0 {
+		c.pipeline = 1
 	}
-	if c.DialTimeout <= 0 {
-		c.DialTimeout = 250 * sim.Millisecond
+	if c.dialTimeout <= 0 {
+		c.dialTimeout = 250 * sim.Millisecond
 	}
-	if c.RetryDelay <= 0 {
-		c.RetryDelay = 20 * sim.Millisecond
+	if c.retryDelay <= 0 {
+		c.retryDelay = 20 * sim.Millisecond
 	}
-	if c.RequestTimeout <= 0 {
-		c.RequestTimeout = 250 * sim.Millisecond
+	if c.requestTimeout <= 0 {
+		c.requestTimeout = 250 * sim.Millisecond
 	}
-	c.eng.Every(c.RequestTimeout, c.checkStalls)
+	c.eng.Every(c.requestTimeout, c.checkStalls)
 	c.running = true
 	for g := 0; g < c.table.Groups(); g++ {
-		for i := 0; i < c.Pipeline; i++ {
+		for i := 0; i < c.pipeline; i++ {
 			c.sendNextFor(g)
 		}
 	}
 }
 
 // checkStalls tears down connections whose in-flight requests have seen no
-// traffic for RequestTimeout. Groups are scanned in index order — never by
+// traffic for requestTimeout. Groups are scanned in index order — never by
 // map iteration — so recovery ordering is deterministic across runs.
-func (c *SlotClient) checkStalls() {
+func (c *slotClient) checkStalls() {
 	now := c.eng.Now()
 	for g := 0; g < len(c.addrs); g++ {
 		sc := c.conns[g]
 		if sc == nil || sc.conn == nil || len(sc.inflight) == 0 {
 			continue
 		}
-		if now.Sub(sc.lastActivity) >= c.RequestTimeout {
+		if now.Sub(sc.lastActivity) >= c.requestTimeout {
 			c.recoverReqs(sc)
 		}
 	}
 }
-
-// Stop ends the loop after the in-flight requests complete.
-func (c *SlotClient) Stop() { c.running = false }
 
 // sendNextFor refills target group tg's window with the next generated
 // command whose key tg owns (draws for other groups are discarded — their
 // own loops will produce equivalent draws). Ownership is read from the
 // authoritative table: generation is workload synthesis, not routing — the
 // possibly-stale client view only decides where the request is SENT.
-func (c *SlotClient) sendNextFor(tg int) {
+func (c *slotClient) sendNextFor(tg int) {
 	if !c.running || c.table.Count(tg) == 0 {
 		return
 	}
 	for {
-		cmd, _, key := c.gen.NextKeyed()
+		cmd, op, key := c.gen.NextKeyed()
 		c.proc.Core.Charge(c.params.ClientThinkCPU)
 		if c.table.Owner(slots.Slot([]byte(key))) != tg {
 			continue
 		}
-		c.Sent++
-		c.dispatch(slotReq{cmd: cmd, key: key, target: tg, sentAt: c.eng.Now()})
+		if c.tracking {
+			if op == OpGet {
+				if _, ok := c.cache.get(key); ok {
+					c.localHit(c.eng.Now(), func() { c.sendNextFor(tg) })
+					return
+				}
+				c.misses++
+			} else if op == OpSet {
+				// Read-your-writes: drop our own copy now — the push
+				// confirming this write would arrive only after the ack.
+				c.cache.invalidate(key)
+				c.poison(key)
+			}
+		}
+		c.sent++
+		c.dispatch(slotReq{cmd: cmd, key: key, target: tg, sentAt: c.eng.Now(), get: op == OpGet})
 		return
 	}
 }
 
+// poison marks every in-flight or queued GET for key: its reply may carry
+// the value an invalidation push just retired.
+func (c *slotClient) poison(key string) {
+	for g := 0; g < len(c.addrs); g++ {
+		sc := c.conns[g]
+		if sc == nil {
+			continue
+		}
+		for i := range sc.inflight {
+			if sc.inflight[i].get && sc.inflight[i].key == key {
+				sc.inflight[i].poisoned = true
+			}
+		}
+		for i := range sc.queue {
+			if sc.queue[i].get && sc.queue[i].key == key {
+				sc.queue[i].poisoned = true
+			}
+		}
+	}
+}
+
+func (c *slotClient) applyInvalidation(key string) {
+	c.invalidations++
+	c.cache.invalidate(key)
+	c.poison(key)
+}
+
+// dropKey drops one cache entry on a redirect: the key's interest now
+// lives (or will be re-recorded) on another node, so the cached copy can
+// no longer be trusted to see its invalidation.
+func (c *slotClient) dropKey(key string) {
+	if c.tracking {
+		c.cache.invalidate(key)
+	}
+}
+
 // dispatch routes one request by its key's slot under the current view.
-func (c *SlotClient) dispatch(r slotReq) {
+func (c *slotClient) dispatch(r slotReq) {
 	c.sendTo(int(c.owner[slots.Slot([]byte(r.key))]), r)
 }
 
 // sendTo queues one request on group g's connection, dialing if needed.
 // dispatch computes g from the slot map; the ASK path forces it.
-func (c *SlotClient) sendTo(g int, r slotReq) {
+func (c *slotClient) sendTo(g int, r slotReq) {
 	sc := c.conns[g]
 	if sc == nil {
 		sc = &slotConn{group: g, addr: c.addrs[g]}
@@ -246,9 +284,9 @@ func (c *SlotClient) sendTo(g int, r slotReq) {
 	sc.conn.Send(r.cmd)
 }
 
-func (c *SlotClient) dial(sc *slotConn) {
-	c.Redials++
-	c.eng.After(c.DialTimeout, func() {
+func (c *slotClient) dial(sc *slotConn) {
+	c.redials++
+	c.eng.After(c.dialTimeout, func() {
 		if c.conns[sc.group] == sc && sc.conn == nil {
 			// Handshake swallowed by a dead endpoint: give up on this
 			// attempt and re-route its requests.
@@ -274,6 +312,12 @@ func (c *SlotClient) dial(sc *slotConn) {
 				c.recoverReqs(sc)
 			}
 		})
+		if c.tracking {
+			// Handshake first: FIFO guarantees the node records the
+			// tracking mode before admitting any queued GET's interest.
+			sc.inflight = append(sc.inflight, slotReq{cmd: trackOnCmd, marker: true})
+			conn.Send(trackOnCmd)
+		}
 		q := sc.queue
 		sc.queue = nil
 		sc.lastActivity = c.eng.Now()
@@ -285,9 +329,11 @@ func (c *SlotClient) dial(sc *slotConn) {
 }
 
 // recoverReqs retires a broken connection and re-dispatches everything it
-// carried after RetryDelay, refreshing the slot map first (the group's
-// address may have moved to a promoted slave in the meantime).
-func (c *SlotClient) recoverReqs(sc *slotConn) {
+// carried after retryDelay, refreshing the slot map first (the group's
+// address may have moved to a promoted slave in the meantime). With
+// tracking on the cache is flushed: pushes may have died with the
+// connection, and the interest recorded on the lost node is gone.
+func (c *slotClient) recoverReqs(sc *slotConn) {
 	if c.conns[sc.group] != sc {
 		return
 	}
@@ -299,7 +345,10 @@ func (c *SlotClient) recoverReqs(sc *slotConn) {
 		sc.conn = nil
 		conn.Close()
 	}
-	c.eng.After(c.RetryDelay, func() {
+	if c.tracking {
+		c.flushCache()
+	}
+	c.eng.After(c.retryDelay, func() {
 		c.refreshMap()
 		for _, r := range reqs {
 			if r.marker {
@@ -316,7 +365,7 @@ func (c *SlotClient) recoverReqs(sc *slotConn) {
 // and adopting the target early would bounce every other key in the slot.
 // The address is resolved to a group through the authoritative table (the
 // simulation's stand-in for a real client keying connections by address).
-func (c *SlotClient) askRetry(addr string, req slotReq) bool {
+func (c *slotClient) askRetry(addr string, req slotReq) bool {
 	g := -1
 	for i := 0; i < c.table.Groups(); i++ {
 		if c.table.Addr(i) == addr {
@@ -342,14 +391,19 @@ func (c *SlotClient) askRetry(addr string, req slotReq) bool {
 }
 
 // refreshMap copies the authoritative table if it is newer than our view,
-// then retires connections whose group address changed.
-func (c *SlotClient) refreshMap() {
+// then retires connections whose group address changed. With tracking on a
+// topology change flushes the cache: entries may now be owned by nodes
+// that hold no interest for us.
+func (c *slotClient) refreshMap() {
 	if c.epoch == c.table.Epoch() {
 		return
 	}
 	c.proc.Core.Charge(c.params.ClientThinkCPU)
 	c.epoch = c.table.CopyInto(c.owner, c.addrs)
-	c.MapRefreshes++
+	c.mapRefreshes++
+	if c.tracking {
+		c.flushCache()
+	}
 	for g := 0; g < len(c.addrs); g++ { // index order: deterministic
 		if sc := c.conns[g]; sc != nil && sc.addr != c.addrs[g] {
 			c.recoverReqs(sc)
@@ -357,7 +411,7 @@ func (c *SlotClient) refreshMap() {
 	}
 }
 
-func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
+func (c *slotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 	if c.conns[sc.group] != sc || sc.conn != conn {
 		return
 	}
@@ -366,10 +420,16 @@ func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 	for {
 		v, ok, err := sc.reader.ReadValue()
 		if err != nil {
-			panic(fmt.Sprintf("workload: slot client %s got protocol garbage: %v", c.Name, err))
+			panic(fmt.Sprintf("workload: slot client %s got protocol garbage: %v", c.name, err))
 		}
 		if !ok {
 			return
+		}
+		if v.IsPush() {
+			if key, isInv := pushedKey(v); isInv {
+				c.applyInvalidation(key)
+			}
+			continue
 		}
 		if len(sc.inflight) == 0 {
 			continue // reply for a request already re-routed elsewhere
@@ -377,7 +437,7 @@ func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 		req := sc.inflight[0]
 		sc.inflight = sc.inflight[1:]
 		if req.marker {
-			continue // +OK for an ASKING prefix: no accounting, no refill
+			continue // +OK for an ASKING/handshake prefix: no accounting, no refill
 		}
 		if v.IsError() {
 			msg := string(v.Str)
@@ -386,12 +446,14 @@ func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 			case slots.RedirectMoved:
 				// Stale view: repair the map and re-issue the same request
 				// (sentAt preserved — the extra hop is real latency).
-				c.Moved++
+				c.moved++
+				c.dropKey(req.key)
 				c.refreshMap()
 				c.dispatch(req)
 				continue
 			case slots.RedirectAsk:
-				c.Asked++
+				c.asked++
+				c.dropKey(req.key)
 				if c.askRetry(addr, req) {
 					continue
 				}
@@ -404,21 +466,24 @@ func (c *SlotClient) onReply(sc *slotConn, conn transport.Conn, data []byte) {
 			if strings.HasPrefix(msg, "TRYAGAIN") {
 				// Half-migrated multi-key window: back off and retry the
 				// same request (sentAt preserved).
-				c.TryAgain++
-				c.eng.After(c.RetryDelay, func() { c.dispatch(req) })
+				c.tryAgain++
+				c.eng.After(c.retryDelay, func() { c.dispatch(req) })
 				continue
 			}
-			c.ErrReplies++
-			c.GroupErrs[sc.group]++
+			c.errReplies++
+			c.groupErrs[sc.group]++
 		}
 		now := c.eng.Now()
-		c.Done++
-		c.GroupDone[sc.group]++
-		if now >= c.WarmupUntil {
-			c.Hist.Record(now.Sub(req.sentAt))
-			if c.Series != nil {
-				c.Series.Record(now)
+		c.done++
+		c.groupDone[sc.group]++
+		if now >= c.warmupUntil {
+			c.hist.Record(now.Sub(req.sentAt))
+			if c.series != nil {
+				c.series.Record(now)
 			}
+		}
+		if req.get && c.tracking && !req.poisoned && v.Type == resp.TypeBulk && !v.Null {
+			c.cache.put(req.key, v.Str)
 		}
 		c.sendNextFor(req.target)
 	}

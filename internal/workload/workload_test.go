@@ -148,25 +148,29 @@ func TestClientClosedLoop(t *testing.T) {
 	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
 		return tcpsim.New(net, ep, proc)
 	}
-	cl := NewClient("c0", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
-	cl.Connect(srvM.Host, 6379)
+	cl := New("c0", Env{Eng: eng, Params: &p, EP: cliM.Host, MakeStack: mk, Gen: gen,
+		Wakeup: p.ClientWakeup, Port: 6379,
+		Resolve: func(string) *fabric.Endpoint { return srvM.Host }},
+		Options{Addrs: []string{srvM.Host.Name()}})
+	cl.Start()
 	eng.Run(sim.Time(100 * sim.Millisecond))
 	cl.Stop()
 	eng.Run(sim.Time(110 * sim.Millisecond))
 
-	if cl.Done < 1000 {
-		t.Fatalf("closed loop completed only %d ops in 100ms", cl.Done)
+	st := cl.Stats()
+	if st.Done < 1000 {
+		t.Fatalf("closed loop completed only %d ops in 100ms", st.Done)
 	}
-	if cl.Sent != cl.Done && cl.Sent != cl.Done+1 {
-		t.Fatalf("closed-loop accounting: sent=%d done=%d", cl.Sent, cl.Done)
+	if st.Sent != st.Done && st.Sent != st.Done+1 {
+		t.Fatalf("closed-loop accounting: sent=%d done=%d", st.Sent, st.Done)
 	}
-	if cl.Hist.Count() == 0 {
+	if cl.Histogram().Count() == 0 {
 		t.Fatal("no latencies recorded")
 	}
-	if cl.ErrReplies != 0 {
-		t.Fatalf("unexpected error replies: %d", cl.ErrReplies)
+	if st.ErrReplies != 0 {
+		t.Fatalf("unexpected error replies: %d", st.ErrReplies)
 	}
-	if mean := cl.Hist.Mean(); mean <= 0 || mean > sim.Duration(sim.Millisecond) {
+	if mean := cl.Histogram().Mean(); mean <= 0 || mean > sim.Duration(sim.Millisecond) {
 		t.Fatalf("implausible mean latency %v", mean)
 	}
 }
@@ -186,14 +190,17 @@ func TestClientWarmupDiscardsSamples(t *testing.T) {
 	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
 		return tcpsim.New(net, ep, proc)
 	}
-	cl := NewClient("c0", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
-	cl.WarmupUntil = sim.Time(50 * sim.Millisecond)
-	cl.Connect(srvM.Host, 6379)
+	cl := New("c0", Env{Eng: eng, Params: &p, EP: cliM.Host, MakeStack: mk, Gen: gen,
+		Wakeup: p.ClientWakeup, Port: 6379,
+		Resolve: func(string) *fabric.Endpoint { return srvM.Host }},
+		Options{Addrs: []string{srvM.Host.Name()}})
+	cl.SetWarmup(sim.Time(50 * sim.Millisecond))
+	cl.Start()
 	eng.Run(sim.Time(100 * sim.Millisecond))
-	if cl.Hist.Count() >= cl.Done {
-		t.Fatalf("warm-up did not discard: hist=%d done=%d", cl.Hist.Count(), cl.Done)
+	if cl.Histogram().Count() >= cl.Stats().Done {
+		t.Fatalf("warm-up did not discard: hist=%d done=%d", cl.Histogram().Count(), cl.Stats().Done)
 	}
-	if cl.Hist.Count() == 0 {
+	if cl.Histogram().Count() == 0 {
 		t.Fatal("no post-warmup samples")
 	}
 }
@@ -222,16 +229,18 @@ func TestClientPipelining(t *testing.T) {
 	mk := func(ep *fabric.Endpoint, proc *sim.Proc) transport.Stack {
 		return tcpsim.New(net, ep, proc)
 	}
+	resolve := func(string) *fabric.Endpoint { return srvM.Host }
 	run := func(depth int) uint64 {
 		gen := NewGenerator(13, 100, 16, 1.0, false)
-		cl := NewClient("p", eng, &p, cliM.Host, mk, gen, p.ClientWakeup)
-		cl.Pipeline = depth
-		cl.Connect(srvM.Host, 6379)
+		cl := New("p", Env{Eng: eng, Params: &p, EP: cliM.Host, MakeStack: mk, Gen: gen,
+			Wakeup: p.ClientWakeup, Port: 6379, Resolve: resolve},
+			Options{Addrs: []string{srvM.Host.Name()}, Pipeline: depth})
+		cl.Start()
 		start := eng.Now()
 		eng.Run(start.Add(50 * sim.Millisecond))
 		cl.Stop()
 		eng.Run(eng.Now().Add(10 * sim.Millisecond))
-		return cl.Done
+		return cl.Stats().Done
 	}
 	// Separate machines per run would be cleaner but one sequential reuse
 	// is fine: measure depth-1 then depth-8 on fresh clients.
@@ -241,18 +250,19 @@ func TestClientPipelining(t *testing.T) {
 		return tcpsim.New(net, ep, proc)
 	}
 	gen := NewGenerator(14, 100, 16, 1.0, false)
-	cl := NewClient("p8", eng, &p, cliM2.Host, mk2, gen, p.ClientWakeup)
-	cl.Pipeline = 8
-	cl.Connect(srvM.Host, 6379)
+	cl := New("p8", Env{Eng: eng, Params: &p, EP: cliM2.Host, MakeStack: mk2, Gen: gen,
+		Wakeup: p.ClientWakeup, Port: 6379, Resolve: resolve},
+		Options{Addrs: []string{srvM.Host.Name()}, Pipeline: 8})
+	cl.Start()
 	start := eng.Now()
 	eng.Run(start.Add(50 * sim.Millisecond))
 	cl.Stop()
 	eng.Run(eng.Now().Add(10 * sim.Millisecond))
-	d8 := cl.Done
+	d8 := cl.Stats().Done
 	if d8 <= d1 {
 		t.Fatalf("pipelining did not help: depth1=%d depth8=%d", d1, d8)
 	}
-	if cl.Hist.Count() == 0 {
+	if cl.Histogram().Count() == 0 {
 		t.Fatal("no latencies recorded under pipelining")
 	}
 }
